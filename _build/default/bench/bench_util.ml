@@ -1,0 +1,45 @@
+(* Table printing and timing helpers shared by the experiment harness. *)
+
+let line = String.make 78 '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n" line title line
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let row fmt = Printf.printf fmt
+
+let claim name ok =
+  Printf.printf "[%s] %s\n" (if ok then "PASS" else "FAIL") name;
+  ok
+
+(* Wall-clock timing of a thunk, repeated to reach a minimal duration. *)
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let time_median ?(repeats = 3) f =
+  let times =
+    List.init repeats (fun _ ->
+        let _, t = time_once f in
+        t)
+  in
+  let sorted = List.sort compare times in
+  List.nth sorted (repeats / 2)
+
+let ms t = t *. 1000.0
+
+(* Global pass/fail accounting for the final summary. *)
+let failures = ref []
+
+let record name ok = if not (claim name ok) then failures := name :: !failures
+
+let summary () =
+  section "SUMMARY";
+  match !failures with
+  | [] -> print_endline "All experiment claims hold."
+  | fs ->
+      Printf.printf "%d claim(s) FAILED:\n" (List.length fs);
+      List.iter (fun f -> Printf.printf "  - %s\n" f) (List.rev fs)

@@ -1,0 +1,1 @@
+examples/checkable_proofs.ml: Advice Bitset Builders Graph Lcl Netgraph Printf Prng Schemas Subexp_lcl

@@ -1,0 +1,1 @@
+examples/checkable_proofs.mli:

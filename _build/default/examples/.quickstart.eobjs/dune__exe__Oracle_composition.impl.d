@@ -1,0 +1,1 @@
+examples/oracle_composition.ml: Advice Array Balanced_orientation Builders Graph Netgraph Orientation Printf Schemas Splitting Two_coloring

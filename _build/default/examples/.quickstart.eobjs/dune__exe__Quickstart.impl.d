@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Baselines Bitset Builders Coloring Lcl Localmodel Netgraph Printf Prng Schemas

@@ -1,0 +1,1 @@
+examples/sensor_compression.ml: Advice Array Baselines Bitset Builders Edge_compression Graph List Netgraph Printf Prng Schemas String

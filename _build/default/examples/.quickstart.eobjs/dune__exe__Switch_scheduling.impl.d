@@ -1,0 +1,1 @@
+examples/switch_scheduling.ml: Advice Array Builders Edge_coloring_pow2 Graph Netgraph Printf Prng Schemas

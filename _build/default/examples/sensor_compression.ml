@@ -1,0 +1,64 @@
+(* Sensor ring-mesh link compression (Contribution 4).
+
+   Scenario: sensors arranged on a ring, each linked to its four nearest
+   ring neighbors (a circulant mesh).  Every node wants to persist which
+   of its radio links are currently "active" in as little per-node flash
+   as possible, such that any node can reconstruct its incident links
+   locally after a reboot.
+
+   The trivial format stores one bit per incident link: d bits at a
+   degree-d node.  The paper's scheme stores an almost-balanced orientation
+   (one advice bit per node) plus membership bits for *outgoing* links
+   only: ⌈d/2⌉ + 1 bits — within 2 bits of the information-theoretic d/2
+   floor.
+
+     dune exec examples/sensor_compression.exe
+*)
+
+open Netgraph
+open Schemas
+
+let () =
+  let n = 600 in
+  let g = Builders.circulant n [ 1; 2 ] in
+  let rng = Prng.create 7 in
+
+  (* A random set of "active" links. *)
+  let active = Bitset.create (Graph.m g) in
+  Graph.iter_edges
+    (fun e _ -> if Prng.float rng 1.0 < 0.35 then Bitset.add active e)
+    g;
+  Printf.printf "Mesh: circulant ring (%d nodes, %d links), %d active links\n"
+    (Graph.n g) (Graph.m g) (Bitset.cardinal active);
+
+  (* Compress. *)
+  let compressed = Edge_compression.encode g active in
+  let ours = Advice.Assignment.total_bits compressed in
+  let trivial = Baselines.Trivial.edge_subset_encode g active in
+  let trivial_bits = Advice.Assignment.total_bits trivial in
+  let worst =
+    Graph.fold_nodes
+      (fun v acc -> max acc (String.length compressed.(v)))
+      g 0
+  in
+  Printf.printf
+    "Storage: ours %d bits total (max %d per node, bound ⌈d/2⌉+1 = %d); \
+     trivial %d bits total (d = %d per node)\n"
+    ours worst
+    (Edge_compression.bits_bound (Graph.max_degree g))
+    trivial_bits (Graph.max_degree g);
+
+  (* Decompress and verify. *)
+  let recovered = Edge_compression.decode g compressed in
+  Printf.printf "Lossless: %b\n" (Bitset.equal active recovered);
+
+  (* What a single rebooted sensor learns. *)
+  let node = 123 in
+  Printf.printf "Sensor %d recovers its links:" node;
+  List.iter
+    (fun (e, on) ->
+      let u, v = Graph.edge_endpoints g e in
+      Printf.printf " %d-%d:%s" u v (if on then "active" else "idle"))
+    (Edge_compression.incident_memberships g compressed node);
+  print_newline ();
+  print_endline "sensor_compression: OK"

@@ -1,0 +1,1 @@
+lib/advice/assignment.ml: Array Bitset Format Graph List Netgraph String Traversal

@@ -1,0 +1,1 @@
+lib/advice/assignment.mli: Format Netgraph

@@ -1,0 +1,1 @@
+lib/advice/composable.ml: Array Assignment List String

@@ -1,0 +1,1 @@
+lib/advice/definition.ml: Array Assignment Format List String

@@ -1,0 +1,1 @@
+lib/advice/definition.mli: Assignment Format Netgraph

@@ -1,0 +1,1 @@
+lib/advice/onebit.ml: Array Assignment Bitset Buffer Format Graph List Netgraph Queue String Traversal

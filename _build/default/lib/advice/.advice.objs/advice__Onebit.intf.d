@@ -1,0 +1,1 @@
+lib/advice/onebit.mli: Assignment Netgraph

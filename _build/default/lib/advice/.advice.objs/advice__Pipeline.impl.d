@@ -1,0 +1,1 @@
+lib/advice/pipeline.ml: Assignment Composable Netgraph

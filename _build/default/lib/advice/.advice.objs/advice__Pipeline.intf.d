@@ -1,0 +1,1 @@
+lib/advice/pipeline.mli: Assignment Netgraph

@@ -1,0 +1,1 @@
+lib/advice/schema.ml: Assignment Format Netgraph Option

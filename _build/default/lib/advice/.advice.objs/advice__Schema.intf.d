@@ -1,0 +1,1 @@
+lib/advice/schema.mli: Assignment Format Netgraph

@@ -1,0 +1,63 @@
+open Netgraph
+
+type t = string array
+
+let empty g = Array.make (Graph.n g) ""
+
+let is_wellformed a =
+  Array.for_all (fun s -> String.for_all (fun c -> c = '0' || c = '1') s) a
+
+let max_bits a = Array.fold_left (fun acc s -> max acc (String.length s)) 0 a
+
+let total_bits a = Array.fold_left (fun acc s -> acc + String.length s) 0 a
+
+let holders a =
+  let acc = ref [] in
+  Array.iteri (fun v s -> if String.length s > 0 then acc := v :: !acc) a;
+  List.rev !acc
+
+let num_holders a = List.length (holders a)
+
+let holders_in_ball g a ~center ~radius =
+  List.fold_left
+    (fun acc v -> if String.length a.(v) > 0 then acc + 1 else acc)
+    0
+    (Traversal.ball g center radius)
+
+let max_holders_per_ball g a ~radius =
+  Graph.fold_nodes
+    (fun v acc -> max acc (holders_in_ball g a ~center:v ~radius))
+    g 0
+
+let is_uniform_one_bit a = Array.for_all (fun s -> String.length s = 1) a
+
+let ones a = Array.fold_left (fun acc s -> if String.contains s '1' then acc + 1 else acc) 0 a
+
+let sparsity a =
+  if not (is_uniform_one_bit a) then
+    invalid_arg "Assignment.sparsity: not a uniform 1-bit assignment";
+  if Array.length a = 0 then 0.0
+  else float_of_int (ones a) /. float_of_int (Array.length a)
+
+let of_bitset bits =
+  Array.init (Bitset.length bits) (fun v ->
+      if Bitset.mem bits v then "1" else "0")
+
+let to_bitset a =
+  if not (is_uniform_one_bit a) then
+    invalid_arg "Assignment.to_bitset: not a uniform 1-bit assignment";
+  let b = Bitset.create (Array.length a) in
+  Array.iteri (fun v s -> if s = "1" then Bitset.add b v) a;
+  b
+
+let concat_map2 a b f =
+  if Array.length a <> Array.length b then
+    invalid_arg "Assignment.concat_map2: length mismatch";
+  Array.init (Array.length a) (fun v -> f a.(v) b.(v))
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun v s -> if s <> "" then Format.fprintf fmt "%d: %s@," v s)
+    a;
+  Format.fprintf fmt "@]"

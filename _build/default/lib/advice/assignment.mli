@@ -1,0 +1,52 @@
+(** Advice assignments: one bit string per node.
+
+    This is the object an advice schema's encoder produces and its decoder
+    consumes (Definition 2 of the paper).  Strings contain characters '0'
+    and '1'; the empty string means the node holds no advice.  The metrics
+    here are exactly the quantities the paper's definitions bound: maximum
+    bits per node (β), bit-holding nodes per α-ball (γ, Definition 4), and
+    the 1s-to-all ratio of a uniform 1-bit schema (ε-sparsity,
+    Definition 3). *)
+
+type t = string array
+
+val empty : Netgraph.Graph.t -> t
+
+val is_wellformed : t -> bool
+(** Only '0'/'1' characters. *)
+
+val max_bits : t -> int
+(** β: the longest bit string assigned. *)
+
+val total_bits : t -> int
+
+val holders : t -> int list
+(** Nodes holding at least one bit. *)
+
+val num_holders : t -> int
+
+val holders_in_ball : Netgraph.Graph.t -> t -> center:int -> radius:int -> int
+(** Bit-holding nodes within the given radius of the center. *)
+
+val max_holders_per_ball : Netgraph.Graph.t -> t -> radius:int -> int
+(** The γ of Definition 4, measured: the worst α-ball's holder count. *)
+
+val is_uniform_one_bit : t -> bool
+(** Every node holds exactly one bit. *)
+
+val sparsity : t -> float
+(** For a uniform 1-bit assignment: n1 / (n0 + n1), the ratio Definition 3
+    bounds by ε.  @raise Invalid_argument otherwise. *)
+
+val ones : t -> int
+(** Number of nodes whose string contains at least one '1'. *)
+
+val of_bitset : Netgraph.Bitset.t -> t
+(** Uniform 1-bit assignment from a set of 1-nodes. *)
+
+val to_bitset : t -> Netgraph.Bitset.t
+(** Inverse of {!of_bitset}; requires a uniform 1-bit assignment. *)
+
+val concat_map2 : t -> t -> (string -> string -> string) -> t
+
+val pp : Format.formatter -> t -> unit

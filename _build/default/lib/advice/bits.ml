@@ -1,0 +1,23 @@
+let width_for k =
+  let rec go w cap = if cap >= k then w else go (w + 1) (cap * 2) in
+  go 1 2
+
+let encode ~width value =
+  if value < 0 || (width < 63 && value >= 1 lsl width) then
+    invalid_arg "Bits.encode: value does not fit";
+  String.init width (fun i ->
+      if value land (1 lsl (width - 1 - i)) <> 0 then '1' else '0')
+
+let decode s =
+  if s = "" then invalid_arg "Bits.decode: empty";
+  String.fold_left
+    (fun acc c ->
+      match c with
+      | '0' -> 2 * acc
+      | '1' -> (2 * acc) + 1
+      | _ -> invalid_arg "Bits.decode: not a bit string")
+    0 s
+
+let encode_int value =
+  if value < 0 then invalid_arg "Bits.encode_int";
+  encode ~width:(width_for (value + 1)) value

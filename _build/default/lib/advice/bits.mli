@@ -1,0 +1,15 @@
+(** Fixed-width binary codecs for advice payloads. *)
+
+val width_for : int -> int
+(** [width_for k] is the number of bits needed to represent values
+    [0 .. k-1]; at least 1. *)
+
+val encode : width:int -> int -> string
+(** Big-endian fixed-width binary.  @raise Invalid_argument when the value
+    does not fit. *)
+
+val decode : string -> int
+(** @raise Invalid_argument on the empty string or non-bit characters. *)
+
+val encode_int : int -> string
+(** Minimal-width encoding of a non-negative integer. *)

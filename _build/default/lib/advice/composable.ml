@@ -1,0 +1,44 @@
+let pair_strings s1 s2 =
+  if s1 = "" && s2 = "" then ""
+  else String.make (String.length s1) '1' ^ "0" ^ s1 ^ s2
+
+let split_string s =
+  if s = "" then ("", "")
+  else begin
+    let len = String.length s in
+    let rec prefix i = if i < len && s.[i] = '1' then prefix (i + 1) else i in
+    let len1 = prefix 0 in
+    if len1 >= len || s.[len1] <> '0' then
+      invalid_arg "Composable.split_string: malformed pairing";
+    let body = len1 + 1 in
+    if body + len1 > len then
+      invalid_arg "Composable.split_string: truncated first part";
+    (String.sub s body len1, String.sub s (body + len1) (len - body - len1))
+  end
+
+let pair a b = Assignment.concat_map2 a b pair_strings
+
+let split a =
+  let firsts = Array.map (fun s -> fst (split_string s)) a in
+  let seconds = Array.map (fun s -> snd (split_string s)) a in
+  (firsts, seconds)
+
+let pair_list = function
+  | [] -> invalid_arg "Composable.pair_list: empty"
+  | [ a ] -> a
+  | a :: rest -> List.fold_left pair a rest
+
+(* Left-fold pairing nests on the left: pair (pair a1 a2) a3.  Splitting
+   once yields (pair a1 a2, a3); recurse on the first component. *)
+let split_list count a =
+  if count < 1 then invalid_arg "Composable.split_list";
+  let rec split_left k a =
+    if k = 1 then [ a ]
+    else begin
+      let first, last = split a in
+      split_left (k - 1) first @ [ last ]
+    end
+  in
+  split_left count a
+
+let pair_overhead s1 _s2 = String.length s1 + 1

@@ -1,0 +1,30 @@
+(** Composition of advice schemas (Lemma 1).
+
+    Composable schemas can be combined: a schema for Π1 and a schema for
+    Π2-given-an-oracle-for-Π1 yield a schema for Π2.  On the assignment
+    level, composition interleaves two variable-length assignments into
+    one; we use a self-delimiting pairing (unary length prefix) so the
+    decoder can split a node's combined string back into its two parts
+    without any shared state.  The bit-holder set of the pair is the union
+    of the holder sets, so spacing properties degrade additively — the
+    quantitative content of Definition 4's [gamma] accounting. *)
+
+val pair_strings : string -> string -> string
+(** [pair_strings s1 s2] = unary(|s1|) ^ "0" ^ s1 ^ s2; equals [""] when
+    both parts are empty (non-holders stay non-holders). *)
+
+val split_string : string -> string * string
+(** Inverse of {!pair_strings}.  @raise Invalid_argument on malformed
+    input. *)
+
+val pair : Assignment.t -> Assignment.t -> Assignment.t
+val split : Assignment.t -> Assignment.t * Assignment.t
+
+val pair_list : Assignment.t list -> Assignment.t
+(** Right fold of {!pair}; at least one assignment required. *)
+
+val split_list : int -> Assignment.t -> Assignment.t list
+(** Inverse of {!pair_list} given the count. *)
+
+val pair_overhead : string -> string -> int
+(** Extra bits the pairing adds over [|s1| + |s2|]. *)

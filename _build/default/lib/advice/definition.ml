@@ -1,0 +1,49 @@
+let respects_beta a ~beta = Assignment.max_bits a <= beta
+
+let is_uniform_fixed_length a =
+  match Array.length a with
+  | 0 -> true
+  | _ ->
+      let len = String.length a.(0) in
+      Array.for_all (fun s -> String.length s = len) a
+
+let is_subset_fixed_length a =
+  let holder_lengths =
+    Array.to_list a
+    |> List.filter_map (fun s ->
+           if String.length s > 0 then Some (String.length s) else None)
+  in
+  match holder_lengths with
+  | [] -> true
+  | l :: rest -> List.for_all (fun l' -> l' = l) rest
+
+let is_epsilon_sparse a ~epsilon =
+  Assignment.is_uniform_one_bit a && Assignment.sparsity a <= epsilon
+
+type compliance = {
+  alpha : int;
+  gamma_measured : int;
+  beta_measured : int;
+  beta_allowed : float;
+  ok : bool;
+}
+
+let composability g a ~c ~gamma ~alpha =
+  let gamma_measured = Assignment.max_holders_per_ball g a ~radius:alpha in
+  let beta_measured = Assignment.max_bits a in
+  let beta_allowed =
+    c *. float_of_int alpha /. (float_of_int gamma ** 3.0)
+  in
+  {
+    alpha;
+    gamma_measured;
+    beta_measured;
+    beta_allowed;
+    ok = gamma_measured <= gamma && float_of_int beta_measured <= beta_allowed;
+  }
+
+let pp_compliance fmt r =
+  Format.fprintf fmt
+    "alpha=%d gamma<=%d (measured) beta=%d (allowed %.1f) -> %s" r.alpha
+    r.gamma_measured r.beta_measured r.beta_allowed
+    (if r.ok then "composable" else "VIOLATION")

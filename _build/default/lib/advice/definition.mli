@@ -1,0 +1,37 @@
+(** Executable forms of the paper's Definitions 2–4.
+
+    These predicates turn the definitions into checks a test suite can run
+    against a concrete (graph, assignment) pair:
+
+    - Definition 2 (advice schema): every node holds at most β bits.
+    - Definition 3 (ε-sparsity): uniform 1-bit assignments whose
+      1s-to-nodes ratio is at most ε.
+    - Definition 4 (composability): for parameters (c, γ, α), every
+      α-radius ball contains at most γ bit-holding nodes and each holder
+      carries at most cα/γ³ bits. *)
+
+val respects_beta : Assignment.t -> beta:int -> bool
+(** Definition 2's length bound. *)
+
+val is_uniform_fixed_length : Assignment.t -> bool
+(** Type-1 schema: all nodes hold strings of one common length. *)
+
+val is_subset_fixed_length : Assignment.t -> bool
+(** Type-2 schema: holders share one length, other nodes hold nothing. *)
+
+val is_epsilon_sparse : Assignment.t -> epsilon:float -> bool
+(** Definition 3; requires a uniform 1-bit assignment. *)
+
+type compliance = {
+  alpha : int;
+  gamma_measured : int;  (** worst α-ball holder count *)
+  beta_measured : int;  (** longest holder string *)
+  beta_allowed : float;  (** cα/γ³ *)
+  ok : bool;
+}
+
+val composability :
+  Netgraph.Graph.t -> Assignment.t -> c:float -> gamma:int -> alpha:int -> compliance
+(** Measure Definition 4 compliance at one parameter choice. *)
+
+val pp_compliance : Format.formatter -> compliance -> unit

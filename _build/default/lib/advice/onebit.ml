@@ -1,0 +1,195 @@
+open Netgraph
+
+exception Conversion_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Conversion_failure s)) fmt
+
+let header = "11110110"
+
+let message_of s =
+  let buf = Buffer.create (8 + (4 * String.length s) + 1) in
+  Buffer.add_string buf header;
+  String.iter
+    (fun c ->
+      match c with
+      | '0' -> Buffer.add_string buf "110"
+      | '1' -> Buffer.add_string buf "1110"
+      | _ -> invalid_arg "Onebit.message_of: not a bit string")
+    s;
+  Buffer.add_char buf '0';
+  Buffer.contents buf
+
+let message_length s = String.length (message_of s)
+
+let decode_radius assignment =
+  Array.fold_left (fun acc s -> max acc (message_length s)) 0 assignment
+
+let required_spacing assignment = (2 * decode_radius assignment) + 2
+
+(* Lexicographically-least geodesic of the given length from [v]:
+   repeatedly step to the smallest-id neighbor strictly farther from [v].
+   Distances from v are fixed, so every prefix is a geodesic. *)
+let geodesic g v len =
+  let dist = Traversal.bfs_distances g v in
+  let rec extend node acc j =
+    if j = len then Some (List.rev acc)
+    else begin
+      let next = ref (-1) in
+      Array.iter
+        (fun u -> if !next < 0 && dist.(u) = j + 1 then next := u)
+        (Graph.neighbors g node);
+      if !next < 0 then None else extend !next (!next :: acc) (j + 1)
+    end
+  in
+  extend v [ v ] 0
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+(* Connected components of 1-nodes of size exactly 4 that form a path;
+   returns their two endpoints. *)
+let header_candidates g ones =
+  let candidates = ref [] in
+  let seen = Bitset.create (Graph.n g) in
+  Bitset.iter
+    (fun v ->
+      if not (Bitset.mem seen v) then begin
+        (* BFS inside the 1-induced subgraph. *)
+        let comp = ref [] in
+        let queue = Queue.create () in
+        Queue.add v queue;
+        Bitset.add seen v;
+        while not (Queue.is_empty queue) do
+          let u = Queue.take queue in
+          comp := u :: !comp;
+          Array.iter
+            (fun w ->
+              if Bitset.mem ones w && not (Bitset.mem seen w) then begin
+                Bitset.add seen w;
+                Queue.add w queue
+              end)
+            (Graph.neighbors g u)
+        done;
+        let comp = !comp in
+        if List.length comp = 4 then begin
+          let comp_deg u =
+            Array.fold_left
+              (fun acc w -> if List.mem w comp then acc + 1 else acc)
+              0 (Graph.neighbors g u)
+          in
+          let endpoints = List.filter (fun u -> comp_deg u = 1) comp in
+          let middles = List.filter (fun u -> comp_deg u = 2) comp in
+          if List.length endpoints = 2 && List.length middles = 2 then
+            candidates := endpoints :: !candidates
+        end
+      end)
+    ones;
+  !candidates
+
+(* Layer symbols around a candidate center: [Some true] = exactly one
+   1-node at this distance, [Some false] = none, [None] = ambiguous
+   (several 1-nodes), which rejects the candidate wherever it is read. *)
+let layer_reader g ones c =
+  let dist = Traversal.bfs_distances g c in
+  let max_layer = Array.fold_left max 0 dist in
+  let counts = Array.make (max_layer + 1) 0 in
+  Bitset.iter (fun v -> if dist.(v) >= 0 then counts.(dist.(v)) <- counts.(dist.(v)) + 1) ones;
+  fun j ->
+    if j > max_layer then Some false
+    else
+      match counts.(j) with 0 -> Some false | 1 -> Some true | _ -> None
+
+(* Parse the layer pattern around a candidate center; [Some s] when the
+   full message structure is present. *)
+let parse_layers layer =
+  let expect j b = layer j = Some b in
+  let header_ok =
+    let bits = [ true; true; true; true; false; true; true; false ] in
+    List.for_all (fun (j, b) -> expect j b) (List.mapi (fun j b -> (j, b)) bits)
+  in
+  if not header_ok then None
+  else begin
+    let buf = Buffer.create 16 in
+    let rec chunks p =
+      match layer p with
+      | Some false -> Some (Buffer.contents buf) (* terminator *)
+      | Some true -> (
+          match (layer (p + 1), layer (p + 2)) with
+          | Some true, Some false ->
+              Buffer.add_char buf '0';
+              chunks (p + 3)
+          | Some true, Some true -> (
+              match layer (p + 3) with
+              | Some false ->
+                  Buffer.add_char buf '1';
+                  chunks (p + 4)
+              | _ -> None)
+          | _ -> None)
+      | None -> None
+    in
+    chunks 8
+  end
+
+let decode g ones =
+  let result = Array.make (Graph.n g) "" in
+  List.iter
+    (fun endpoints ->
+      let parses =
+        List.filter_map
+          (fun c ->
+            match parse_layers (layer_reader g ones c) with
+            | Some s -> Some (c, s)
+            | None -> None)
+          endpoints
+      in
+      match parses with
+      | [ (c, s) ] -> result.(c) <- s
+      | [] -> () (* stray component: ignore; the encoder certifies *)
+      | _ :: _ :: _ -> () (* ambiguous: ignore; the encoder certifies *))
+    (header_candidates g ones);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let encode g assignment =
+  if Array.length assignment <> Graph.n g then
+    invalid_arg "Onebit.encode: assignment size mismatch";
+  let holders = Assignment.holders assignment in
+  let radius = decode_radius assignment in
+  (* Spacing check: layers read around one center must not contain another
+     message's 1-nodes. *)
+  let rec check_spacing = function
+    | [] -> ()
+    | v :: rest ->
+        List.iter
+          (fun u ->
+            let d = Traversal.distance g v u in
+            if d >= 0 && d <= 2 * radius then
+              fail
+                "holders %d and %d are at distance %d; one-bit conversion \
+                 needs > %d (decode radius %d)"
+                v u d (2 * radius) radius)
+          rest;
+        check_spacing rest
+  in
+  check_spacing holders;
+  let ones = Bitset.create (Graph.n g) in
+  List.iter
+    (fun v ->
+      let msg = message_of assignment.(v) in
+      match geodesic g v (String.length msg - 1) with
+      | None ->
+          fail "holder %d has no geodesic of length %d for its message" v
+            (String.length msg - 1)
+      | Some path ->
+          List.iteri
+            (fun j node -> if msg.[j] = '1' then Bitset.add ones node)
+            path)
+    holders;
+  (* Certify: the decoder must recover exactly the input assignment. *)
+  let recovered = decode g ones in
+  if recovered <> assignment then
+    fail "one-bit conversion failed certification (holders %d)"
+      (List.length holders);
+  ones

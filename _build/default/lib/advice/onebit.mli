@@ -1,0 +1,45 @@
+(** Uniform 1-bit encodings of variable-length advice (Lemma 2).
+
+    The paper converts a variable-length schema — a few *bit-holding*
+    nodes, each carrying a short string — into a schema where every node
+    holds exactly one bit.  The mechanism is the Section-4 marker code: a
+    holder [v] lays its string radially along a geodesic path starting at
+    itself, where the node at distance [j] from [v] carries the [j]-th
+    symbol of
+
+    {v header "11110110"; body with 0 -> "110", 1 -> "1110"; terminator "0"}
+
+    All other nearby nodes carry 0.  Decoding identifies headers as the
+    connected components of 1-nodes of size exactly four (body chunks only
+    ever produce components of size two or three), locates the center as
+    the component endpoint from which the distance-layer pattern parses,
+    and reads the string back layer by layer: symbol [j] is 1 iff some node
+    at distance [j] from the center holds 1.
+
+    Correctness needs holders to be pairwise far apart — the property
+    composable schemas provide (Definition 4).  [encode] checks the
+    spacing, chooses lexicographically-least geodesics (so the decoder
+    needs no knowledge of the encoder's choices), and certifies the result
+    by running the decoder; it raises [Conversion_failure] rather than
+    produce an undecodable assignment. *)
+
+exception Conversion_failure of string
+
+val message_of : string -> string
+(** The symbol sequence laid out for one holder string. *)
+
+val message_length : string -> int
+
+val encode : Netgraph.Graph.t -> Assignment.t -> Netgraph.Bitset.t
+(** Convert a variable-length assignment into a 1-bit-per-node assignment
+    (the set of 1-nodes).  @raise Conversion_failure when holders are too
+    close together or a holder lacks a long-enough geodesic. *)
+
+val decode : Netgraph.Graph.t -> Netgraph.Bitset.t -> Assignment.t
+(** Recover the variable-length assignment. *)
+
+val required_spacing : Assignment.t -> int
+(** Minimal pairwise holder distance [encode] insists on. *)
+
+val decode_radius : Assignment.t -> int
+(** Radius a decoding node needs: the longest message plus slack. *)

@@ -1,0 +1,39 @@
+type 'sol t = {
+  encode : Netgraph.Graph.t -> Assignment.t;
+  decode : Netgraph.Graph.t -> Assignment.t -> 'sol;
+}
+
+let compose s1 ~with_oracle =
+  {
+    encode =
+      (fun g ->
+        let a1 = s1.encode g in
+        (* The prover derives the oracle answer exactly as the decoder
+           will: by decoding its own stage-1 advice. *)
+        let oracle = s1.decode g a1 in
+        let a2 = (with_oracle oracle).encode g in
+        Composable.pair a1 a2);
+    decode =
+      (fun g a ->
+        let a1, a2 = Composable.split a in
+        let oracle = s1.decode g a1 in
+        (with_oracle oracle).decode g a2);
+  }
+
+let map f s =
+  { encode = s.encode; decode = (fun g a -> f (s.decode g a)) }
+
+let pair sa sb =
+  {
+    encode = (fun g -> Composable.pair (sa.encode g) (sb.encode g));
+    decode =
+      (fun g a ->
+        let a1, a2 = Composable.split a in
+        (sa.decode g a1, sb.decode g a2));
+  }
+
+let constant x =
+  {
+    encode = (fun g -> Assignment.empty g);
+    decode = (fun _ _ -> x);
+  }

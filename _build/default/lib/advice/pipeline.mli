@@ -1,0 +1,28 @@
+(** Typed schema composition — Lemma 1 as a combinator.
+
+    The paper's modularity principle: given a schema for Π₁ and a schema
+    for Π₂ that assumes an oracle for Π₁, compose them into a schema for
+    Π₂ alone.  The composed encoder runs schema 1, *decodes its own
+    advice* to obtain the oracle answer (legitimate: decoding is
+    deterministic and the prover is omniscient), then runs the
+    oracle-dependent encoder; the two assignments are interleaved with the
+    self-delimiting pairing of {!Composable}.  The composed decoder splits,
+    recovers the oracle answer, and finishes. *)
+
+type 'sol t = {
+  encode : Netgraph.Graph.t -> Assignment.t;
+  decode : Netgraph.Graph.t -> Assignment.t -> 'sol;
+}
+
+val compose : 'a t -> with_oracle:('a -> 'b t) -> 'b t
+(** Lemma 1.  [with_oracle] receives the Π₁ solution and returns the
+    Π₂-given-Π₁ schema. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-process the decoded solution (zero extra advice). *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** Independent composition: both schemas run side by side. *)
+
+val constant : 'a -> 'a t
+(** The empty schema: no advice, fixed answer. *)

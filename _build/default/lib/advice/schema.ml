@@ -1,0 +1,36 @@
+type stats = {
+  n : int;
+  max_bits : int;
+  total_bits : int;
+  holders : int;
+  ones : int;
+  sparsity : float option;
+  max_holders_ball : int option;
+}
+
+let measure ?ball_radius g a =
+  {
+    n = Netgraph.Graph.n g;
+    max_bits = Assignment.max_bits a;
+    total_bits = Assignment.total_bits a;
+    holders = Assignment.num_holders a;
+    ones = Assignment.ones a;
+    sparsity =
+      (if Assignment.is_uniform_one_bit a then Some (Assignment.sparsity a)
+       else None);
+    max_holders_ball =
+      Option.map (fun r -> Assignment.max_holders_per_ball g a ~radius:r) ball_radius;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "n=%d max_bits=%d total_bits=%d holders=%d ones=%d%a%a" s.n s.max_bits
+    s.total_bits s.holders s.ones
+    (fun fmt -> function
+      | None -> ()
+      | Some x -> Format.fprintf fmt " sparsity=%.4f" x)
+    s.sparsity
+    (fun fmt -> function
+      | None -> ()
+      | Some x -> Format.fprintf fmt " gamma=%d" x)
+    s.max_holders_ball

@@ -1,0 +1,18 @@
+(** Measured characteristics of an advice assignment.
+
+    The quantities Definitions 2–4 of the paper bound, collected in one
+    record for tests and for the experiment tables. *)
+
+type stats = {
+  n : int;
+  max_bits : int;  (** β *)
+  total_bits : int;
+  holders : int;
+  ones : int;  (** nodes whose advice contains a 1 *)
+  sparsity : float option;  (** n1/(n0+n1) for uniform 1-bit assignments *)
+  max_holders_ball : int option;  (** γ measured at the given radius *)
+}
+
+val measure : ?ball_radius:int -> Netgraph.Graph.t -> Assignment.t -> stats
+
+val pp : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/baselines/cole_vishkin.mli: Localmodel Netgraph

@@ -1,0 +1,1 @@
+lib/baselines/linial.ml: Array Coloring Graph Netgraph

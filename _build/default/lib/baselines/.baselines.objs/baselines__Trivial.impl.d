@@ -1,0 +1,1 @@
+lib/baselines/trivial.ml: Advice Array Bitset Graph List Netgraph Orientation String

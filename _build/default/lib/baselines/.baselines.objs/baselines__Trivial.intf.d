@@ -1,0 +1,1 @@
+lib/baselines/trivial.mli: Advice Netgraph

@@ -1,0 +1,59 @@
+open Netgraph
+
+let log_star n =
+  let rec go n acc = if n <= 1 then acc else go (int_of_float (log (float_of_int n) /. log 2.0)) (acc + 1) in
+  go n 0
+
+(* Lowest bit position where a and b differ. *)
+let first_difference a b =
+  let x = a lxor b in
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  if x = 0 then invalid_arg "Cole_vishkin: equal colors" else go 0 x
+
+let bits_needed c =
+  let rec go w = if 1 lsl w > c then w else go (w + 1) in
+  go 1
+
+let run g ~succ ~ids =
+  let n = Graph.n g in
+  if n < 3 then invalid_arg "Cole_vishkin.run: cycle of length >= 3";
+  Array.iteri
+    (fun v s ->
+      if not (Graph.is_edge g v s) then
+        invalid_arg "Cole_vishkin.run: succ is not along edges")
+    succ;
+  let colors = Array.map (fun id -> id - 1) ids in
+  let rounds = ref 0 in
+  (* Bit-reduction: new color = 2 * (index of first differing bit with the
+     successor) + (own bit there).  One communication round per step. *)
+  let palette = ref (Array.fold_left max 0 colors + 1) in
+  while !palette > 6 do
+    incr rounds;
+    let next =
+      Array.init n (fun v ->
+          let i = first_difference colors.(v) colors.(succ.(v)) in
+          (2 * i) + ((colors.(v) lsr i) land 1))
+    in
+    Array.blit next 0 colors 0 n;
+    palette := 2 * bits_needed (!palette - 1)
+  done;
+  (* Eliminate colors 5, 4, 3 (0-based) by shift-down then recolor. *)
+  let pred = Array.make n 0 in
+  Array.iteri (fun v s -> pred.(s) <- v) succ;
+  for c = 5 downto 3 do
+    incr rounds;
+    (* Shift: everyone adopts the successor's color. *)
+    let shifted = Array.init n (fun v -> colors.(succ.(v))) in
+    Array.blit shifted 0 colors 0 n;
+    incr rounds;
+    (* Nodes of color c form an independent set: recolor greedily in
+       {0,1,2}. *)
+    for v = 0 to n - 1 do
+      if colors.(v) = c then begin
+        let a = colors.(pred.(v)) and b = colors.(succ.(v)) in
+        let rec least x = if x = a || x = b then least (x + 1) else x in
+        colors.(v) <- least 0
+      end
+    done
+  done;
+  (Array.map (fun c -> c + 1) colors, !rounds)

@@ -1,0 +1,16 @@
+(** Cole–Vishkin 3-coloring of oriented cycles: the classical no-advice
+    baseline.
+
+    Takes Θ(log* n) communication rounds (and this is optimal by Linial's
+    lower bound, the bound (Fraigniaud et al. 2009) studied breaking with
+    advice).  Experiment E9 contrasts its round count against the O(1)
+    locality of the advice schemas. *)
+
+val run : Netgraph.Graph.t -> succ:int array -> ids:Localmodel.Ids.t -> int array * int
+(** [run g ~succ ~ids] 3-colors an oriented cycle ([succ] maps every node
+    to its successor) and returns (colors in 1..3, rounds used).  Rounds
+    count one per Cole–Vishkin bit-reduction step plus one per final
+    shift-and-recolor phase. *)
+
+val log_star : int -> int
+(** Iterated logarithm (base 2), for reporting. *)

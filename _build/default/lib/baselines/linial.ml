@@ -1,0 +1,56 @@
+open Netgraph
+
+let is_prime x =
+  if x < 2 then false
+  else begin
+    let rec go d = d * d > x || (x mod d <> 0 && go (d + 1)) in
+    go 2
+  end
+
+let smallest_prime_from x =
+  let rec go x = if is_prime x then x else go (x + 1) in
+  go (max 2 x)
+
+(* Base-q digits of [c], least significant first, padded to k+1 entries:
+   the coefficients of the polynomial associated with color c. *)
+let digits q k c =
+  Array.init (k + 1) (fun i ->
+      let rec nth i c = if i = 0 then c mod q else nth (i - 1) (c / q) in
+      nth i c)
+
+let eval q coeffs x =
+  Array.fold_right (fun a acc -> ((acc * x) + a) mod q) coeffs 0
+
+let reduce_step g coloring =
+  let delta = max 1 (Graph.max_degree g) in
+  let palette = Coloring.num_colors coloring in
+  (* Smallest k and prime q with q > k * delta and q^(k+1) >= palette. *)
+  let rec choose k =
+    let q = smallest_prime_from ((k * delta) + 1) in
+    let rec power acc i = if i > k then acc else power (acc * q) (i + 1) in
+    if power 1 1 >= palette then (k, q) else choose (k + 1)
+  in
+  let k, q = choose 1 in
+  Array.init (Graph.n g) (fun v ->
+      let own = digits q k (coloring.(v) - 1) in
+      let neighbor_polys =
+        Array.map (fun u -> digits q k (coloring.(u) - 1)) (Graph.neighbors g v)
+      in
+      let rec find x =
+        if x >= q then invalid_arg "Linial.reduce_step: no free point (improper input?)"
+        else if
+          Array.for_all (fun p -> eval q p x <> eval q own x) neighbor_polys
+        then x
+        else find (x + 1)
+      in
+      let x = find 0 in
+      (x * q) + eval q own x + 1)
+
+let reduce g coloring =
+  let rec go current rounds =
+    let next = reduce_step g current in
+    if Coloring.num_colors next >= Coloring.num_colors current then
+      (current, rounds)
+    else go next (rounds + 1)
+  in
+  go coloring 0

@@ -1,0 +1,18 @@
+(** Linial-style color reduction via polynomial cover-free families.
+
+    One round reduces a proper [C]-coloring to q² colors, where q is a
+    prime with q > kΔ and k = ⌈log_q C⌉: node colors are read as degree-k
+    polynomials over F_q; a node picks an evaluation point where it
+    disagrees with all neighbors (two distinct degree-k polynomials agree
+    on at most k points, and kΔ < q guarantees a free point).  Iterating
+    reaches an O(Δ² log² Δ)-size palette in O(log* C) rounds — the engine
+    behind stage 1 color reductions in Section 6 of the paper. *)
+
+val reduce_step : Netgraph.Graph.t -> int array -> int array
+(** One reduction round; input must be a proper coloring. *)
+
+val reduce : Netgraph.Graph.t -> int array -> int array * int
+(** Iterate until the palette stops shrinking; returns (coloring, rounds). *)
+
+val smallest_prime_from : int -> int
+(** Smallest prime [>= x]; exposed for tests. *)

@@ -1,0 +1,51 @@
+open Netgraph
+
+let coloring_encode k colors =
+  let width = Advice.Bits.width_for k in
+  Array.map (fun c -> Advice.Bits.encode ~width (c - 1)) colors
+
+let coloring_decode k assignment =
+  let width = Advice.Bits.width_for k in
+  Array.map
+    (fun s ->
+      if String.length s <> width then
+        invalid_arg "Trivial.coloring_decode: wrong width";
+      Advice.Bits.decode s + 1)
+    assignment
+
+let edge_subset_encode g x =
+  Array.init (Graph.n g) (fun v ->
+      Array.to_list (Graph.incident_edges g v)
+      |> List.map (fun e -> if Bitset.mem x e then "1" else "0")
+      |> String.concat "")
+
+let edge_subset_decode g assignment =
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_nodes
+    (fun v ->
+      let s = assignment.(v) in
+      if String.length s <> Graph.degree g v then
+        invalid_arg "Trivial.edge_subset_decode: wrong width";
+      Array.iteri
+        (fun i e -> if s.[i] = '1' then Bitset.add x e)
+        (Graph.incident_edges g v))
+    g;
+  x
+
+let orientation_encode o =
+  let g = Orientation.graph o in
+  Array.init (Graph.n g) (fun v ->
+      Array.to_list (Graph.neighbors g v)
+      |> List.map (fun u -> if Orientation.points_from o v u then "1" else "0")
+      |> String.concat "")
+
+let orientation_decode g assignment =
+  let o = Orientation.create g in
+  Graph.iter_nodes
+    (fun v ->
+      let s = assignment.(v) in
+      Array.iteri
+        (fun i u -> if s.[i] = '1' then Orientation.orient o v u)
+        (Graph.neighbors g v))
+    g;
+  o

@@ -1,0 +1,25 @@
+(** Trivial advice schemas — the comparison points the paper starts from.
+
+    A problem whose solution can be written directly into the advice is
+    solvable with zero rounds and as many bits as the solution needs; the
+    paper's question is how far below that one can go.  These encoders
+    quantify the baseline costs: ⌈log k⌉ bits/node for k-coloring, d
+    bits/node for edge subsets, d bits/node for orientations. *)
+
+val coloring_encode : int -> int array -> Advice.Assignment.t
+(** [coloring_encode k colors]: each node stores its own color in
+    ⌈log₂ k⌉ bits. *)
+
+val coloring_decode : int -> Advice.Assignment.t -> int array
+
+val edge_subset_encode : Netgraph.Graph.t -> Netgraph.Bitset.t -> Advice.Assignment.t
+(** Each node stores one membership bit per incident edge: d bits at a
+    degree-d node — the bound Contribution 4 halves. *)
+
+val edge_subset_decode : Netgraph.Graph.t -> Advice.Assignment.t -> Netgraph.Bitset.t
+
+val orientation_encode : Netgraph.Orientation.t -> Advice.Assignment.t
+(** Each node stores one direction bit per incident edge. *)
+
+val orientation_decode :
+  Netgraph.Graph.t -> Advice.Assignment.t -> Netgraph.Orientation.t

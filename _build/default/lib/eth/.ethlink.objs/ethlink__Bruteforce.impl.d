@@ -1,0 +1,1 @@
+lib/eth/bruteforce.ml: Array Graph Lcl Localmodel Netgraph String

@@ -1,0 +1,1 @@
+lib/eth/bruteforce.mli: Advice Lcl Localmodel Netgraph

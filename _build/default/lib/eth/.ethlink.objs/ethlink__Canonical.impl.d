@@ -1,0 +1,1 @@
+lib/eth/canonical.ml: Array Buffer Graph Hashtbl List Localmodel Netgraph Printf

@@ -1,0 +1,1 @@
+lib/eth/canonical.mli: Hashtbl Localmodel Netgraph

@@ -1,0 +1,34 @@
+open Netgraph
+
+type 'a outcome = {
+  result : 'a option;
+  tried : int;
+}
+
+let assignment_of_counter ~n ~beta counter =
+  Array.init n (fun v ->
+      String.init beta (fun b ->
+          let bit_index = (v * beta) + b in
+          if counter land (1 lsl bit_index) <> 0 then '1' else '0'))
+
+let search prob g ~ids ~radius ~beta ~decide =
+  let n = Graph.n g in
+  let total_bits = beta * n in
+  if total_bits > 24 then
+    invalid_arg "Bruteforce.search: more than 2^24 assignments";
+  let total = 1 lsl total_bits in
+  let tried = ref 0 in
+  let result = ref None in
+  let counter = ref 0 in
+  while !result = None && !counter < total do
+    let advice = assignment_of_counter ~n ~beta !counter in
+    incr tried;
+    let labels =
+      Localmodel.View.map_nodes ~advice g ~ids ~radius decide
+    in
+    let labeling = Lcl.Labeling.of_node_labels labels in
+    if Lcl.Problem.verify prob g labeling then
+      result := Some (advice, labels);
+    incr counter
+  done;
+  { result = !result; tried = !tried }

@@ -1,0 +1,29 @@
+(** Exhaustive advice search (Contribution 2, Section 8).
+
+    The ETH connection: if an LCL Π is solvable with β bits of advice per
+    node by a local algorithm 𝒜, then a centralized solver can decide Π in
+    time 2^{βn} · n · s(n) by trying every advice assignment, running 𝒜 at
+    every node, and checking the output — too fast for some LCL under ETH
+    once 𝒜 is made cheap to simulate (order-invariant).  This module is
+    that centralized solver; experiment E5 measures its 2^{βn} growth. *)
+
+type 'a outcome = {
+  result : 'a option;  (** first valid assignment and its output *)
+  tried : int;  (** number of advice assignments simulated *)
+}
+
+val search :
+  Lcl.Problem.t ->
+  Netgraph.Graph.t ->
+  ids:Localmodel.Ids.t ->
+  radius:int ->
+  beta:int ->
+  decide:(Localmodel.View.t -> int) ->
+  (Advice.Assignment.t * int array) outcome
+(** Enumerate all [2^(beta * n)] advice assignments in lexicographic
+    order; for each, run the [radius]-round view algorithm [decide]
+    (producing node labels) and verify Π.  Stops at the first valid
+    assignment. *)
+
+val assignment_of_counter : n:int -> beta:int -> int -> Advice.Assignment.t
+(** The [i]-th assignment of the enumeration (exposed for tests). *)

@@ -1,0 +1,90 @@
+open Netgraph
+
+let signature (view : Localmodel.View.t) =
+  let buf = Buffer.create 256 in
+  let g = view.Localmodel.View.graph in
+  Buffer.add_string buf (string_of_int (Graph.n g));
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (string_of_int view.Localmodel.View.center);
+  Buffer.add_char buf '|';
+  Graph.iter_edges
+    (fun _ (u, v) ->
+      Buffer.add_string buf (Printf.sprintf "%d-%d," u v))
+    g;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun d -> Buffer.add_string buf (string_of_int d ^ ","))
+    view.Localmodel.View.dist;
+  Buffer.add_char buf '|';
+  (* Ranks of identifiers inside the view: the order type, which is all an
+     order-invariant algorithm may use. *)
+  Array.iter
+    (fun r -> Buffer.add_string buf (string_of_int r ^ ","))
+    (Localmodel.Ids.rank view.Localmodel.View.ids);
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf ',')
+    view.Localmodel.View.advice;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun x -> Buffer.add_string buf (string_of_int x ^ ","))
+    view.Localmodel.View.input;
+  Buffer.contents buf
+
+type table = (string, int) Hashtbl.t
+
+type build_result =
+  | Table of table
+  | Conflict of string * int * int
+
+let build_table samples =
+  let table = Hashtbl.create (List.length samples) in
+  let conflict = ref None in
+  List.iter
+    (fun (view, output) ->
+      if !conflict = None then begin
+        let sig_ = signature view in
+        match Hashtbl.find_opt table sig_ with
+        | None -> Hashtbl.replace table sig_ output
+        | Some prev ->
+            if prev <> output then conflict := Some (sig_, prev, output)
+      end)
+    samples;
+  match !conflict with
+  | Some (s, a, b) -> Conflict (s, a, b)
+  | None -> Table table
+
+let run_with_table table ~default g ~ids ~advice ~radius =
+  Localmodel.View.map_nodes ~advice g ~ids ~radius (fun view ->
+      match Hashtbl.find_opt table (signature view) with
+      | Some output -> output
+      | None -> default)
+
+let is_order_invariant ~decide ~graphs ~radius =
+  let table = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun (g, id_assignments) ->
+      List.iter
+        (fun ids ->
+          let outputs =
+            Localmodel.View.map_nodes g ~ids ~radius (fun view ->
+                (signature view, decide view))
+          in
+          Array.iter
+            (fun (sig_, output) ->
+              match Hashtbl.find_opt table sig_ with
+              | None -> Hashtbl.replace table sig_ output
+              | Some prev -> if prev <> output then ok := false)
+            outputs)
+        id_assignments)
+    graphs;
+  !ok
+
+let canonicalize_view (view : Localmodel.View.t) =
+  let ranks = Localmodel.Ids.rank view.Localmodel.View.ids in
+  { view with Localmodel.View.ids = Array.map (fun r -> r + 1) ranks }
+
+let lift decide view = decide (canonicalize_view view)

@@ -1,0 +1,60 @@
+(** Order-invariant canonicalization of LOCAL views (Contribution 2).
+
+    The paper's ETH lower bound hinges on a Ramsey-type argument: any
+    advice algorithm can be replaced by an *order-invariant* one whose
+    output depends only on the relative order of the identifiers in the
+    view, not their numeric values.  An order-invariant algorithm on
+    bounded-degree graphs is a finite lookup table from canonical views to
+    outputs — which is what makes the exhaustive advice search efficient
+    enough to contradict ETH.
+
+    This module computes canonical forms: a view's signature replaces each
+    identifier by its rank inside the view, so two views with the same
+    signature are indistinguishable to an order-invariant algorithm. *)
+
+val signature : Localmodel.View.t -> string
+(** Canonical serialization: structure, distances, advice, inputs, and
+    identifier *ranks*. *)
+
+type table = (string, int) Hashtbl.t
+(** Lookup table from canonical signatures to outputs. *)
+
+type build_result =
+  | Table of table
+  | Conflict of string * int * int
+      (** Two sampled views shared a signature but produced different
+          outputs: the sampled algorithm is not order-invariant. *)
+
+val build_table : (Localmodel.View.t * int) list -> build_result
+(** Build a table from (view, output) samples, detecting conflicts. *)
+
+val run_with_table :
+  table ->
+  default:int ->
+  Netgraph.Graph.t ->
+  ids:Localmodel.Ids.t ->
+  advice:string array ->
+  radius:int ->
+  int array
+(** Execute the lookup-table algorithm: every node computes its view's
+    signature and looks it up ([default] when absent). *)
+
+val is_order_invariant :
+  decide:(Localmodel.View.t -> int) ->
+  graphs:(Netgraph.Graph.t * Localmodel.Ids.t list) list ->
+  radius:int ->
+  bool
+(** Empirical check: across all given graphs and identifier assignments,
+    equal signatures always give equal outputs. *)
+
+val canonicalize_view : Localmodel.View.t -> Localmodel.View.t
+(** Replace every identifier by its rank + 1 inside the view — the
+    canonical representative of the view's order type. *)
+
+val lift : (Localmodel.View.t -> int) -> Localmodel.View.t -> int
+(** The order-invariant version of an algorithm: run it on the
+    canonicalized view.  [lift decide] is order-invariant by construction;
+    when [decide] already was, the two agree everywhere.  This is the
+    constructive core of the paper's Ramsey-type transformation: the
+    lifted algorithm's behavior is a pure function of order types, hence a
+    finite lookup table on bounded-degree graphs. *)

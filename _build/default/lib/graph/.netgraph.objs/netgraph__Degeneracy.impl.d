@@ -1,0 +1,1 @@
+lib/graph/degeneracy.ml: Array Bitset Graph Orientation

@@ -1,0 +1,1 @@
+lib/graph/graphio.ml: Array Bitset Buffer Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/graphio.mli: Bitset Graph

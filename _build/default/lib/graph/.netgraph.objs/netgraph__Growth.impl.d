@@ -1,0 +1,1 @@
+lib/graph/growth.ml: Array Graph Traversal

@@ -1,0 +1,1 @@
+lib/graph/orientation.ml: Array Bitset Graph Hashtbl List Prng

@@ -1,0 +1,1 @@
+lib/graph/orientation.mli: Graph Prng

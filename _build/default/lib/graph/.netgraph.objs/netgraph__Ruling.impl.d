@@ -1,0 +1,1 @@
+lib/graph/ruling.ml: Array Bitset Graph List Traversal

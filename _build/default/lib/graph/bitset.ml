@@ -1,0 +1,64 @@
+type t = { n : int; words : Bytes.t }
+
+let words_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Bytes.make (words_for n) '\000' }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let w = i lsr 3 in
+  Bytes.unsafe_set t.words w
+    (Char.chr (Char.code (Bytes.unsafe_get t.words w) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let w = i lsr 3 in
+  Bytes.unsafe_set t.words w
+    (Char.chr (Char.code (Bytes.unsafe_get t.words w) land lnot (1 lsl (i land 7)) land 0xff))
+
+let set t i b = if b then add t i else remove t i
+
+let popcount_byte = Array.init 256 (fun b ->
+  let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+  go b 0)
+
+let cardinal t =
+  let acc = ref 0 in
+  for w = 0 to Bytes.length t.words - 1 do
+    acc := !acc + popcount_byte.(Char.code (Bytes.unsafe_get t.words w))
+  done;
+  !acc
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let copy t = { n = t.n; words = Bytes.copy t.words }
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let equal a b = a.n = b.n && Bytes.equal a.words b.words

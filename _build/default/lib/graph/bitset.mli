@@ -1,0 +1,28 @@
+(** Compact fixed-capacity bit sets over [0..n-1].
+
+    Used for advice bit vectors, visited sets in traversals and membership
+    tests in edge-subset compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0..n-1]. *)
+
+val length : t -> int
+(** Universe size [n]. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val set : t -> int -> bool -> unit
+
+val cardinal : t -> int
+(** Number of members (O(n/64)). *)
+
+val clear : t -> unit
+val copy : t -> t
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val equal : t -> t -> bool

@@ -1,0 +1,261 @@
+let cycle n =
+  if n < 3 then invalid_arg "Builders.cycle: n >= 3 required";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  if n < 1 then invalid_arg "Builders.path: n >= 1 required";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let complete_bipartite a b =
+  let acc = ref [] in
+  for u = 0 to a - 1 do
+    for v = 0 to b - 1 do
+      acc := (u, a + v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !acc
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Builders.grid";
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (id r c, id r (c + 1)) :: !acc;
+      if r + 1 < rows then acc := (id r c, id (r + 1) c) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !acc
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Builders.torus: dims >= 3";
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      acc := (id r c, id r ((c + 1) mod cols)) :: !acc;
+      acc := (id r c, id ((r + 1) mod rows) c) :: !acc
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !acc
+
+let hypercube d =
+  if d < 1 then invalid_arg "Builders.hypercube";
+  let n = 1 lsl d in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let u = v lxor (1 lsl bit) in
+      if u > v then acc := (v, u) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let circulant n offsets =
+  if n < 3 then invalid_arg "Builders.circulant: n >= 3";
+  let acc = ref [] in
+  List.iter
+    (fun o ->
+      if o <= 0 || 2 * o >= n then invalid_arg "Builders.circulant: bad offset";
+      for i = 0 to n - 1 do
+        acc := (i, (i + o) mod n) :: !acc
+      done)
+    offsets;
+  Graph.of_edges ~n !acc
+
+let complete_kary_tree k depth =
+  if k < 1 || depth < 0 then invalid_arg "Builders.complete_kary_tree";
+  let acc = ref [] in
+  let next = ref 1 in
+  let rec expand v level =
+    if level < depth then
+      for _ = 1 to k do
+        let child = !next in
+        incr next;
+        acc := (v, child) :: !acc;
+        expand child (level + 1)
+      done
+  in
+  expand 0 0;
+  Graph.of_edges ~n:!next !acc
+
+let caterpillar len =
+  if len < 2 then invalid_arg "Builders.caterpillar";
+  let spine = List.init (len - 1) (fun i -> (i, i + 1)) in
+  let leaves = List.init len (fun i -> (i, len + i)) in
+  Graph.of_edges ~n:(2 * len) (spine @ leaves)
+
+let caterpillar_witness len =
+  Array.init (2 * len) (fun v -> if v >= len then 1 else 2 + (v mod 2))
+
+let ladder len =
+  if len < 2 then invalid_arg "Builders.ladder";
+  let rail side = List.init (len - 1) (fun i -> ((side * len) + i, (side * len) + i + 1)) in
+  let rungs = List.init len (fun i -> (i, len + i)) in
+  Graph.of_edges ~n:(2 * len) (rail 0 @ rail 1 @ rungs)
+
+let double_cycle n =
+  if n < 3 then invalid_arg "Builders.double_cycle";
+  let ring offset = List.init n (fun i -> (offset + i, offset + ((i + 1) mod n))) in
+  let spokes = List.init n (fun i -> (i, n + i)) in
+  Graph.of_edges ~n:(2 * n) (ring 0 @ ring n @ spokes)
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Builders.random_tree";
+  let acc = ref [] in
+  for v = 1 to n - 1 do
+    acc := (v, Prng.int rng v) :: !acc
+  done;
+  Graph.of_edges ~n !acc
+
+let gnp rng n p =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.float rng 1.0 < p then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let random_geometric rng n radius =
+  if radius <= 0.0 then invalid_arg "Builders.random_geometric";
+  let xs = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Prng.float rng 1.0) in
+  let r2 = radius *. radius in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      if (dx *. dx) +. (dy *. dy) <= r2 then acc := (u, v) :: !acc
+    done
+  done;
+  Graph.of_edges ~n !acc
+
+let random_regular rng n d =
+  if n * d mod 2 <> 0 then invalid_arg "Builders.random_regular: n*d odd";
+  if d >= n then invalid_arg "Builders.random_regular: d >= n";
+  if d < 0 then invalid_arg "Builders.random_regular: d < 0";
+  (* Configuration model: pair up stubs, restart on loop/multi-edge. *)
+  let stubs = Array.make (n * d) 0 in
+  let rec attempt tries =
+    if tries > 2000 then failwith "Builders.random_regular: too many restarts";
+    for i = 0 to (n * d) - 1 do
+      stubs.(i) <- i / d
+    done;
+    Prng.shuffle rng stubs;
+    let seen = Hashtbl.create (n * d) in
+    let ok = ref true in
+    let acc = ref [] in
+    let i = ref 0 in
+    while !ok && !i < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let e = if u < v then (u, v) else (v, u) in
+      if u = v || Hashtbl.mem seen e then ok := false
+      else begin
+        Hashtbl.replace seen e ();
+        acc := e :: !acc
+      end;
+      i := !i + 2
+    done;
+    if !ok then Graph.of_edges ~n !acc else attempt (tries + 1)
+  in
+  if d = 0 then Graph.of_edges ~n [] else attempt 0
+
+let random_even_degree rng n k =
+  if n < 3 then invalid_arg "Builders.random_even_degree: n >= 3";
+  let acc = ref [] in
+  for _ = 1 to k do
+    let perm = Prng.permutation rng n in
+    for i = 0 to n - 1 do
+      acc := (perm.(i), perm.((i + 1) mod n)) :: !acc
+    done
+  done;
+  (* The multiset of cycle edges gives every node even degree; keeping each
+     edge iff its multiplicity is odd preserves the parity of every degree
+     while producing a simple graph. *)
+  let mult = Hashtbl.create (List.length !acc) in
+  List.iter
+    (fun (u, v) ->
+      let e = if u < v then (u, v) else (v, u) in
+      Hashtbl.replace mult e (1 + Option.value ~default:0 (Hashtbl.find_opt mult e)))
+    !acc;
+  let edges = Hashtbl.fold (fun e c acc -> if c mod 2 = 1 then e :: acc else acc) mult [] in
+  Graph.of_edges ~n edges
+
+let random_bipartite_regular rng side d =
+  if d > side then invalid_arg "Builders.random_bipartite_regular: d > side";
+  (* Independent random matchings collide too often for larger d; instead
+     compose one random permutation with d distinct random cyclic shifts —
+     the matchings are disjoint by construction. *)
+  let perm = Prng.permutation rng side in
+  let shifts = Array.sub (Prng.permutation rng side) 0 d in
+  let acc = ref [] in
+  Array.iter
+    (fun shift ->
+      for left = 0 to side - 1 do
+        acc := (left, side + ((perm.(left) + shift) mod side)) :: !acc
+      done)
+    shifts;
+  Graph.of_edges ~n:(2 * side) !acc
+
+let planted_colorable rng n k p =
+  if k < 1 then invalid_arg "Builders.planted_colorable";
+  let color = Array.init n (fun i -> (i mod k) + 1) in
+  Prng.shuffle rng color;
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if color.(u) <> color.(v) && Prng.float rng 1.0 < p then acc := (u, v) :: !acc
+    done
+  done;
+  (Graph.of_edges ~n !acc, color)
+
+let planted_max_degree_colorable rng ~n ~delta =
+  if delta < 2 then invalid_arg "Builders.planted_max_degree_colorable";
+  let color = Array.init n (fun i -> (i mod delta) + 1) in
+  Prng.shuffle rng color;
+  let deg = Array.make n 0 in
+  let order =
+    (* Random order over all cross-class pairs would be O(n^2); sample a
+       generous pool of candidate pairs instead. *)
+    Array.init (8 * n * delta) (fun _ ->
+        let u = Prng.int rng n and v = Prng.int rng n in
+        if u < v then (u, v) else (v, u))
+  in
+  let seen = Hashtbl.create (4 * n) in
+  let acc = ref [] in
+  Array.iter
+    (fun (u, v) ->
+      if
+        u <> v
+        && color.(u) <> color.(v)
+        && deg.(u) < delta
+        && deg.(v) < delta
+        && not (Hashtbl.mem seen (u, v))
+      then begin
+        Hashtbl.replace seen (u, v) ();
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        acc := (u, v) :: !acc
+      end)
+    order;
+  (Graph.of_edges ~n !acc, color)
+
+let disjoint_union a b =
+  let na = Graph.n a in
+  let edges_a = Graph.fold_edges (fun _ e acc -> e :: acc) a [] in
+  let edges_b = Graph.fold_edges (fun _ (u, v) acc -> (u + na, v + na) :: acc) b [] in
+  Graph.of_edges ~n:(na + Graph.n b) (edges_a @ edges_b)
+
+let add_edges g extra =
+  let edges = Graph.fold_edges (fun _ e acc -> e :: acc) g extra in
+  Graph.of_edges ~n:(Graph.n g) edges

@@ -1,0 +1,99 @@
+(** Graph generators.
+
+    Deterministic families (cycles, grids, trees, hypercubes) plus seeded
+    random families.  Random families that must satisfy a promise (planted
+    colorability, regularity, even degrees) construct the witness first and
+    return it alongside the graph, so encoders have a feasible solution to
+    start from — exactly the "graphs that admit a solution to Π" premise of
+    the paper. *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n >= 3] nodes, [i -- i+1 mod n]. *)
+
+val path : int -> Graph.t
+(** Path on [n >= 1] nodes. *)
+
+val complete : int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]: node [(r, c)] is [r * cols + c]; 4-neighbor mesh.
+    Polynomial growth, hence sub-exponential. *)
+
+val torus : int -> int -> Graph.t
+(** Grid with wraparound; requires both dimensions [>= 3]. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] on [2^d] nodes. *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant n offsets] connects [i] to [i ± o mod n] for each offset;
+    even-degree, linear diameter for bounded offsets — a useful
+    even-degree family with room (unlike random even-degree graphs, whose
+    diameter is logarithmic). *)
+
+val complete_kary_tree : int -> int -> Graph.t
+(** [complete_kary_tree k depth]: every internal node has [k] children. *)
+
+val caterpillar : int -> Graph.t
+(** [caterpillar len]: a path [0..len-1] with a pendant leaf [len+i]
+    attached to every path node [i].  Greedy 3-colorings put color 1 on
+    the leaves, making the whole spine one large color-{2,3} component —
+    the canonical stress case for the 3-coloring schema (C6). *)
+
+val caterpillar_witness : int -> int array
+(** A proper 3-coloring of {!caterpillar}: leaves 1, spine alternating
+    2/3. *)
+
+val ladder : int -> Graph.t
+(** [ladder len]: two parallel paths of [len] nodes joined by rungs —
+    3-regular inside, bipartite, linear growth. *)
+
+val double_cycle : int -> Graph.t
+(** Two concentric cycles of length [n] joined by spokes: 3-regular,
+    linear diameter — an even-n instance family for open question 4
+    (edge compression on 3-regular graphs). *)
+
+val random_tree : Prng.t -> int -> Graph.t
+(** Uniform attachment tree. *)
+
+val gnp : Prng.t -> int -> float -> Graph.t
+(** Erdős–Rényi [G(n, p)]. *)
+
+val random_geometric : Prng.t -> int -> float -> Graph.t
+(** [random_geometric rng n radius]: n points uniform in the unit square,
+    edges between pairs within Euclidean distance [radius].  A natural
+    polynomial-growth (hence sub-exponential) family — the habitat of
+    Contribution 1. *)
+
+val random_regular : Prng.t -> int -> int -> Graph.t
+(** [random_regular rng n d] via the configuration model with restarts;
+    requires [n * d] even and [d < n]. *)
+
+val random_even_degree : Prng.t -> int -> int -> Graph.t
+(** Union of [k] random Hamiltonian-style cycles on [n] nodes: every node
+    has even degree (at most [2k]; overlapping cycle edges may lower it by
+    an even amount).  The canonical input family of Section 5. *)
+
+val random_bipartite_regular : Prng.t -> int -> int -> Graph.t
+(** [random_bipartite_regular rng side d]: bipartite [d]-regular graph on
+    [2 * side] nodes built as a union of [d] disjoint perfect matchings
+    (restarting collisions), left part [0..side-1]. *)
+
+val planted_colorable : Prng.t -> int -> int -> float -> Graph.t * int array
+(** [planted_colorable rng n k p] samples a balanced [k]-partition, adds
+    each cross-part edge with probability [p], and returns the graph with
+    its planted proper [k]-coloring (colors [1..k]). *)
+
+val planted_max_degree_colorable :
+  Prng.t -> n:int -> delta:int -> Graph.t * int array
+(** Graph with maximum degree exactly [delta] that is [delta]-colorable,
+    with a planted [delta]-coloring (colors [1..delta]): cross-class edges
+    are added greedily under the degree cap.  Input family for
+    Δ-coloring (C5). *)
+
+val disjoint_union : Graph.t -> Graph.t -> Graph.t
+(** Second graph's nodes are shifted by [n first]. *)
+
+val add_edges : Graph.t -> (int * int) list -> Graph.t

@@ -1,0 +1,93 @@
+let is_proper_partial g coloring =
+  Graph.fold_edges
+    (fun _ (u, v) acc -> acc && not (coloring.(u) > 0 && coloring.(u) = coloring.(v)))
+    g true
+
+let is_proper g coloring =
+  Array.for_all (fun c -> c > 0) coloring && is_proper_partial g coloring
+
+let num_colors coloring = Array.fold_left max 0 coloring
+
+let least_absent_color g coloring v =
+  let used = Hashtbl.create 8 in
+  Array.iter
+    (fun u -> if coloring.(u) > 0 then Hashtbl.replace used coloring.(u) ())
+    (Graph.neighbors g v);
+  let rec go c = if Hashtbl.mem used c then go (c + 1) else c in
+  go 1
+
+let greedy_order g order =
+  let coloring = Array.make (Graph.n g) 0 in
+  Array.iter (fun v -> coloring.(v) <- least_absent_color g coloring v) order;
+  coloring
+
+let greedy g = greedy_order g (Array.init (Graph.n g) (fun i -> i))
+
+let make_greedy g coloring =
+  let c = Array.copy coloring in
+  if not (is_proper g c) then invalid_arg "Coloring.make_greedy: not proper";
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Graph.iter_nodes
+      (fun v ->
+        let best = least_absent_color g c v in
+        if best < c.(v) then begin
+          c.(v) <- best;
+          changed := true
+        end)
+      g
+  done;
+  c
+
+let is_greedy g coloring =
+  is_proper g coloring
+  && Graph.fold_nodes
+       (fun v acc -> acc && least_absent_color g coloring v = coloring.(v))
+       g true
+
+let distance_coloring g d = greedy (Graph.power g d)
+
+let color_classes coloring =
+  let k = num_colors coloring in
+  let classes = Array.make (k + 1) [] in
+  for v = Array.length coloring - 1 downto 0 do
+    let c = coloring.(v) in
+    if c > 0 then classes.(c) <- v :: classes.(c)
+  done;
+  classes
+
+let two_color_bipartite g =
+  match Traversal.bipartition g with
+  | Some side -> Array.map (fun s -> s + 1) side
+  | None -> invalid_arg "Coloring.two_color_bipartite: graph is not bipartite"
+
+let backtracking g k =
+  let n = Graph.n g in
+  let coloring = Array.make n 0 in
+  (* Order nodes by descending degree for better pruning. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  let ok v c =
+    Array.for_all (fun u -> coloring.(u) <> c) (Graph.neighbors g v)
+  in
+  let rec solve i =
+    if i = n then true
+    else begin
+      let v = order.(i) in
+      let rec try_color c =
+        if c > k then false
+        else if ok v c then begin
+          coloring.(v) <- c;
+          if solve (i + 1) then true
+          else begin
+            coloring.(v) <- 0;
+            try_color (c + 1)
+          end
+        end
+        else try_color (c + 1)
+      in
+      try_color 1
+    end
+  in
+  if solve 0 then Some coloring else None

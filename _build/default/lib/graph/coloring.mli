@@ -1,0 +1,45 @@
+(** Vertex colorings: validity checks and centralized constructions.
+
+    Colors are positive integers; [0] (or any non-positive value) denotes
+    "uncolored" in partial colorings.  Centralized constructions are used
+    by encoders (the prover side of an advice schema); distributed
+    constructions live in [Baselines] and [Schemas]. *)
+
+val is_proper : Graph.t -> int array -> bool
+(** No edge joins two equal positive colors and every node is colored. *)
+
+val is_proper_partial : Graph.t -> int array -> bool
+(** No edge joins two equal positive colors; uncolored nodes allowed. *)
+
+val num_colors : int array -> int
+(** Largest color used (0 for the empty coloring). *)
+
+val greedy : Graph.t -> int array
+(** First-fit in node-id order; uses at most [max_degree g + 1] colors. *)
+
+val greedy_order : Graph.t -> int array -> int array
+(** First-fit in the given node order. *)
+
+val make_greedy : Graph.t -> int array -> int array
+(** Rewrite a proper coloring into a *greedy* proper coloring using no new
+    colors: repeatedly lower any node whose color is not the least color
+    absent from its neighborhood.  In the result, every node of color [c]
+    has neighbors of all colors [1..c-1] — the property Section 7 of the
+    paper relies on.  The input must be proper. *)
+
+val is_greedy : Graph.t -> int array -> bool
+
+val distance_coloring : Graph.t -> int -> int array
+(** [distance_coloring g d]: nodes at distance [<= d] receive distinct
+    colors (greedy on the [d]-th power graph). *)
+
+val color_classes : int array -> int list array
+(** [color_classes c] indexed by color ([0] unused). *)
+
+val two_color_bipartite : Graph.t -> int array
+(** Colors {1,2}; @raise Invalid_argument if not bipartite. *)
+
+val backtracking : Graph.t -> int -> int array option
+(** Exact [k]-coloring by backtracking with forward checking; exponential,
+    meant for small graphs and for encoder-side feasibility (e.g. finding a
+    Δ-coloring certificate). *)

@@ -1,0 +1,15 @@
+(** Degeneracy orderings and low-out-degree orientations.
+
+    The degeneracy d of a graph is the smallest k such that every subgraph
+    has a node of degree at most k; the canonical smallest-last removal
+    order certifies it, and orienting every edge from the earlier-removed
+    endpoint to the later one bounds every out-degree by d. *)
+
+val order : Graph.t -> int array * int
+(** [(pos, d)]: removal position of every node under smallest-last
+    (minimum remaining degree, ties by node id) and the degeneracy [d]. *)
+
+val orient : Graph.t -> int array -> Orientation.t
+(** Orient each edge from the endpoint removed earlier to the one removed
+    later; with [pos] from {!order}, out-degrees are at most the
+    degeneracy. *)

@@ -1,0 +1,186 @@
+type t = {
+  n : int;
+  adj : int array array;
+  edges : (int * int) array;
+  edge_ids : (int * int, int) Hashtbl.t;
+  incident : int array array;
+}
+
+let normalize u v = if u < v then (u, v) else (v, u)
+
+let of_edges ~n edge_list =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let seen = Hashtbl.create (List.length edge_list) in
+  let add_edge (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_edges: endpoint out of range";
+    if u = v then invalid_arg "Graph.of_edges: self-loop";
+    let e = normalize u v in
+    if not (Hashtbl.mem seen e) then Hashtbl.replace seen e ()
+  in
+  List.iter add_edge edge_list;
+  let edges = Array.make (Hashtbl.length seen) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter (fun e () -> edges.(!i) <- e; incr i) seen;
+  Array.sort compare edges;
+  let edge_ids = Hashtbl.create (Array.length edges) in
+  Array.iteri (fun id e -> Hashtbl.replace edge_ids e id) edges;
+  let deg = Array.make n 0 in
+  Array.iter (fun (u, v) -> deg.(u) <- deg.(u) + 1; deg.(v) <- deg.(v) + 1) edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iter (fun nb -> Array.sort compare nb) adj;
+  let incident =
+    Array.init n (fun v ->
+        Array.map (fun u -> Hashtbl.find edge_ids (normalize v u)) adj.(v))
+  in
+  { n; adj; edges; edge_ids; incident }
+
+let n g = g.n
+let m g = Array.length g.edges
+let degree g v = Array.length g.adj.(v)
+let neighbors g v = g.adj.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc nb -> max acc (Array.length nb)) 0 g.adj
+
+let is_edge g u v = u <> v && Hashtbl.mem g.edge_ids (normalize u v)
+
+let edge_id g u v =
+  match Hashtbl.find_opt g.edge_ids (normalize u v) with
+  | Some id -> id
+  | None -> raise Not_found
+
+let edge_endpoints g e = g.edges.(e)
+let incident_edges g v = g.incident.(v)
+
+let edge_other_endpoint g e v =
+  let u, w = g.edges.(e) in
+  if v = u then w
+  else if v = w then u
+  else invalid_arg "Graph.edge_other_endpoint: node not on edge"
+
+let iter_edges f g = Array.iteri f g.edges
+
+let fold_edges f g init =
+  let acc = ref init in
+  Array.iteri (fun id e -> acc := f id e !acc) g.edges;
+  !acc
+
+let iter_nodes f g =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let fold_nodes f g init =
+  let acc = ref init in
+  iter_nodes (fun v -> acc := f v !acc) g;
+  !acc
+
+let edges g = g.edges
+
+let induced g nodes =
+  let to_sub = Array.make g.n (-1) in
+  let count = ref 0 in
+  List.iter
+    (fun v ->
+      if to_sub.(v) < 0 then begin
+        to_sub.(v) <- !count;
+        incr count
+      end)
+    nodes;
+  let to_orig = Array.make !count 0 in
+  Array.iteri (fun v i -> if i >= 0 then to_orig.(i) <- v) to_sub;
+  let sub_edges =
+    fold_edges
+      (fun _ (u, v) acc ->
+        if to_sub.(u) >= 0 && to_sub.(v) >= 0 then (to_sub.(u), to_sub.(v)) :: acc
+        else acc)
+      g []
+  in
+  (of_edges ~n:!count sub_edges, to_sub, to_orig)
+
+let remove_nodes g removed =
+  let kept = fold_nodes (fun v acc -> if Bitset.mem removed v then acc else v :: acc) g [] in
+  induced g (List.rev kept)
+
+let power g k =
+  if k < 1 then invalid_arg "Graph.power";
+  (* BFS from each node up to depth k. *)
+  let dist = Array.make g.n (-1) in
+  let queue = Queue.create () in
+  let edge_acc = ref [] in
+  for s = 0 to g.n - 1 do
+    Queue.clear queue;
+    dist.(s) <- 0;
+    Queue.add s queue;
+    let touched = ref [ s ] in
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      if dist.(v) < k then
+        Array.iter
+          (fun u ->
+            if dist.(u) < 0 then begin
+              dist.(u) <- dist.(v) + 1;
+              touched := u :: !touched;
+              Queue.add u queue
+            end)
+          g.adj.(v)
+    done;
+    (* Collect pairs at distance in [1, k] with s < other endpoint. *)
+    List.iter
+      (fun v ->
+        if v > s && dist.(v) >= 1 then edge_acc := (s, v) :: !edge_acc;
+        dist.(v) <- -1)
+      !touched
+  done;
+  of_edges ~n:g.n !edge_acc
+
+let line_graph g =
+  let acc = ref [] in
+  iter_nodes
+    (fun v ->
+      let inc = g.incident.(v) in
+      for i = 0 to Array.length inc - 1 do
+        for j = i + 1 to Array.length inc - 1 do
+          acc := (inc.(i), inc.(j)) :: !acc
+        done
+      done)
+    g;
+  of_edges ~n:(m g) !acc
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let seen = Bitset.create g.n in
+    let queue = Queue.create () in
+    Bitset.add seen 0;
+    Queue.add 0 queue;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      Array.iter
+        (fun u ->
+          if not (Bitset.mem seen u) then begin
+            Bitset.add seen u;
+            incr count;
+            Queue.add u queue
+          end)
+        g.adj.(v)
+    done;
+    !count = g.n
+  end
+
+let equal a b = a.n = b.n && a.edges = b.edges
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d@," g.n (m g);
+  iter_edges (fun _ (u, v) -> Format.fprintf fmt "%d -- %d@," u v) g;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,75 @@
+(** Simple undirected graphs with dense node ids.
+
+    Nodes are [0..n-1].  Edges are undirected, without self-loops or
+    parallel edges, and carry dense edge ids [0..m-1]; the endpoints of an
+    edge are normalized so that the first is the smaller node id.  Neighbor
+    arrays are sorted, which gives every algorithm in the library a
+    canonical, ID-based local ordering — the same ordering a LOCAL-model
+    node would derive from the unique identifiers of its neighbors. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds a graph on [n] nodes.  Self-loops are
+    rejected; duplicate edges (in either orientation) are collapsed. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val degree : t -> int -> int
+val neighbors : t -> int -> int array
+(** Sorted array of neighbors; shared, do not mutate. *)
+
+val max_degree : t -> int
+val is_edge : t -> int -> int -> bool
+
+val edge_id : t -> int -> int -> int
+(** Dense id of edge [{u,v}].  @raise Not_found if absent. *)
+
+val edge_endpoints : t -> int -> int * int
+(** Endpoints [(u, v)] with [u < v]. *)
+
+val incident_edges : t -> int -> int array
+(** Edge ids incident to a node, ordered by the sorted neighbor array. *)
+
+val edge_other_endpoint : t -> int -> int -> int
+(** [edge_other_endpoint g e v] is the endpoint of edge [e] distinct from
+    [v]. *)
+
+val iter_edges : (int -> int * int -> unit) -> t -> unit
+(** Iterate [f edge_id (u, v)] over all edges. *)
+
+val fold_edges : (int -> int * int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_nodes : (int -> unit) -> t -> unit
+val fold_nodes : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val edges : t -> (int * int) array
+(** Array of endpoints indexed by edge id; shared, do not mutate. *)
+
+val induced : t -> int list -> t * int array * int array
+(** [induced g nodes] is the subgraph induced by [nodes] (duplicates
+    ignored): [(h, to_sub, to_orig)] where [to_sub.(v)] is the id of [v] in
+    [h] (or [-1] if [v] was not selected) and [to_orig.(i)] is the original
+    id of subgraph node [i]. *)
+
+val remove_nodes : t -> Bitset.t -> t * int array * int array
+(** Subgraph induced by the complement of the given node set; same mapping
+    convention as {!induced}. *)
+
+val power : t -> int -> t
+(** [power g k] connects every pair at distance between 1 and [k]. *)
+
+val line_graph : t -> t
+(** Nodes of the result are the edge ids of [g]; two are adjacent when the
+    edges share an endpoint. *)
+
+val is_connected : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality (same node count and edge set). *)
+
+val pp : Format.formatter -> t -> unit

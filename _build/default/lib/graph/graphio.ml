@@ -1,0 +1,73 @@
+let to_edge_list g =
+  let buf = Buffer.create (16 * Graph.m g) in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Graph.n g));
+  Graph.iter_edges
+    (fun _ (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    g;
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> invalid_arg "Graphio.of_edge_list: empty input"
+  | header :: rest ->
+      let n =
+        match String.split_on_char ' ' header with
+        | [ "n"; count ] -> (
+            match int_of_string_opt count with
+            | Some n when n >= 0 -> n
+            | _ -> invalid_arg "Graphio.of_edge_list: bad node count")
+        | _ -> invalid_arg "Graphio.of_edge_list: missing 'n <count>' header"
+      in
+      let parse_edge line =
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some u, Some v -> (u, v)
+            | _ -> invalid_arg ("Graphio.of_edge_list: bad edge line " ^ line))
+        | _ -> invalid_arg ("Graphio.of_edge_list: bad edge line " ^ line)
+      in
+      Graph.of_edges ~n (List.map parse_edge rest)
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_edge_list text
+
+let save path g =
+  let oc = open_out path in
+  output_string oc (to_edge_list g);
+  close_out oc
+
+let to_dot ?highlight ?labels g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  Graph.iter_nodes
+    (fun v ->
+      let label =
+        match labels with
+        | Some arr when v < Array.length arr && arr.(v) <> "" ->
+            Printf.sprintf " label=\"%d:%s\"" v arr.(v)
+        | _ -> ""
+      in
+      let fill =
+        match highlight with
+        | Some h when Bitset.mem h v ->
+            " style=filled fillcolor=lightblue"
+        | _ -> ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d [%s%s];\n" v label fill))
+    g;
+  Graph.iter_edges
+    (fun _ (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Growth of balls, and the paper's Lemma 4.3 radius selection.
+
+    Section 4 of the paper rests on a property of sub-exponential-growth
+    graphs (Lemma 3 there): around every node one can pick a radius
+    α ∈ [x, 2x] whose ball dwarfs its own boundary sphere,
+    |N≤α(v)| ≥ Δʳ · |N₌α₊ᵣ(v)| — the room that lets a cluster store its
+    border's solution inside itself.  This module makes that lemma
+    executable: it finds such an α when one exists, and exposes growth
+    profiles so tests can tell polynomial-growth families (cycles, grids)
+    from expanding ones (hypercubes, random graphs), where the selection
+    rightly fails at small scales. *)
+
+val profile : Graph.t -> int -> int -> int list
+(** [profile g v rmax]: ball sizes [|N≤0|; |N≤1|; ...; |N≤rmax|]. *)
+
+val sphere_sizes : Graph.t -> int -> int -> int list
+(** Sphere sizes [|N₌0|; ...; |N₌rmax|]. *)
+
+val lemma3_alpha : Graph.t -> v:int -> r:int -> x:int -> int option
+(** The smallest α ∈ [x, 2x] with |N≤α(v)| ≥ Δʳ · |N₌α₊ᵣ(v)|, if any.
+    The paper proves existence for every sub-exponential-growth family
+    once x is large enough. *)
+
+val exponent_estimate : Graph.t -> v:int -> rmax:int -> float
+(** Log-log slope of the ball-size profile between radius 1 and [rmax] —
+    ~1 for cycles, ~2 for grids, large for expanders.  Requires the ball
+    at [rmax] to be strictly larger than at 1. *)

@@ -1,0 +1,83 @@
+(** Edge orientations and Eulerian trail partitions.
+
+    An orientation assigns a direction to every edge.  The balanced
+    orientation problem (Section 5 of the paper) asks for
+    [|indeg v - outdeg v| <= 1] at every node, with equality to 0 at
+    even-degree nodes.  The classical construction pairs up the edges
+    around every node and follows the pairing, decomposing the edge set
+    into trails (closed trails for even-degree graphs, plus open trails
+    ending at odd-degree nodes); orienting every trail consistently yields
+    a balanced orientation.  This module provides that decomposition with
+    the canonical ID-based pairing, which a LOCAL node can compute from
+    its sorted neighbor list without communication. *)
+
+type t
+(** An orientation of a fixed graph. *)
+
+val create : Graph.t -> t
+(** All edges oriented from lower to higher node id. *)
+
+val copy : t -> t
+
+val graph : t -> Graph.t
+
+val points_from : t -> int -> int -> bool
+(** [points_from o u v] is true when edge [{u,v}] is oriented [u -> v]. *)
+
+val orient : t -> int -> int -> unit
+(** [orient o u v] directs edge [{u,v}] as [u -> v]. *)
+
+val flip : t -> int -> unit
+(** Reverse the direction of an edge id. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val out_neighbors : t -> int -> int array
+(** Heads of out-edges, in sorted-neighbor order (canonical). *)
+
+val imbalance : t -> int -> int
+(** [|indeg - outdeg|] at a node. *)
+
+val max_imbalance : t -> int
+
+val is_balanced : t -> bool
+(** Every node has [indeg = outdeg] (requires all degrees even). *)
+
+val is_almost_balanced : t -> bool
+(** Every node has [|indeg - outdeg| <= 1]. *)
+
+(** A trail of the canonical Eulerian partition.  [nodes] has one more
+    entry than [edges]; [edges.(i)] joins [nodes.(i)] and [nodes.(i+1)].
+    For a closed trail, [nodes.(0) = nodes.(length - 1)]. *)
+type trail = {
+  nodes : int array;
+  edges : int array;
+  closed : bool;
+}
+
+val trail_length : trail -> int
+
+val euler_partition : Graph.t -> trail list
+(** Canonical decomposition of the edge set into trails: each node pairs
+    its incident edges [(e0,e1), (e2,e3), ...] in sorted-neighbor order and
+    trails follow partners.  Every edge appears in exactly one trail; a
+    node is the endpoint of at most one open trail (exactly one iff its
+    degree is odd).  The decomposition is a pure function of the graph, so
+    encoder and decoder agree on it. *)
+
+val trail_through : Graph.t -> int -> int -> trail
+(** [trail_through g v e] is the trail of the canonical partition
+    containing edge [e] ([v] must be an endpoint of [e]); the returned
+    trail is normalized exactly as in {!euler_partition}. *)
+
+val orient_trail : t -> trail -> forward:bool -> unit
+(** Orient every edge of the trail consistently; [forward] follows the
+    trail's node order. *)
+
+val of_trails : Graph.t -> (trail -> bool) -> t
+(** Orient all trails of the canonical partition, choosing each trail's
+    direction with the given function.  The result is almost balanced. *)
+
+val random : Prng.t -> Graph.t -> t
+(** Independent fair coin per edge (baseline). *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the library (graph generators, certifying
+    encoders with resampling) draw from this SplitMix64 generator so that
+    every experiment is reproducible from a single integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a generator whose stream is
+    independent of the remainder of [t]'s stream. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)

@@ -1,0 +1,57 @@
+let greedy_mis_within g candidates =
+  let blocked = Bitset.create (Graph.n g) in
+  let chosen = ref [] in
+  List.iter
+    (fun v ->
+      if not (Bitset.mem blocked v) then begin
+        chosen := v :: !chosen;
+        Bitset.add blocked v;
+        Array.iter (Bitset.add blocked) (Graph.neighbors g v)
+      end)
+    candidates;
+  List.rev !chosen
+
+let greedy_mis g =
+  greedy_mis_within g (List.init (Graph.n g) (fun i -> i))
+
+let ruling_set_of g ~candidates ~alpha =
+  if alpha < 1 then invalid_arg "Ruling.ruling_set_of: alpha >= 1";
+  let blocked = Bitset.create (Graph.n g) in
+  let chosen = ref [] in
+  List.iter
+    (fun v ->
+      if not (Bitset.mem blocked v) then begin
+        chosen := v :: !chosen;
+        List.iter (Bitset.add blocked) (Traversal.ball g v (alpha - 1))
+      end)
+    candidates;
+  List.rev !chosen
+
+let ruling_set g ~alpha =
+  ruling_set_of g ~candidates:(List.init (Graph.n g) (fun i -> i)) ~alpha
+
+let is_independent g nodes =
+  let members = Bitset.of_list (Graph.n g) nodes in
+  List.for_all
+    (fun v ->
+      Array.for_all (fun u -> not (Bitset.mem members u)) (Graph.neighbors g v))
+    nodes
+
+let verify_ruling g nodes ~alpha ~beta =
+  let pairwise_ok =
+    let rec check = function
+      | [] -> true
+      | v :: rest ->
+          List.for_all (fun u -> Traversal.distance g v u < 0 || Traversal.distance g v u >= alpha) rest
+          && check rest
+    in
+    check nodes
+  in
+  let dist = Traversal.bfs_distances_multi g nodes in
+  let dominated =
+    nodes <> []
+    && Graph.fold_nodes
+         (fun v acc -> acc && dist.(v) >= 0 && dist.(v) <= beta)
+         g true
+  in
+  pairwise_ok && (dominated || Graph.n g = 0)

@@ -1,0 +1,30 @@
+(** Independent sets and ruling sets.
+
+    An [(alpha, beta)]-ruling set (Section 3.1 of the paper) is a node set
+    whose members are pairwise at distance at least [alpha], such that
+    every node is within distance [beta] of a member.  A maximal
+    independent set is a (2,1)-ruling set. *)
+
+val greedy_mis : Graph.t -> int list
+(** Maximal independent set, greedy in node-id order (the ID-greedy MIS a
+    cluster center can compute locally from gathered topology). *)
+
+val greedy_mis_within : Graph.t -> int list -> int list
+(** Greedy MIS of the subgraph induced by the candidate nodes (given in the
+    order in which they should be considered). *)
+
+val ruling_set : Graph.t -> alpha:int -> int list
+(** Greedy [(alpha, alpha - 1)]-ruling set in node-id order: members are
+    pairwise at distance [>= alpha], and every node is within [alpha - 1]
+    of a member.  [alpha >= 1]. *)
+
+val ruling_set_of : Graph.t -> candidates:int list -> alpha:int -> int list
+(** Greedy ruling set restricted to candidate nodes: members are pairwise
+    at distance [>= alpha] in the full graph, and every *candidate* is
+    within [alpha - 1] of a member. *)
+
+val is_independent : Graph.t -> int list -> bool
+
+val verify_ruling : Graph.t -> int list -> alpha:int -> beta:int -> bool
+(** Checks both the pairwise-distance and the domination property (the
+    latter over all nodes of the graph). *)

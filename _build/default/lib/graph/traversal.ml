@@ -1,0 +1,165 @@
+let bfs_distances_multi g sources =
+  let dist = Array.make (Graph.n g) (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        Queue.add s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Array.iter
+      (fun u ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let bfs_distances g s = bfs_distances_multi g [ s ]
+
+let bfs_limited g s r =
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace dist s 0;
+  Queue.add s queue;
+  let order = ref [ (s, 0) ] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    let dv = Hashtbl.find dist v in
+    if dv < r then
+      Array.iter
+        (fun u ->
+          if not (Hashtbl.mem dist u) then begin
+            Hashtbl.replace dist u (dv + 1);
+            order := (u, dv + 1) :: !order;
+            Queue.add u queue
+          end)
+        (Graph.neighbors g v)
+  done;
+  List.rev !order
+
+let ball g s r = List.map fst (bfs_limited g s r)
+
+let sphere g s r =
+  List.filter_map (fun (v, d) -> if d = r then Some v else None) (bfs_limited g s r)
+
+let distance g s t =
+  if s = t then 0
+  else begin
+    (* Early-exit BFS. *)
+    let dist = Array.make (Graph.n g) (-1) in
+    let queue = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s queue;
+    let result = ref (-1) in
+    (try
+       while not (Queue.is_empty queue) do
+         let v = Queue.take queue in
+         Array.iter
+           (fun u ->
+             if dist.(u) < 0 then begin
+               dist.(u) <- dist.(v) + 1;
+               if u = t then begin
+                 result := dist.(u);
+                 raise Exit
+               end;
+               Queue.add u queue
+             end)
+           (Graph.neighbors g v)
+       done
+     with Exit -> ());
+    !result
+  end
+
+let shortest_path g s t =
+  (* Distances from t; then walk greedily from s, always stepping to the
+     smallest-id neighbor one step closer to t.  This yields the
+     lexicographically least shortest path because neighbor arrays are
+     sorted. *)
+  let dist = bfs_distances g t in
+  if dist.(s) < 0 then raise Not_found;
+  let rec walk v acc =
+    if v = t then List.rev (v :: acc)
+    else begin
+      let next = ref (-1) in
+      Array.iter
+        (fun u -> if !next < 0 && dist.(u) = dist.(v) - 1 then next := u)
+        (Graph.neighbors g v);
+      assert (!next >= 0);
+      walk !next (v :: acc)
+    end
+  in
+  walk s []
+
+let eccentricity g v =
+  Array.fold_left max 0 (bfs_distances g v)
+
+let diameter g =
+  if Graph.n g = 0 then -1
+  else Graph.fold_nodes (fun v acc -> max acc (eccentricity g v)) g 0
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if comp.(s) < 0 then begin
+      let c = !count in
+      incr count;
+      comp.(s) <- c;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        Array.iter
+          (fun u ->
+            if comp.(u) < 0 then begin
+              comp.(u) <- c;
+              Queue.add u queue
+            end)
+          (Graph.neighbors g v)
+      done
+    end
+  done;
+  (comp, !count)
+
+let component_members g =
+  let comp, k = components g in
+  let members = Array.make k [] in
+  for v = Graph.n g - 1 downto 0 do
+    members.(comp.(v)) <- v :: members.(comp.(v))
+  done;
+  members
+
+let growth g v r = List.length (ball g v r)
+
+let bipartition g =
+  let n = Graph.n g in
+  let side = Array.make n (-1) in
+  let queue = Queue.create () in
+  let ok = ref true in
+  for s = 0 to n - 1 do
+    if !ok && side.(s) < 0 then begin
+      side.(s) <- 0;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        Array.iter
+          (fun u ->
+            if side.(u) < 0 then begin
+              side.(u) <- 1 - side.(v);
+              Queue.add u queue
+            end
+            else if side.(u) = side.(v) then ok := false)
+          (Graph.neighbors g v)
+      done
+    end
+  done;
+  if !ok then Some side else None
+
+let is_bipartite g = bipartition g <> None

@@ -1,0 +1,1 @@
+lib/lcl/instances.ml: Array Bitset Coloring Degeneracy Graph Hashtbl Labeling List Netgraph Option Orientation Printf Problem Ruling Traversal

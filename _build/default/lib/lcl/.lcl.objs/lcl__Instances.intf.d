@@ -1,0 +1,1 @@
+lib/lcl/instances.mli: Problem

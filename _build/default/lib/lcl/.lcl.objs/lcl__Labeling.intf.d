@@ -1,0 +1,1 @@
+lib/lcl/labeling.mli: Netgraph

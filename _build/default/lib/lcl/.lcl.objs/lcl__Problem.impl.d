@@ -1,0 +1,1 @@
+lib/lcl/problem.ml: Array Graph Labeling List Netgraph Queue Traversal

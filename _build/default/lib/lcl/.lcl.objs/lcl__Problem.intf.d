@@ -1,0 +1,1 @@
+lib/lcl/problem.mli: Labeling Netgraph

@@ -1,0 +1,512 @@
+open Netgraph
+
+let always_true _ _ _ = true
+
+(* ------------------------------------------------------------------ *)
+(* Vertex coloring *)
+
+let coloring k =
+  if k < 1 then invalid_arg "Instances.coloring";
+  let no_conflict g (l : Labeling.t) v =
+    let cv = l.Labeling.node_labels.(v) in
+    cv = 0
+    || Array.for_all
+         (fun u ->
+           let cu = l.Labeling.node_labels.(u) in
+           cu = 0 || cu <> cv)
+         (Graph.neighbors g v)
+  in
+  let valid_at g (l : Labeling.t) v =
+    let cv = l.Labeling.node_labels.(v) in
+    cv >= 1 && cv <= k && no_conflict g l v
+  in
+  let solve g =
+    if k > Graph.max_degree g then Some (Labeling.of_node_labels (Coloring.greedy g))
+    else
+      Option.map Labeling.of_node_labels (Coloring.backtracking g k)
+  in
+  {
+    Problem.name = Printf.sprintf "%d-coloring" k;
+    node_alphabet = k;
+    half_alphabet = 0;
+    radius = 1;
+    valid_at;
+    prune_at = no_conflict;
+    node_value_order = [];
+    solve;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Maximal independent set: 2 = in the set, 1 = out *)
+
+let mis =
+  let valid_at g (l : Labeling.t) v =
+    let lv = l.Labeling.node_labels.(v) in
+    let nb = Graph.neighbors g v in
+    match lv with
+    | 2 -> Array.for_all (fun u -> l.Labeling.node_labels.(u) <> 2) nb
+    | 1 -> Array.exists (fun u -> l.Labeling.node_labels.(u) = 2) nb
+    | _ -> false
+  in
+  let prune_at g (l : Labeling.t) v =
+    match l.Labeling.node_labels.(v) with
+    | 2 ->
+        Array.for_all
+          (fun u -> l.Labeling.node_labels.(u) <> 2)
+          (Graph.neighbors g v)
+    | 1 ->
+        (* Maximality becomes hopeless once the whole neighborhood is
+           assigned without a member. *)
+        Array.exists
+          (fun u -> l.Labeling.node_labels.(u) <> 1)
+          (Graph.neighbors g v)
+        || Graph.degree g v = 0
+    | _ -> true
+  in
+  let solve g =
+    let members = Bitset.of_list (Graph.n g) (Ruling.greedy_mis g) in
+    Some
+      (Labeling.of_node_labels
+         (Array.init (Graph.n g) (fun v -> if Bitset.mem members v then 2 else 1)))
+  in
+  {
+    Problem.name = "mis";
+    node_alphabet = 2;
+    half_alphabet = 0;
+    radius = 1;
+    valid_at;
+    prune_at;
+    node_value_order = [ 2; 1 ];
+    solve;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Half-edge helpers *)
+
+let halves_assigned_agree g (l : Labeling.t) v check =
+  Array.for_all
+    (fun e ->
+      let mine = Labeling.get_half l g v e in
+      let theirs = Labeling.get_half_other l g v e in
+      mine = 0 || theirs = 0 || check mine theirs)
+    (Graph.incident_edges g v)
+
+(* ------------------------------------------------------------------ *)
+(* Maximal matching: half labels 1 = matched, 2 = unmatched *)
+
+let maximal_matching =
+  let matched_count (l : Labeling.t) v =
+    Array.fold_left (fun acc x -> if x = 1 then acc + 1 else acc) 0
+      l.Labeling.half_labels.(v)
+  in
+  let valid_at g (l : Labeling.t) v =
+    halves_assigned_agree g l v ( = )
+    && matched_count l v <= 1
+    && Array.for_all
+         (fun e ->
+           Labeling.get_half l g v e <> 2
+           ||
+           let u = Graph.edge_other_endpoint g e v in
+           matched_count l v = 1 || matched_count l u = 1)
+         (Graph.incident_edges g v)
+  in
+  let fully_unmatched (l : Labeling.t) v =
+    Array.for_all (fun x -> x = 2) l.Labeling.half_labels.(v)
+  in
+  let prune_at g (l : Labeling.t) v =
+    halves_assigned_agree g l v ( = )
+    && matched_count l v <= 1
+    && ((not (fully_unmatched l v))
+       || Array.for_all
+            (fun u ->
+              (not (fully_unmatched l u)) || matched_count l u = 1)
+            (Graph.neighbors g v))
+  in
+  let solve g =
+    let l = Labeling.create g ~use_halves:true in
+    let saturated = Bitset.create (Graph.n g) in
+    Graph.iter_edges
+      (fun e (u, v) ->
+        if not (Bitset.mem saturated u) && not (Bitset.mem saturated v) then begin
+          Bitset.add saturated u;
+          Bitset.add saturated v;
+          Labeling.set_half l g u e 1;
+          Labeling.set_half l g v e 1
+        end)
+      g;
+    Graph.iter_nodes
+      (fun v ->
+        Array.iteri
+          (fun i x -> if x = 0 then l.Labeling.half_labels.(v).(i) <- 2)
+          l.Labeling.half_labels.(v))
+      g;
+    Some l
+  in
+  {
+    Problem.name = "maximal-matching";
+    node_alphabet = 0;
+    half_alphabet = 2;
+    (* The maximality clause reads a neighbor's other half-edge labels,
+       i.e. labels of edges leaving the radius-1 ball: checkability radius
+       2 under induced-ball semantics. *)
+    radius = 2;
+    valid_at;
+    prune_at;
+    node_value_order = [];
+    solve;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sinkless orientation: half labels 1 = out, 2 = in *)
+
+let sinkless_orientation =
+  let complementary a b = (a = 1 && b = 2) || (a = 2 && b = 1) in
+  let valid_at g (l : Labeling.t) v =
+    halves_assigned_agree g l v complementary
+    && (Graph.degree g v < 3
+       || Array.exists (fun x -> x = 1) l.Labeling.half_labels.(v))
+  in
+  let prune_at g (l : Labeling.t) v = halves_assigned_agree g l v complementary in
+  let solve g =
+    let o = Orientation.of_trails g (fun _ -> true) in
+    let l = Labeling.create g ~use_halves:true in
+    Graph.iter_nodes
+      (fun v ->
+        Array.iteri
+          (fun i u ->
+            l.Labeling.half_labels.(v).(i) <-
+              (if Orientation.points_from o v u then 1 else 2))
+          (Graph.neighbors g v))
+      g;
+    Some l
+  in
+  {
+    Problem.name = "sinkless-orientation";
+    node_alphabet = 0;
+    half_alphabet = 2;
+    radius = 1;
+    valid_at;
+    prune_at;
+    node_value_order = [];
+    solve;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Edge coloring via agreeing half labels *)
+
+let edge_coloring k =
+  if k < 1 then invalid_arg "Instances.edge_coloring";
+  let distinct_assigned (l : Labeling.t) v =
+    let seen = Hashtbl.create 8 in
+    Array.for_all
+      (fun x ->
+        x = 0
+        ||
+        if Hashtbl.mem seen x then false
+        else begin
+          Hashtbl.replace seen x ();
+          true
+        end)
+      l.Labeling.half_labels.(v)
+  in
+  let valid_at g (l : Labeling.t) v =
+    halves_assigned_agree g l v ( = )
+    && distinct_assigned l v
+    && Array.for_all (fun x -> x >= 1 && x <= k) l.Labeling.half_labels.(v)
+  in
+  let prune_at g (l : Labeling.t) v =
+    halves_assigned_agree g l v ( = ) && distinct_assigned l v
+  in
+  let greedy_solve g =
+    let l = Labeling.create g ~use_halves:true in
+    let ok = ref true in
+    Graph.iter_edges
+      (fun e (u, v) ->
+        let used c =
+          Array.exists (fun x -> x = c) l.Labeling.half_labels.(u)
+          || Array.exists (fun x -> x = c) l.Labeling.half_labels.(v)
+        in
+        let rec least c = if c > k then 0 else if used c then least (c + 1) else c in
+        let c = least 1 in
+        if c = 0 then ok := false
+        else begin
+          Labeling.set_half l g u e c;
+          Labeling.set_half l g v e c
+        end)
+      g;
+    if !ok then Some l else None
+  in
+  let prob_stub =
+    {
+      Problem.name = Printf.sprintf "%d-edge-coloring" k;
+      node_alphabet = 0;
+      half_alphabet = k;
+      radius = 1;
+      valid_at;
+      prune_at;
+      node_value_order = [];
+      solve = (fun _ -> None);
+    }
+  in
+  let solve g =
+    match greedy_solve g with
+    | Some l -> Some l
+    | None -> Problem.solve_by_backtracking prob_stub g
+  in
+  { prob_stub with solve }
+
+(* ------------------------------------------------------------------ *)
+(* Weak 2-coloring *)
+
+let weak_2_coloring =
+  let valid_at g (l : Labeling.t) v =
+    let lv = l.Labeling.node_labels.(v) in
+    (lv = 1 || lv = 2)
+    && (Graph.degree g v = 0
+       || Array.exists
+            (fun u -> l.Labeling.node_labels.(u) <> lv && l.Labeling.node_labels.(u) > 0)
+            (Graph.neighbors g v))
+  in
+  let solve g =
+    (* BFS-parity per component: every non-isolated node has a parent or a
+       child in the BFS forest, which has the opposite parity. *)
+    let labels = Array.make (Graph.n g) 0 in
+    let comp_members = Traversal.component_members g in
+    Array.iter
+      (fun members ->
+        match members with
+        | [] -> ()
+        | root :: _ ->
+            let dist = Traversal.bfs_distances g root in
+            List.iter (fun v -> labels.(v) <- 1 + (dist.(v) mod 2)) members)
+      comp_members;
+    Some (Labeling.of_node_labels labels)
+  in
+  {
+    Problem.name = "weak-2-coloring";
+    node_alphabet = 2;
+    half_alphabet = 0;
+    radius = 1;
+    valid_at;
+    prune_at = always_true;
+    node_value_order = [];
+    solve;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Defective coloring *)
+
+let defective_coloring ~colors ~defect =
+  if colors < 1 || defect < 0 then invalid_arg "Instances.defective_coloring";
+  let same_colored_assigned g (l : Labeling.t) v =
+    let cv = l.Labeling.node_labels.(v) in
+    if cv = 0 then 0
+    else
+      Array.fold_left
+        (fun acc u -> if l.Labeling.node_labels.(u) = cv then acc + 1 else acc)
+        0 (Graph.neighbors g v)
+  in
+  let valid_at g (l : Labeling.t) v =
+    let cv = l.Labeling.node_labels.(v) in
+    cv >= 1 && cv <= colors && same_colored_assigned g l v <= defect
+  in
+  let prune_at g (l : Labeling.t) v = same_colored_assigned g l v <= defect in
+  let prob_stub =
+    {
+      Problem.name = Printf.sprintf "%d-coloring-defect-%d" colors defect;
+      node_alphabet = colors;
+      half_alphabet = 0;
+      radius = 1;
+      valid_at;
+      prune_at;
+      node_value_order = [];
+      solve = (fun _ -> None);
+    }
+  in
+  let solve g =
+    (* Greedy: take the color with the fewest conflicts so far; valid
+       whenever colors >= Δ/(defect+1) + 1 by pigeonhole. *)
+    let labels = Array.make (Graph.n g) 0 in
+    let ok = ref true in
+    Graph.iter_nodes
+      (fun v ->
+        let counts = Array.make (colors + 1) 0 in
+        Array.iter
+          (fun u ->
+            let cu = labels.(u) in
+            if cu > 0 then counts.(cu) <- counts.(cu) + 1)
+          (Graph.neighbors g v);
+        let best = ref 1 in
+        for c = 2 to colors do
+          if counts.(c) < counts.(!best) then best := c
+        done;
+        if counts.(!best) > defect then ok := false;
+        labels.(v) <- !best)
+      g;
+    if !ok then Some (Labeling.of_node_labels labels)
+    else Problem.solve_by_backtracking prob_stub g
+  in
+  { prob_stub with solve }
+
+(* ------------------------------------------------------------------ *)
+(* Bounded out-degree orientation *)
+
+let bounded_outdegree_orientation k =
+  if k < 1 then invalid_arg "Instances.bounded_outdegree_orientation";
+  let complementary a b = (a = 1 && b = 2) || (a = 2 && b = 1) in
+  let out_count (l : Labeling.t) v =
+    Array.fold_left (fun acc x -> if x = 1 then acc + 1 else acc) 0
+      l.Labeling.half_labels.(v)
+  in
+  let valid_at g (l : Labeling.t) v =
+    halves_assigned_agree g l v complementary && out_count l v <= k
+  in
+  let prune_at g (l : Labeling.t) v =
+    halves_assigned_agree g l v complementary && out_count l v <= k
+  in
+  let prob_stub =
+    {
+      Problem.name = Printf.sprintf "outdegree-%d-orientation" k;
+      node_alphabet = 0;
+      half_alphabet = 2;
+      radius = 1;
+      valid_at;
+      prune_at;
+      node_value_order = [];
+      solve = (fun _ -> None);
+    }
+  in
+  let solve g =
+    let pos, degeneracy = Degeneracy.order g in
+    if degeneracy <= k then begin
+      let o = Degeneracy.orient g pos in
+      let l = Labeling.create g ~use_halves:true in
+      Graph.iter_nodes
+        (fun v ->
+          Array.iteri
+            (fun i u ->
+              l.Labeling.half_labels.(v).(i) <-
+                (if Orientation.points_from o v u then 1 else 2))
+            (Graph.neighbors g v))
+        g;
+      Some l
+    end
+    else Problem.solve_by_backtracking prob_stub g
+  in
+  { prob_stub with solve }
+
+(* ------------------------------------------------------------------ *)
+(* Input-labeled coloring: forbidden colors as Σin *)
+
+let forbidden_color_coloring k ~forbidden =
+  if k < 1 then invalid_arg "Instances.forbidden_color_coloring";
+  let allowed v c = c >= 1 && c <= k && forbidden.(v) <> c in
+  let no_conflict g (l : Labeling.t) v =
+    let cv = l.Labeling.node_labels.(v) in
+    cv = 0
+    || (allowed v cv
+       && Array.for_all
+            (fun u ->
+              let cu = l.Labeling.node_labels.(u) in
+              cu = 0 || cu <> cv)
+            (Graph.neighbors g v))
+  in
+  let valid_at g (l : Labeling.t) v =
+    l.Labeling.node_labels.(v) > 0 && no_conflict g l v
+  in
+  let prob_stub =
+    {
+      Problem.name = Printf.sprintf "%d-coloring-with-forbidden" k;
+      node_alphabet = k;
+      half_alphabet = 0;
+      radius = 1;
+      valid_at;
+      prune_at = no_conflict;
+      node_value_order = [];
+      solve = (fun _ -> None);
+    }
+  in
+  let solve g =
+    if Array.length forbidden <> Graph.n g then
+      invalid_arg "forbidden_color_coloring: input length mismatch";
+    (* Greedy works when k >= Δ + 2 (one extra color absorbs the
+       restriction); otherwise fall back to backtracking. *)
+    if k >= Graph.max_degree g + 2 then begin
+      let labels = Array.make (Graph.n g) 0 in
+      Graph.iter_nodes
+        (fun v ->
+          let used = Hashtbl.create 8 in
+          Array.iter
+            (fun u -> if labels.(u) > 0 then Hashtbl.replace used labels.(u) ())
+            (Graph.neighbors g v);
+          let rec least c =
+            if Hashtbl.mem used c || c = forbidden.(v) then least (c + 1) else c
+          in
+          labels.(v) <- least 1)
+        g;
+      Some (Labeling.of_node_labels labels)
+    end
+    else Problem.solve_by_backtracking prob_stub g
+  in
+  { prob_stub with solve }
+
+(* ------------------------------------------------------------------ *)
+(* Minimal dominating set: 2 = in the set, 1 = out *)
+
+let minimal_dominating_set =
+  let in_set (l : Labeling.t) v = l.Labeling.node_labels.(v) = 2 in
+  let dominated g l v =
+    in_set l v || Array.exists (fun u -> in_set l u) (Graph.neighbors g v)
+  in
+  let dominators g l v =
+    (if in_set l v then 1 else 0)
+    + Array.fold_left
+        (fun acc u -> if in_set l u then acc + 1 else acc)
+        0 (Graph.neighbors g v)
+  in
+  let valid_at g (l : Labeling.t) v =
+    let lv = l.Labeling.node_labels.(v) in
+    (lv = 1 || lv = 2)
+    && dominated g l v
+    && (lv = 1
+       ||
+       (* v needs a private node: itself or a neighbor dominated only by
+          v. *)
+       dominators g l v = 1
+       || Array.exists (fun u -> dominators g l u = 1) (Graph.neighbors g v))
+  in
+  let solve g =
+    let members = Netgraph.Bitset.of_list (Graph.n g) (Ruling.greedy_mis g) in
+    Some
+      (Labeling.of_node_labels
+         (Array.init (Graph.n g) (fun v ->
+              if Netgraph.Bitset.mem members v then 2 else 1)))
+  in
+  (* Monotone prune: an out-node whose whole closed neighborhood is
+     assigned without any member can never become dominated. *)
+  let prune_at g (l : Labeling.t) v =
+    l.Labeling.node_labels.(v) <> 1
+    || dominated g l v
+    || Array.exists
+         (fun u -> l.Labeling.node_labels.(u) = 0)
+         (Graph.neighbors g v)
+  in
+  {
+    Problem.name = "minimal-dominating-set";
+    node_alphabet = 2;
+    half_alphabet = 0;
+    radius = 2;
+    valid_at;
+    prune_at;
+    node_value_order = [ 2; 1 ];
+    solve;
+  }
+
+let all_bounded_degree delta =
+  [
+    (Printf.sprintf "%d-coloring" (delta + 1), coloring (delta + 1));
+    ("mis", mis);
+    ("maximal-matching", maximal_matching);
+    ("sinkless-orientation", sinkless_orientation);
+    (Printf.sprintf "%d-edge-coloring" ((2 * delta) - 1), edge_coloring ((2 * delta) - 1));
+  ]

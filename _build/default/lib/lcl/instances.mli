@@ -1,0 +1,57 @@
+(** Concrete LCL problems.
+
+    The classical problems Section 1.2 of the paper lists as LCLs on
+    bounded-degree graphs.  Each instance bundles the local constraint with
+    a centralized feasibility solver used on the prover side. *)
+
+val coloring : int -> Problem.t
+(** Proper vertex [k]-coloring (node labels 1..k, radius 1).  [solve] is
+    greedy when [k > Δ], exact backtracking otherwise. *)
+
+val mis : Problem.t
+(** Maximal independent set: label 2 = member, 1 = non-member; members are
+    pairwise non-adjacent and every non-member has a member neighbor. *)
+
+val maximal_matching : Problem.t
+(** Half-edge labels 1 = matched, 2 = unmatched: the two halves of an edge
+    agree, a node has at most one matched edge, and an unmatched edge has a
+    saturated endpoint. *)
+
+val sinkless_orientation : Problem.t
+(** Half-edge labels 1 = out, 2 = in: edge halves are complementary and
+    every node of degree at least 3 has an outgoing edge. *)
+
+val edge_coloring : int -> Problem.t
+(** Proper [k]-edge-coloring via agreeing half labels. *)
+
+val weak_2_coloring : Problem.t
+(** Labels {1,2}; every non-isolated node has a neighbor of the other
+    label. *)
+
+val defective_coloring : colors:int -> defect:int -> Problem.t
+(** Labels 1..colors; every node has at most [defect] same-labeled
+    neighbors.  Solvable greedily whenever
+    [colors >= Δ / (defect + 1) + 1]. *)
+
+val bounded_outdegree_orientation : int -> Problem.t
+(** Half-edge labels 1 = out / 2 = in, complementary across each edge,
+    with out-degree at most [k].  Solvable iff the graph has
+    pseudoarboricity at most [k]; the solver uses the smallest-last
+    (degeneracy) orientation and falls back to backtracking. *)
+
+val forbidden_color_coloring : int -> forbidden:int array -> Problem.t
+(** Proper [k]-coloring where node [v] must additionally avoid the input
+    label [forbidden.(v)] (0 = no restriction) — an input-labeled LCL in
+    the sense of Σin.  The input is captured in the problem instance, so
+    the whole advice pipeline applies unchanged. *)
+
+val minimal_dominating_set : Problem.t
+(** Labels 2 = in the set, 1 = out: every node is dominated (itself or a
+    neighbor in the set) and every member has a private node (itself or a
+    neighbor dominated by no one else) — minimality, checkable at radius
+    2.  Solved by a greedy MIS, which is always minimal dominating. *)
+
+val all_bounded_degree : int -> (string * Problem.t) list
+(** The standard battery for degree bound Δ: coloring (Δ+1), MIS, maximal
+    matching, sinkless orientation, edge coloring (2Δ-1); used by test
+    sweeps. *)

@@ -1,0 +1,68 @@
+open Netgraph
+
+type t = {
+  node_labels : int array;
+  half_labels : int array array;
+}
+
+let create g ~use_halves =
+  {
+    node_labels = Array.make (Graph.n g) 0;
+    half_labels =
+      (if use_halves then
+         Array.init (Graph.n g) (fun v -> Array.make (Graph.degree g v) 0)
+       else Array.make (Graph.n g) [||]);
+  }
+
+let of_node_labels labels =
+  {
+    node_labels = Array.copy labels;
+    half_labels = Array.make (Array.length labels) [||];
+  }
+
+let copy l =
+  {
+    node_labels = Array.copy l.node_labels;
+    half_labels = Array.map Array.copy l.half_labels;
+  }
+
+let half_slot g v e =
+  let inc = Graph.incident_edges g v in
+  let rec find i =
+    if i >= Array.length inc then
+      invalid_arg "Labeling.half_slot: edge not incident"
+    else if inc.(i) = e then i
+    else find (i + 1)
+  in
+  find 0
+
+let get_half l g v e = l.half_labels.(v).(half_slot g v e)
+
+let set_half l g v e label = l.half_labels.(v).(half_slot g v e) <- label
+
+let get_half_other l g v e =
+  let u = Graph.edge_other_endpoint g e v in
+  get_half l g u e
+
+let uses_halves l = Array.exists (fun a -> Array.length a > 0) l.half_labels
+
+let equal a b =
+  a.node_labels = b.node_labels && a.half_labels = b.half_labels
+
+let restrict l g ~sub ~to_global =
+  let nv = Graph.n sub in
+  let node_labels = Array.init nv (fun i -> l.node_labels.(to_global.(i))) in
+  let half_labels =
+    Array.init nv (fun i ->
+        let v = to_global.(i) in
+        if Array.length l.half_labels.(v) = 0 then [||]
+        else
+          Array.map
+            (fun e_sub ->
+              let a, b = Graph.edge_endpoints sub e_sub in
+              let ga = to_global.(a) and gb = to_global.(b) in
+              let e = Graph.edge_id g ga gb in
+              get_half l g v e)
+            (Graph.incident_edges sub i))
+  in
+  { node_labels; half_labels }

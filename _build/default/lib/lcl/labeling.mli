@@ -1,0 +1,41 @@
+(** Labelings of graphs, the outputs of LCL problems.
+
+    Following Naor–Stockmeyer (and Section 3.3 of the paper), an LCL
+    solution labels node–edge pairs; many classical problems only use node
+    labels.  A labeling carries both: a label per node and a label per
+    *half-edge* (node, incident-edge slot).  Label [0] means "unassigned";
+    real labels are positive. *)
+
+type t = {
+  node_labels : int array;
+  half_labels : int array array;
+      (** [half_labels.(v).(i)] labels the pair (v, i-th incident edge of
+          v) in sorted-neighbor order; empty arrays when unused. *)
+}
+
+val create : Netgraph.Graph.t -> use_halves:bool -> t
+(** All labels unassigned. *)
+
+val of_node_labels : int array -> t
+
+val copy : t -> t
+
+val half_slot : Netgraph.Graph.t -> int -> int -> int
+(** [half_slot g v e] is the incident slot of edge [e] at node [v]. *)
+
+val get_half : t -> Netgraph.Graph.t -> int -> int -> int
+(** [get_half l g v e] is the label of pair (v, e). *)
+
+val set_half : t -> Netgraph.Graph.t -> int -> int -> int -> unit
+
+val get_half_other : t -> Netgraph.Graph.t -> int -> int -> int
+(** Label the *other* endpoint of [e] gives to [e]. *)
+
+val uses_halves : t -> bool
+
+val equal : t -> t -> bool
+
+val restrict :
+  t -> Netgraph.Graph.t -> sub:Netgraph.Graph.t -> to_global:int array -> t
+(** Pull a labeling back onto an induced subgraph (shared edges keep their
+    labels; half labels for edges absent from the subgraph are dropped). *)

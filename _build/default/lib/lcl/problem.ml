@@ -1,0 +1,214 @@
+open Netgraph
+
+type t = {
+  name : string;
+  node_alphabet : int;
+  half_alphabet : int;
+  radius : int;
+  valid_at : Graph.t -> Labeling.t -> int -> bool;
+  prune_at : Graph.t -> Labeling.t -> int -> bool;
+  node_value_order : int list;
+  solve : Graph.t -> Labeling.t option;
+}
+
+let assigned_in_range prob g l =
+  let node_ok =
+    prob.node_alphabet = 0
+    || Array.for_all
+         (fun x -> x >= 1 && x <= prob.node_alphabet)
+         l.Labeling.node_labels
+  in
+  let half_ok =
+    prob.half_alphabet = 0
+    || Graph.fold_nodes
+         (fun v acc ->
+           acc
+           && Array.length l.Labeling.half_labels.(v) = Graph.degree g v
+           && Array.for_all
+                (fun x -> x >= 1 && x <= prob.half_alphabet)
+                l.Labeling.half_labels.(v))
+         g true
+  in
+  node_ok && half_ok
+
+let verify prob g l =
+  assigned_in_range prob g l
+  && Graph.fold_nodes (fun v acc -> acc && prob.valid_at g l v) g true
+
+let verify_locally prob g l =
+  assigned_in_range prob g l
+  && Graph.fold_nodes
+       (fun v acc ->
+         acc
+         &&
+         (* Order-preserving fragment of the node's checkability ball. *)
+         let ball = List.sort compare (Traversal.ball g v prob.radius) in
+         let sub, to_sub, to_global = Graph.induced g ball in
+         let l_sub = Labeling.restrict l g ~sub ~to_global in
+         prob.valid_at sub l_sub to_sub.(v))
+       g true
+
+(* Identify assignable slots with small integers:
+   node slot of v            -> v
+   half slot i of node v     -> n + half_offset.(v) + i *)
+let complete ?(assignable = fun _ -> true) prob g partial ~enforce =
+  let n = Graph.n g in
+  let l = Labeling.copy partial in
+  (* Materialize half arrays when the problem uses them. *)
+  if prob.half_alphabet > 0 then
+    Graph.iter_nodes
+      (fun v ->
+        if Array.length l.Labeling.half_labels.(v) <> Graph.degree g v then
+          l.Labeling.half_labels.(v) <- Array.make (Graph.degree g v) 0)
+      g;
+  let half_offset = Array.make n 0 in
+  let total_half = ref 0 in
+  if prob.half_alphabet > 0 then
+    Graph.iter_nodes
+      (fun v ->
+        half_offset.(v) <- !total_half;
+        total_half := !total_half + Graph.degree g v)
+      g;
+  let num_slots = n + !total_half in
+  let slot_owner = Array.make num_slots 0 in
+  for v = 0 to n - 1 do
+    slot_owner.(v) <- v
+  done;
+  if prob.half_alphabet > 0 then
+    Graph.iter_nodes
+      (fun v ->
+        for i = 0 to Graph.degree g v - 1 do
+          slot_owner.(n + half_offset.(v) + i) <- v
+        done)
+      g;
+  let set_slot s value =
+    let v = slot_owner.(s) in
+    if s < n then l.Labeling.node_labels.(s) <- value
+    else l.Labeling.half_labels.(v).(s - n - half_offset.(v)) <- value
+  in
+  let slot_is_free s =
+    let v = slot_owner.(s) in
+    assignable v
+    &&
+    if s < n then prob.node_alphabet > 0 && l.Labeling.node_labels.(s) = 0
+    else l.Labeling.half_labels.(v).(s - n - half_offset.(v)) = 0
+  in
+  let free_slots =
+    let acc = ref [] in
+    for s = num_slots - 1 downto 0 do
+      if s < n then begin
+        if prob.node_alphabet > 0 && slot_is_free s then acc := s :: !acc
+      end
+      else if slot_is_free s then acc := s :: !acc
+    done;
+    Array.of_list !acc
+  in
+  (* Order slots so that checkability balls fill up early: breadth-first
+     over the assignable region (seeded at its least node, restarting for
+     disconnected pieces).  Constraints then fire as soon as possible,
+     which is what makes the backtracking completion practical. *)
+  let free_slots =
+    let seen = Array.make n false in
+    let order = ref [] in
+    let queue = Queue.create () in
+    let bfs_from s =
+      seen.(s) <- true;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        order := v :: !order;
+        Array.iter
+          (fun u ->
+            if assignable u && not seen.(u) then begin
+              seen.(u) <- true;
+              Queue.add u queue
+            end)
+          (Graph.neighbors g v)
+      done
+    in
+    for v = 0 to n - 1 do
+      if assignable v && not seen.(v) then bfs_from v
+    done;
+    let node_rank = Array.make n max_int in
+    List.iteri (fun i v -> node_rank.(v) <- i) (List.rev !order);
+    let rank s = (node_rank.(slot_owner.(s)), s) in
+    let sorted = Array.copy free_slots in
+    Array.sort (fun a b -> compare (rank a) (rank b)) sorted;
+    sorted
+  in
+  (* Watchers: enforced nodes whose radius ball contains the slot owner. *)
+  let enforced = List.filter enforce (List.init n (fun v -> v)) in
+  let slots_of_node v =
+    let node_slot = if prob.node_alphabet > 0 then [ v ] else [] in
+    let halves =
+      if prob.half_alphabet > 0 then
+        List.init (Graph.degree g v) (fun i -> n + half_offset.(v) + i)
+      else []
+    in
+    node_slot @ halves
+  in
+  let watchers = Array.make num_slots [] in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun w ->
+          List.iter
+            (fun s ->
+              if slot_is_free s then begin
+                watchers.(s) <- u :: watchers.(s);
+                pending.(u) <- pending.(u) + 1
+              end)
+            (slots_of_node w))
+        (Traversal.ball g u prob.radius))
+    enforced;
+  let initial_ok =
+    List.for_all
+      (fun u ->
+        prob.prune_at g l u && (pending.(u) > 0 || prob.valid_at g l u))
+      enforced
+  in
+  let ascending alphabet = List.init alphabet (fun i -> i + 1) in
+  let slot_values s =
+    if s < n then
+      match prob.node_value_order with
+      | [] -> ascending prob.node_alphabet
+      | order -> order
+    else ascending prob.half_alphabet
+  in
+  let num_free = Array.length free_slots in
+  let rec solve k =
+    if k = num_free then true
+    else begin
+      let s = free_slots.(k) in
+      List.iter (fun u -> pending.(u) <- pending.(u) - 1) watchers.(s);
+      let rec try_values = function
+        | [] -> false
+        | value :: rest ->
+            set_slot s value;
+            let ok =
+              List.for_all
+                (fun u ->
+                  prob.prune_at g l u
+                  && (pending.(u) > 0 || prob.valid_at g l u))
+                watchers.(s)
+            in
+            if ok && solve (k + 1) then true
+            else begin
+              set_slot s 0;
+              try_values rest
+            end
+      in
+      if try_values (slot_values s) then true
+      else begin
+        List.iter (fun u -> pending.(u) <- pending.(u) + 1) watchers.(s);
+        false
+      end
+    end
+  in
+  if initial_ok && solve 0 then Some l else None
+
+let solve_by_backtracking prob g =
+  complete prob g
+    (Labeling.create g ~use_halves:(prob.half_alphabet > 0))
+    ~enforce:(fun _ -> true)

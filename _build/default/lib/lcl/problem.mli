@@ -1,0 +1,60 @@
+(** Locally checkable labeling problems.
+
+    An LCL is a tuple (Σin, Σout, C, r): finite output alphabet(s), a
+    checkability radius [r], and a constraint that every node can verify by
+    inspecting its radius-[r] neighborhood (Section 3.3 of the paper).  We
+    represent the constraint extensionally as a predicate [valid_at] and
+    carry a centralized feasibility solver used by advice encoders (the
+    prover is allowed unbounded computation). *)
+
+type t = {
+  name : string;
+  node_alphabet : int;  (** node labels range over 1..node_alphabet; 0 = node labels unused *)
+  half_alphabet : int;  (** half-edge labels range over 1..half_alphabet; 0 = unused *)
+  radius : int;  (** checkability radius r *)
+  valid_at : Netgraph.Graph.t -> Labeling.t -> int -> bool;
+      (** Constraint at one node, assuming every label within distance
+          [radius] of the node is assigned. *)
+  prune_at : Netgraph.Graph.t -> Labeling.t -> int -> bool;
+      (** Monotone partial check: [false] means no completion of the
+          current partial labeling can satisfy [valid_at] here.  Used by
+          the backtracking solver; [(fun _ _ _ -> true)] is always safe. *)
+  node_value_order : int list;
+      (** Preference order in which the backtracking solver tries node
+          labels ([[]] = ascending).  For problems whose constraints only
+          bite once a neighborhood is complete (MIS, domination), trying
+          the "in the set" label first turns the search greedy-like. *)
+  solve : Netgraph.Graph.t -> Labeling.t option;
+      (** Centralized: some valid solution, or [None] if infeasible. *)
+}
+
+val verify : t -> Netgraph.Graph.t -> Labeling.t -> bool
+(** All labels assigned in range, and [valid_at] holds at every node. *)
+
+val verify_locally : t -> Netgraph.Graph.t -> Labeling.t -> bool
+(** Equivalent to {!verify}, but executed the way the LOCAL model would:
+    every node restricts the labeling to its own radius-[r] ball fragment
+    and evaluates the constraint there — demonstrating that the problem is
+    indeed locally checkable (the defining property of LCLs). *)
+
+val assigned_in_range : t -> Netgraph.Graph.t -> Labeling.t -> bool
+
+val complete :
+  ?assignable:(int -> bool) ->
+  t ->
+  Netgraph.Graph.t ->
+  Labeling.t ->
+  enforce:(int -> bool) ->
+  Labeling.t option
+(** Backtracking completion of a partial labeling (labels [0] are free):
+    find an extension such that [valid_at] holds at every node selected by
+    [enforce] — other nodes' constraints are deliberately not checked (they
+    belong to a different cluster in the Section-4 decoding, or their ball
+    leaves the fragment).  [assignable] restricts which nodes' free slots
+    the search may fill (default: all); slots of other nodes stay
+    unassigned.  Exponential in the number of free labels; meant for
+    cluster-sized fragments. *)
+
+val solve_by_backtracking : t -> Netgraph.Graph.t -> Labeling.t option
+(** [complete] from the empty labeling enforcing everything — a generic
+    [solve] for small graphs. *)

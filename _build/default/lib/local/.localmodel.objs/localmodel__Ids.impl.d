@@ -1,0 +1,1 @@
+lib/local/ids.ml: Array Graph Hashtbl Netgraph Prng

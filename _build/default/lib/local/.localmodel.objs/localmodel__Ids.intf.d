@@ -1,0 +1,1 @@
+lib/local/ids.mli: Netgraph

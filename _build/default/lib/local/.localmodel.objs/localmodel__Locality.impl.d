@@ -1,0 +1,1 @@
+lib/local/locality.ml: Array Graph Ids List Netgraph Traversal

@@ -1,0 +1,1 @@
+lib/local/locality.mli: Ids Netgraph

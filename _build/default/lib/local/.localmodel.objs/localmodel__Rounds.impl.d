@@ -1,0 +1,1 @@
+lib/local/rounds.ml: Array Graph Netgraph

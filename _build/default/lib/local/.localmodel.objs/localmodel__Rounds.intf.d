@@ -1,0 +1,1 @@
+lib/local/rounds.mli: Netgraph

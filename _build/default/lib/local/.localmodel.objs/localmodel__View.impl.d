@@ -1,0 +1,1 @@
+lib/local/view.ml: Array Graph List Netgraph Traversal

@@ -1,0 +1,1 @@
+lib/local/view.mli: Ids Netgraph

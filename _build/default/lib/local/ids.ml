@@ -1,0 +1,46 @@
+open Netgraph
+
+type t = int array
+
+let identity g = Array.init (Graph.n g) (fun v -> v + 1)
+
+let random_permutation rng g =
+  let n = Graph.n g in
+  Array.map (fun i -> i + 1) (Prng.permutation rng n)
+
+let random_sparse rng g =
+  let n = Graph.n g in
+  let space = max 1 (n * n) in
+  let used = Hashtbl.create n in
+  Array.init n (fun _ ->
+      let rec draw () =
+        let id = 1 + Prng.int rng space in
+        if Hashtbl.mem used id then draw ()
+        else begin
+          Hashtbl.replace used id ();
+          id
+        end
+      in
+      draw ())
+
+let is_valid g ids =
+  Array.length ids = Graph.n g
+  && Array.for_all (fun id -> id > 0) ids
+  &&
+  let seen = Hashtbl.create (Array.length ids) in
+  Array.for_all
+    (fun id ->
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.replace seen id ();
+        true
+      end)
+    ids
+
+let rank ids =
+  let n = Array.length ids in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare ids.(a) ids.(b)) order;
+  let r = Array.make n 0 in
+  Array.iteri (fun pos v -> r.(v) <- pos) order;
+  r

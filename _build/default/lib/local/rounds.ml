@@ -1,0 +1,55 @@
+open Netgraph
+
+type ('state, 'msg) algorithm = {
+  init : int -> 'state * 'msg;
+  step : round:int -> node:int -> 'state -> 'msg array -> 'state * 'msg;
+}
+
+let run_rounds ?msg_bits g ~max_rounds ~halted alg =
+  let n = Graph.n g in
+  if n = 0 then ([||], 0, 0)
+  else begin
+    let states = Array.make n (fst (alg.init 0)) in
+    let outbox = Array.make n (snd (alg.init 0)) in
+    let max_msg = ref 0 in
+    let account m =
+      match msg_bits with
+      | None -> ()
+      | Some f -> max_msg := max !max_msg (f m)
+    in
+    for v = 0 to n - 1 do
+      let s, m = alg.init v in
+      states.(v) <- s;
+      outbox.(v) <- m;
+      account m
+    done;
+    let round = ref 0 in
+    let all_halted () = Array.for_all halted states in
+    while !round < max_rounds && not (all_halted ()) do
+      incr round;
+      let inbox =
+        Array.init n (fun v ->
+            Array.map (fun u -> outbox.(u)) (Graph.neighbors g v))
+      in
+      for v = 0 to n - 1 do
+        let s, m = alg.step ~round:!round ~node:v states.(v) inbox.(v) in
+        states.(v) <- s;
+        outbox.(v) <- m;
+        account m
+      done
+    done;
+    (states, !round, !max_msg)
+  end
+
+let run g ~rounds alg =
+  let states, _, _ =
+    run_rounds g ~max_rounds:rounds ~halted:(fun _ -> false) alg
+  in
+  states
+
+let run_until g ~max_rounds ~halted alg =
+  let states, rounds, _ = run_rounds g ~max_rounds ~halted alg in
+  (states, rounds)
+
+let run_measured g ~max_rounds ~halted ~msg_bits alg =
+  run_rounds ~msg_bits g ~max_rounds ~halted alg

@@ -1,0 +1,43 @@
+open Netgraph
+
+type t = {
+  radius : int;
+  center : int;
+  graph : Graph.t;
+  ids : int array;
+  dist : int array;
+  advice : string array;
+  input : int array;
+  to_global : int array;
+}
+
+let make ?advice ?input g ~ids ~radius v =
+  let members = Traversal.bfs_limited g v radius in
+  let nodes = List.map fst members in
+  let sub, to_sub, to_global = Graph.induced g nodes in
+  let nv = Graph.n sub in
+  let dist = Array.make nv 0 in
+  List.iter (fun (u, d) -> dist.(to_sub.(u)) <- d) members;
+  let pick default arr_opt =
+    match arr_opt with
+    | None -> Array.make nv default
+    | Some arr -> Array.init nv (fun i -> arr.(to_global.(i)))
+  in
+  {
+    radius;
+    center = to_sub.(v);
+    graph = sub;
+    ids = Array.init nv (fun i -> ids.(to_global.(i)));
+    dist;
+    advice = pick "" advice;
+    input = pick 0 input;
+    to_global;
+  }
+
+let map_nodes ?advice ?input g ~ids ~radius f =
+  Array.init (Graph.n g) (fun v -> f (make ?advice ?input g ~ids ~radius v))
+
+let find_by_id view id =
+  let found = ref None in
+  Array.iteri (fun i id' -> if id' = id && !found = None then found := Some i) view.ids;
+  !found

@@ -1,0 +1,43 @@
+(** Radius-T views.
+
+    After [T] rounds of LOCAL communication a node knows exactly the
+    labeled, ID-carrying subgraph induced by its radius-[T] ball.  A view
+    packages that fragment with local (re-indexed) node ids; algorithms
+    that work on views are locality-[T] by construction. *)
+
+type t = {
+  radius : int;
+  center : int;  (** index of the center inside the view *)
+  graph : Netgraph.Graph.t;  (** induced subgraph of the ball *)
+  ids : int array;  (** view node -> global identifier *)
+  dist : int array;  (** view node -> distance from the center *)
+  advice : string array;  (** view node -> advice bit string *)
+  input : int array;  (** view node -> input label (0 = none) *)
+  to_global : int array;
+      (** view node -> underlying node; for bookkeeping and verification
+          only — a faithful LOCAL algorithm must not inspect it. *)
+}
+
+val make :
+  ?advice:string array ->
+  ?input:int array ->
+  Netgraph.Graph.t ->
+  ids:Ids.t ->
+  radius:int ->
+  int ->
+  t
+(** [make g ~ids ~radius v] gathers the radius-[radius] view of node [v]. *)
+
+val map_nodes :
+  ?advice:string array ->
+  ?input:int array ->
+  Netgraph.Graph.t ->
+  ids:Ids.t ->
+  radius:int ->
+  (t -> 'a) ->
+  'a array
+(** Run a view-based algorithm at every node; the canonical way to execute
+    a [T]-round LOCAL algorithm. *)
+
+val find_by_id : t -> int -> int option
+(** Locate a view node by its global identifier. *)

@@ -1,0 +1,1 @@
+lib/schemas/balanced_orientation.ml: Advice Array Bitset Format Graph List Netgraph Orientation String Traversal

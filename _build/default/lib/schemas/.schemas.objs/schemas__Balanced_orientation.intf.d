@@ -1,0 +1,1 @@
+lib/schemas/balanced_orientation.mli: Advice Netgraph

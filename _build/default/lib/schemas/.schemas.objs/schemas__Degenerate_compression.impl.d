@@ -1,0 +1,1 @@
+lib/schemas/degenerate_compression.ml: Array Bitset Degeneracy Graph List Netgraph Orientation Printf String Traversal

@@ -1,0 +1,1 @@
+lib/schemas/degenerate_compression.mli: Advice Netgraph

@@ -1,0 +1,1 @@
+lib/schemas/delta_coloring.ml: Advice Array Bitset Buffer Coloring Format Graph Hashtbl List Netgraph Option Queue Ruling String

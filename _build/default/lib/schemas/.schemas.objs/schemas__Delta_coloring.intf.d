@@ -1,0 +1,1 @@
+lib/schemas/delta_coloring.mli: Advice Netgraph

@@ -1,0 +1,1 @@
+lib/schemas/distributed.ml: Advice Array Balanced_orientation Graph Localmodel Netgraph Orientation String

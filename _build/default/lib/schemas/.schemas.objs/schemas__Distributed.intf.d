@@ -1,0 +1,1 @@
+lib/schemas/distributed.mli: Advice Balanced_orientation Netgraph

@@ -1,0 +1,1 @@
+lib/schemas/edge_coloring_pow2.ml: Advice Array Format Graph Hashtbl List Netgraph Splitting Traversal

@@ -1,0 +1,1 @@
+lib/schemas/edge_coloring_pow2.mli: Advice Netgraph Splitting

@@ -1,0 +1,1 @@
+lib/schemas/edge_compression.ml: Array Balanced_orientation Bitset Graph List Netgraph Orientation String

@@ -1,0 +1,1 @@
+lib/schemas/edge_compression.mli: Advice Balanced_orientation Netgraph

@@ -1,0 +1,1 @@
+lib/schemas/lcl_support.ml: Advice Array Buffer Format Graph Lcl List Netgraph String Traversal

@@ -1,0 +1,1 @@
+lib/schemas/proofs.ml: Advice Bitset Graph Lcl List Netgraph Prng Subexp_lcl

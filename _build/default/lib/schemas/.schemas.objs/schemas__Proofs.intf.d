@@ -1,0 +1,1 @@
+lib/schemas/proofs.mli: Lcl Netgraph Subexp_lcl

@@ -1,0 +1,1 @@
+lib/schemas/splitting.ml: Advice Array Balanced_orientation Format Graph Netgraph Orientation Traversal Two_coloring

@@ -1,0 +1,1 @@
+lib/schemas/splitting.mli: Advice Balanced_orientation Netgraph Two_coloring

@@ -1,0 +1,1 @@
+lib/schemas/subexp_adaptive.ml: Advice Array Coloring Format Graph Growth Lcl Lcl_support List Netgraph String Traversal

@@ -1,0 +1,1 @@
+lib/schemas/subexp_adaptive.mli: Advice Lcl Netgraph

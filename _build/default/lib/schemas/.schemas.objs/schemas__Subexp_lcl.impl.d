@@ -1,0 +1,1 @@
+lib/schemas/subexp_lcl.ml: Advice Array Bitset Format Graph Lcl Lcl_support List Netgraph Queue Ruling String

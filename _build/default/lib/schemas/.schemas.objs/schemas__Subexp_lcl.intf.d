@@ -1,0 +1,1 @@
+lib/schemas/subexp_lcl.mli: Advice Lcl Netgraph

@@ -1,0 +1,1 @@
+lib/schemas/three_coloring.ml: Array Bitset Coloring Format Graph Hashtbl List Netgraph Option Queue Ruling Traversal

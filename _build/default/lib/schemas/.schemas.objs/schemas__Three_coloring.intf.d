@@ -1,0 +1,1 @@
+lib/schemas/three_coloring.mli: Advice Netgraph

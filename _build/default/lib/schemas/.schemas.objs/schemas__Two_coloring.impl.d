@@ -1,0 +1,1 @@
+lib/schemas/two_coloring.ml: Advice Array Format Graph List Netgraph Queue Ruling String Traversal

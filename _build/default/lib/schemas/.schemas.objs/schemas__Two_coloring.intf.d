@@ -1,0 +1,1 @@
+lib/schemas/two_coloring.mli: Advice Netgraph

@@ -1,0 +1,214 @@
+open Netgraph
+
+type params = {
+  short_threshold : int;
+  cover : int;
+  spacing : int;
+}
+
+let default_params = { short_threshold = 16; cover = 16; spacing = 3 }
+
+(* Anchor payloads are at most 1 + log2 Δ bits; their one-bit messages stay
+   short, so spacing 40 comfortably exceeds twice the decode radius for
+   Δ up to ~2^6. *)
+let onebit_params = { short_threshold = 96; cover = 96; spacing = 44 }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+type encoding = {
+  assignment : Advice.Assignment.t;
+  realized_cover : int;
+}
+
+let is_long params t = Orientation.trail_length t > params.short_threshold
+
+(* The advice of an anchor node v is the incident-edge slot through which
+   v's trail leaves v; fixed width determined by deg(v), which both sides
+   know. *)
+let slot_width g v = Advice.Bits.width_for (max 2 (Graph.degree g v))
+
+let encode_anchor g v slot = Advice.Bits.encode ~width:(slot_width g v) slot
+
+let decode_anchor g v s =
+  if String.length s <> slot_width g v then None
+  else
+    match Advice.Bits.decode s with
+    | slot when slot < Graph.degree g v -> Some slot
+    | _ -> None
+    | exception Invalid_argument _ -> None
+
+(* Trail-distance from every position to the nearest anchor position,
+   respecting wrap-around on closed trails. *)
+let cover_of_positions (t : Orientation.trail) anchor_positions =
+  let len = Array.length t.Orientation.edges in
+  match anchor_positions with
+  | [] -> max_int
+  | _ ->
+      let best = ref 0 in
+      for i = 0 to len do
+        let d p =
+          let direct = abs (i - p) in
+          if t.Orientation.closed then min direct (len - direct) else direct
+        in
+        let nearest =
+          List.fold_left (fun acc p -> min acc (d p)) max_int anchor_positions
+        in
+        best := max !best nearest
+      done;
+      !best
+
+(* The slot at node [v] of edge [e]. *)
+let slot_of g v e =
+  let inc = Graph.incident_edges g v in
+  let rec find i =
+    if i >= Array.length inc then assert false
+    else if inc.(i) = e then i
+    else find (i + 1)
+  in
+  find 0
+
+let encode ?(params = default_params) ?(choose = fun _ -> true) g =
+  let trails = Orientation.euler_partition g in
+  let assignment = Advice.Assignment.empty g in
+  let blocked = Bitset.create (Graph.n g) in
+  let block v =
+    List.iter (Bitset.add blocked) (Traversal.ball g v (params.spacing - 1))
+  in
+  let realized = ref 0 in
+  (* Place anchors on one trail, blocking balls of the given radius.  If a
+     trail ends up without any anchor (its nodes all blocked by other
+     trails' anchors), retry with smaller and smaller blocking: correctness
+     only needs each holder to serve a single anchor, so blocking radius 0
+     (merely "not already a holder") is always sound — wider spacing is a
+     sparsity/composability property, not a correctness one. *)
+  let place_on_trail (t : Orientation.trail) =
+    let len = Array.length t.Orientation.edges in
+    let rec attempt forward flipped block_radius =
+      let anchors = ref [] in
+      (* Start far enough back that position 0 is immediately eligible,
+         whatever the trail length. *)
+      let last_anchor = ref (-(max len params.cover)) in
+      for p = 0 to len - 1 do
+        (* With direction [forward], the trail leaves nodes.(p) via
+           edges.(p); with the reverse direction it leaves nodes.(p+1)
+           via edges.(p). *)
+        let v =
+          if forward then t.Orientation.nodes.(p)
+          else t.Orientation.nodes.(p + 1)
+        in
+        if
+          p - !last_anchor >= params.cover / 2
+          && (block_radius = 0 || not (Bitset.mem blocked v))
+          && assignment.(v) = ""
+        then begin
+          assignment.(v) <- encode_anchor g v (slot_of g v t.Orientation.edges.(p));
+          block v;
+          anchors := p :: !anchors;
+          last_anchor := p
+        end
+      done;
+      match !anchors with
+      | [] ->
+          if block_radius > 0 then attempt forward flipped (block_radius / 2)
+          else if not flipped then
+            (* The preferred direction's candidate nodes are all taken
+               (possible on very short trails); the opposite direction
+               anchors at the other endpoints and is equally valid. *)
+            attempt (not forward) true (params.spacing - 1)
+          else fail "trail of length %d admits no anchor at all" len
+      | positions -> realized := max !realized (cover_of_positions t positions)
+    in
+    attempt (choose t) false (params.spacing - 1)
+  in
+  (* Short trails first: they have the fewest candidate anchor nodes. *)
+  let long_trails =
+    List.filter (is_long params) trails
+    |> List.sort (fun a b ->
+           compare (Orientation.trail_length a) (Orientation.trail_length b))
+  in
+  List.iter place_on_trail long_trails;
+  { assignment; realized_cover = !realized }
+
+let decode_general ~strict ?(params = default_params) g assignment =
+  let o = Orientation.create g in
+  let trails = Array.of_list (Orientation.euler_partition g) in
+  (* Map every edge to its trail and its position on it. *)
+  let edge_trail = Array.make (Graph.m g) (-1) in
+  let edge_pos = Array.make (Graph.m g) (-1) in
+  Array.iteri
+    (fun ti (t : Orientation.trail) ->
+      Array.iteri
+        (fun p e ->
+          edge_trail.(e) <- ti;
+          edge_pos.(e) <- p)
+        t.Orientation.edges)
+    trails;
+  (* Interpret anchors: holder v names an out-edge e; the trail containing
+     e flows out of v through e. *)
+  let anchors = Array.make (Array.length trails) [] in
+  Graph.iter_nodes
+    (fun v ->
+      if assignment.(v) <> "" then
+        match decode_anchor g v assignment.(v) with
+        | None -> if strict then fail "node %d holds an unparsable anchor" v
+        | Some slot ->
+            let e = (Graph.incident_edges g v).(slot) in
+            let ti = edge_trail.(e) in
+            let t = trails.(ti) in
+            let p = edge_pos.(e) in
+            (* Forward iff the trail's normalized order leaves v via e. *)
+            let forward = t.Orientation.nodes.(p) = v in
+            anchors.(ti) <- (p, forward) :: anchors.(ti))
+    g;
+  (* Orient every edge according to the nearest anchor of its trail (they
+     all agree in honest runs; on graph fragments the anchors near the
+     boundary may be corrupted by missing incident edges, and the nearest
+     one is the reliable one). *)
+  Array.iteri
+    (fun ti (t : Orientation.trail) ->
+      let len = Array.length t.Orientation.edges in
+      match anchors.(ti) with
+      | [] ->
+          if is_long params t && strict then
+            fail "long trail (length %d) has no anchor" len
+          else Orientation.orient_trail o t ~forward:true
+      | anchor_list ->
+          if strict then begin
+            let dirs = List.map snd anchor_list in
+            match dirs with
+            | d :: rest when List.for_all (fun x -> x = d) rest -> ()
+            | _ -> fail "conflicting anchors on one trail"
+          end;
+          for i = 0 to len - 1 do
+            let dist p =
+              let direct = abs (i - p) in
+              if t.Orientation.closed then min direct (len - direct)
+              else direct
+            in
+            let _, forward =
+              List.fold_left
+                (fun (bd, bf) (p, f) ->
+                  if dist p < bd then (dist p, f) else (bd, bf))
+                (max_int, true) anchor_list
+            in
+            let a = t.Orientation.nodes.(i)
+            and b = t.Orientation.nodes.(i + 1) in
+            if forward then Orientation.orient o a b
+            else Orientation.orient o b a
+          done)
+    trails;
+  o
+
+let decode ?params g assignment = decode_general ~strict:true ?params g assignment
+
+let decode_tolerant ?params g assignment =
+  decode_general ~strict:false ?params g assignment
+
+let encode_onebit ?(params = onebit_params) ?choose g =
+  let enc = encode ~params ?choose g in
+  Advice.Onebit.encode g enc.assignment
+
+let decode_onebit ?(params = onebit_params) g ones =
+  decode ~params g (Advice.Onebit.decode g ones)

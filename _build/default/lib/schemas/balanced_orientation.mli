@@ -1,0 +1,86 @@
+(** Almost-balanced orientations with advice (Contribution 3, Section 5).
+
+    The edge set decomposes canonically into trails (see
+    {!Netgraph.Orientation.euler_partition}); orienting every trail
+    consistently yields [|indeg - outdeg| <= 1] everywhere.  Short trails
+    (length at most [short_threshold]) are oriented by a local rule without
+    advice — every node sees its whole trail.  Each long trail receives
+    *anchors*: nodes whose advice names the incident-edge slot through
+    which their trail flows out of them.  Since every edge belongs to
+    exactly one trail, an anchor is unambiguous: nearby nodes walk their
+    trail to the closest anchor and orient accordingly.  Anchors appear
+    roughly every [cover] trail steps (so decoding is local) and are
+    pairwise at least [spacing] apart in the graph (the γ of composability,
+    and the spacing the one-bit conversion needs).
+
+    The encoder certifies its output by running the decoder: encoding
+    failures raise instead of producing undecodable advice. *)
+
+type params = {
+  short_threshold : int;
+      (** Trails up to this length are advice-free and oriented by the
+          canonical rule. *)
+  cover : int;
+      (** Target maximal trail-distance from any long-trail node to its
+          nearest anchor. *)
+  spacing : int;
+      (** Minimal pairwise graph distance between anchor nodes.  Must
+          exceed [2 * Advice.Onebit.decode_radius] when the assignment will
+          be converted to one bit per node. *)
+}
+
+val default_params : params
+(** Small spacing, suitable for the variable-length schema. *)
+
+val onebit_params : params
+(** Spacing wide enough for {!encode_onebit} at moderate degrees. *)
+
+exception Encoding_failure of string
+
+type encoding = {
+  assignment : Advice.Assignment.t;
+  realized_cover : int;
+      (** Measured worst trail-distance to an anchor; the decoding
+          locality actually achieved. *)
+}
+
+val encode :
+  ?params:params ->
+  ?choose:(Netgraph.Orientation.trail -> bool) ->
+  Netgraph.Graph.t ->
+  encoding
+(** Produce a variable-length advice assignment for the orientation
+    problem.  [choose] selects each long trail's direction ([true] = the
+    trail's normalized order); short trails are always oriented forward.
+    @raise Encoding_failure when anchors cannot be placed. *)
+
+val decode :
+  ?params:params ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t ->
+  Netgraph.Orientation.t
+(** Recover the orientation.  @raise Encoding_failure on malformed or
+    missing advice. *)
+
+val decode_tolerant :
+  ?params:params ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t ->
+  Netgraph.Orientation.t
+(** Like {!decode} but substitutes the canonical default on trails whose
+    anchors are missing — used when running the decoder on graph fragments
+    for locality measurements, where trails near the fragment boundary are
+    truncated. *)
+
+val encode_onebit :
+  ?params:params ->
+  ?choose:(Netgraph.Orientation.trail -> bool) ->
+  Netgraph.Graph.t ->
+  Netgraph.Bitset.t
+(** Uniform 1-bit-per-node advice (via {!Advice.Onebit}). *)
+
+val decode_onebit :
+  ?params:params ->
+  Netgraph.Graph.t ->
+  Netgraph.Bitset.t ->
+  Netgraph.Orientation.t

@@ -1,0 +1,95 @@
+open Netgraph
+
+exception Unsupported of string
+
+let degeneracy_order g = Degeneracy.order g
+
+let orient_by_order g pos = Degeneracy.orient g pos
+
+let check_cubic g =
+  Graph.iter_nodes
+    (fun v ->
+      if Graph.degree g v <> 3 then
+        raise (Unsupported (Printf.sprintf "node %d has degree %d, not 3" v (Graph.degree g v))))
+    g
+
+(* Shared structure both sides derive deterministically: per component the
+   deleted edge (maximal edge id), the pruned graph, its smallest-last
+   order and orientation, and the per-component last-removed node. *)
+let shared_structure g =
+  let comp, k = Traversal.components g in
+  let deleted = Array.make k (-1) in
+  Graph.iter_edges
+    (fun e (u, _) ->
+      let c = comp.(u) in
+      if deleted.(c) < e then deleted.(c) <- e)
+    g;
+  let deleted_set = Bitset.create (Graph.m g) in
+  Array.iter (fun e -> if e >= 0 then Bitset.add deleted_set e) deleted;
+  let pruned_edges =
+    Graph.fold_edges
+      (fun e pair acc -> if Bitset.mem deleted_set e then acc else pair :: acc)
+      g []
+  in
+  let pruned = Graph.of_edges ~n:(Graph.n g) pruned_edges in
+  let pos, degeneracy = degeneracy_order pruned in
+  let o = orient_by_order pruned pos in
+  (* Last-removed node of each component (of g). *)
+  let last = Array.make k (-1) in
+  Graph.iter_nodes
+    (fun v ->
+      let c = comp.(v) in
+      if last.(c) < 0 || pos.(v) > pos.(last.(c)) then last.(c) <- v)
+    g;
+  let hides_deleted = Array.make (Graph.n g) (-1) in
+  Array.iteri
+    (fun c v -> if v >= 0 && deleted.(c) >= 0 then hides_deleted.(v) <- deleted.(c))
+    last;
+  (pruned, o, degeneracy, hides_deleted)
+
+let encode g x =
+  check_cubic g;
+  if Bitset.length x <> Graph.m g then
+    invalid_arg "Degenerate_compression.encode: edge set size mismatch";
+  let pruned, o, degeneracy, hides_deleted = shared_structure g in
+  if degeneracy > 2 then
+    raise (Unsupported "pruned graph is not 2-degenerate (disconnected anomaly?)");
+  Array.init (Graph.n g) (fun v ->
+      let member e_pruned =
+        (* Edge of the pruned graph -> the same edge of g by endpoints. *)
+        let a, b = Graph.edge_endpoints pruned e_pruned in
+        Bitset.mem x (Graph.edge_id g a b)
+      in
+      let out_bits =
+        Array.to_list (Orientation.out_neighbors o v)
+        |> List.map (fun u ->
+               if member (Graph.edge_id pruned v u) then "1" else "0")
+        |> String.concat ""
+      in
+      if hides_deleted.(v) >= 0 then
+        out_bits ^ (if Bitset.mem x hides_deleted.(v) then "1" else "0")
+      else out_bits)
+
+let decode g assignment =
+  check_cubic g;
+  let _pruned, o, _, hides_deleted = shared_structure g in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_nodes
+    (fun v ->
+      let out = Orientation.out_neighbors o v in
+      let expected =
+        Array.length out + if hides_deleted.(v) >= 0 then 1 else 0
+      in
+      if String.length assignment.(v) <> expected then
+        invalid_arg "Degenerate_compression.decode: wrong string length";
+      Array.iteri
+        (fun i u ->
+          if assignment.(v).[i] = '1' then Bitset.add x (Graph.edge_id g v u))
+        out;
+      if hides_deleted.(v) >= 0 && assignment.(v).[Array.length out] = '1'
+      then Bitset.add x hides_deleted.(v))
+    g;
+  x
+
+let max_bits_per_node assignment =
+  Array.fold_left (fun acc s -> max acc (String.length s)) 0 assignment

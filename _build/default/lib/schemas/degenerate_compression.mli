@@ -1,0 +1,36 @@
+(** Edge-subset compression via degeneracy orderings (open question 4).
+
+    Section 1.9's fourth open question asks: on a 3-regular graph, can an
+    arbitrary edge set X ⊆ E be stored with only 2 bits per node and
+    decompressed *locally*?  (3 bits is trivial, ⌈3/2⌉+1 = 3 is what
+    Contribution 4 gives at Δ = 3, and 1 bit is impossible.)  The paper
+    sketches the centralized half: delete one edge per connected component
+    and the rest is 2-degenerate, so a degeneracy orientation has
+    out-degree ≤ 2 and out-edge membership vectors cost 2 bits; the
+    deleted edge's bit hides at the component's last-removed node, whose
+    out-degree is 0.
+
+    This module implements that *global-decoding* construction: the
+    decoder recomputes the (canonical, but inherently sequential)
+    degeneracy order, so decompression is correct but not local — making
+    the open gap concrete and measurable.  The ablation bench compares its
+    2 bits/node against Contribution 4's local 3 bits/node. *)
+
+val degeneracy_order : Netgraph.Graph.t -> int array * int
+(** Canonical smallest-last order: repeatedly remove the minimum-degree
+    node (ties by node id).  Returns (removal position per node, the
+    degeneracy number): every node has at most degeneracy-many neighbors removed after it. *)
+
+val orient_by_order : Netgraph.Graph.t -> int array -> Netgraph.Orientation.t
+(** Orient every edge from the earlier-removed endpoint to the later one:
+    out-degree ≤ degeneracy. *)
+
+exception Unsupported of string
+
+val encode : Netgraph.Graph.t -> Netgraph.Bitset.t -> Advice.Assignment.t
+(** 3-regular graphs only: at most 2 bits per node.
+    @raise Unsupported when the graph is not 3-regular. *)
+
+val decode : Netgraph.Graph.t -> Advice.Assignment.t -> Netgraph.Bitset.t
+
+val max_bits_per_node : Advice.Assignment.t -> int

@@ -1,0 +1,431 @@
+open Netgraph
+
+type params = {
+  cluster_spread : int;
+  max_path : int;
+  max_waves : int;
+  stride : int;
+}
+
+let default_params =
+  { cluster_spread = 5; max_path = 40; max_waves = 4; stride = 5 }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Stage 1: Voronoi clustering and the clustered coloring *)
+
+(* Deterministic Voronoi assignment: multi-source BFS seeded with the
+   rulers in increasing id order; first arrival wins, so both encoder and
+   decoder derive identical clusters from the same ruler set. *)
+let voronoi g rulers =
+  let cluster = Array.make (Graph.n g) (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun r ->
+      cluster.(r) <- r;
+      Queue.add r queue)
+    rulers;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Array.iter
+      (fun u ->
+        if cluster.(u) < 0 then begin
+          cluster.(u) <- cluster.(v);
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  cluster
+
+(* Greedy coloring inside each cluster, ignoring cross-cluster edges; at
+   most Δ+1 inner colors. *)
+let inner_coloring g cluster =
+  let inner = Array.make (Graph.n g) 0 in
+  Graph.iter_nodes
+    (fun v ->
+      let used = Hashtbl.create 8 in
+      Array.iter
+        (fun u ->
+          if cluster.(u) = cluster.(v) && inner.(u) > 0 then
+            Hashtbl.replace used inner.(u) ())
+        (Graph.neighbors g v);
+      let rec least c = if Hashtbl.mem used c then least (c + 1) else c in
+      inner.(v) <- least 1)
+    g;
+  inner
+
+let encode_cluster_advice ?(params = default_params) g =
+  let rulers = Ruling.ruling_set g ~alpha:params.cluster_spread in
+  let cluster = voronoi g rulers in
+  (* Proper coloring of the cluster graph, greedy in ruler order. *)
+  let adjacent = Hashtbl.create 64 in
+  Graph.iter_edges
+    (fun _ (u, v) ->
+      let cu = cluster.(u) and cv = cluster.(v) in
+      if cu <> cv then begin
+        Hashtbl.replace adjacent (cu, cv) ();
+        Hashtbl.replace adjacent (cv, cu) ()
+      end)
+    g;
+  let cluster_neighbors = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt cluster_neighbors a) in
+      Hashtbl.replace cluster_neighbors a (b :: prev))
+    adjacent;
+  let cluster_color = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let used = Hashtbl.create 8 in
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt cluster_color b with
+          | Some c -> Hashtbl.replace used c ()
+          | None -> ())
+        (Option.value ~default:[] (Hashtbl.find_opt cluster_neighbors r));
+      let rec least c = if Hashtbl.mem used c then least (c + 1) else c in
+      Hashtbl.replace cluster_color r (least 1))
+    rulers;
+  let assignment = Advice.Assignment.empty g in
+  List.iter
+    (fun r ->
+      assignment.(r) <- Advice.Bits.encode_int (Hashtbl.find cluster_color r - 1))
+    rulers;
+  assignment
+
+(* The coloring both sides derive from the cluster advice. *)
+let clustered_coloring g cluster_advice =
+  let rulers = Advice.Assignment.holders cluster_advice in
+  if rulers = [] && Graph.n g > 0 then fail "no cluster centers in advice";
+  let cluster = voronoi g rulers in
+  let inner = inner_coloring g cluster in
+  let delta = Graph.max_degree g in
+  Array.init (Graph.n g) (fun v ->
+      let cc = Advice.Bits.decode cluster_advice.(cluster.(v)) + 1 in
+      ((cc - 1) * (delta + 1)) + inner.(v))
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2: palette reduction to Δ+1 by color-class iteration *)
+
+let reduce_to_delta_plus_one g coloring =
+  let delta = Graph.max_degree g in
+  let work = Array.copy coloring in
+  let classes = Coloring.color_classes coloring in
+  Array.iter
+    (fun members ->
+      List.iter
+        (fun v ->
+          let used = Hashtbl.create 8 in
+          Array.iter
+            (fun u -> Hashtbl.replace used work.(u) ())
+            (Graph.neighbors g v);
+          let rec least c = if Hashtbl.mem used c then least (c + 1) else c in
+          let c = least 1 in
+          assert (c <= delta + 1);
+          work.(v) <- c)
+        members)
+    classes;
+  work
+
+(* ------------------------------------------------------------------ *)
+(* Stage 3: Δ+1 -> Δ via shift paths *)
+
+let slot_width g v = Advice.Bits.width_for (max 2 (Graph.degree g v))
+
+let wave_bits w = Advice.Bits.encode ~width:2 w
+
+(* Simulate shifting colors along [path] (from the uncolored node towards
+   the absorbing endpoint) over the base coloring [snapshot]: node i takes
+   the snapshot color of node i+1, and the endpoint picks the least color
+   of 1..Δ free among its neighbors' post-shift colors.  Returns the
+   changed colors when the result is proper, [None] otherwise. *)
+let simulate_shift g snapshot delta path =
+  let changed = Hashtbl.create 8 in
+  let k = Array.length path - 1 in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    let c = snapshot.(path.(i + 1)) in
+    if c > delta then ok := false else Hashtbl.replace changed path.(i) c
+  done;
+  if not !ok then None
+  else begin
+    let color_of v =
+      match Hashtbl.find_opt changed v with Some c -> c | None -> snapshot.(v)
+    in
+    (* Endpoint: least free color <= Δ against post-shift neighbors. *)
+    let used = Hashtbl.create 8 in
+    Array.iter (fun u -> Hashtbl.replace used (color_of u) ()) (Graph.neighbors g path.(k));
+    let rec least c = if Hashtbl.mem used c then least (c + 1) else c in
+    let c = least 1 in
+    if c > delta then None
+    else begin
+      Hashtbl.replace changed path.(k) c;
+      let proper =
+        Array.for_all
+          (fun v ->
+            Array.for_all (fun u -> color_of v <> color_of u) (Graph.neighbors g v))
+          path
+      in
+      if proper then Some changed else None
+    end
+  end
+
+(* Breadth-first search for a shift path from the uncolored node [u]:
+   steps v -> w are admissible when w's snapshot color occurs exactly once
+   in v's neighborhood (so v can take it over), w is not blocked, and the
+   path stays short.  Every reached node is tried as an absorbing endpoint
+   via simulation. *)
+let find_shift_path g snapshot delta ~blocked ~max_path u =
+  let n = Graph.n g in
+  let parent = Array.make n (-2) in
+  let depth = Array.make n 0 in
+  parent.(u) <- -1;
+  let queue = Queue.create () in
+  Queue.add u queue;
+  let result = ref None in
+  let path_to v =
+    let rec walk v acc = if v = u then u :: acc else walk parent.(v) (v :: acc) in
+    Array.of_list (walk v [])
+  in
+  let admissible v w =
+    parent.(w) = -2
+    && (not (Bitset.mem blocked w))
+    && snapshot.(w) <= delta
+    &&
+    let count = ref 0 in
+    Array.iter
+      (fun x -> if snapshot.(x) = snapshot.(w) then incr count)
+      (Graph.neighbors g v);
+    !count = 1
+  in
+  while !result = None && not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    (match simulate_shift g snapshot delta (path_to v) with
+    | Some changed -> result := Some (path_to v, changed)
+    | None -> ());
+    if !result = None && depth.(v) < max_path then
+      Array.iter
+        (fun w ->
+          if admissible v w then begin
+            parent.(w) <- v;
+            depth.(w) <- depth.(v) + 1;
+            Queue.add w queue
+          end)
+        (Graph.neighbors g v)
+  done;
+  !result
+
+(* Relay markers (the paper's sparse path encoding, Lemma 9/10 style):
+   instead of marking every path node, only every [stride]-th node — plus
+   the absorbing endpoint — holds advice.  A non-terminal marker stores the
+   relative route to the next marker: the sequence of incident-edge slots
+   along the path segment, which the decoder replays hop by hop (slot
+   widths are known from degrees, so the string self-synchronizes). *)
+
+let slot_to g v next =
+  let inc = Graph.neighbors g v in
+  let rec find j = if inc.(j) = next then j else find (j + 1) in
+  find 0
+
+let route_len_width params = Advice.Bits.width_for (params.stride + 1)
+
+let write_markers ~params ~wave g advice path =
+  let k = Array.length path - 1 in
+  let rec mark p =
+    if p = k then advice.(path.(p)) <- "1" ^ wave_bits wave
+    else begin
+      let q = min (p + params.stride) k in
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf ("0" ^ wave_bits wave);
+      Buffer.add_string buf
+        (Advice.Bits.encode ~width:(route_len_width params) (q - p));
+      for i = p to q - 1 do
+        Buffer.add_string buf
+          (Advice.Bits.encode
+             ~width:(slot_width g path.(i))
+             (slot_to g path.(i) path.(i + 1)))
+      done;
+      advice.(path.(p)) <- Buffer.contents buf;
+      mark q
+    end
+  in
+  mark 0
+
+let encode_path_advice ?(params = default_params) g psi =
+  let n = Graph.n g in
+  let delta = Graph.max_degree g in
+  let advice = Advice.Assignment.empty g in
+  let final = Array.copy psi in
+  let pending = ref [] in
+  for v = n - 1 downto 0 do
+    if psi.(v) = delta + 1 then pending := v :: !pending
+  done;
+  let wave = ref 0 in
+  while !pending <> [] do
+    if !wave >= params.max_waves then
+      fail "shift-path search exceeded %d waves" params.max_waves;
+    let snapshot = Array.copy final in
+    let blocked = Bitset.create n in
+    (* A node adjacent to (or on) a path already planned this wave must
+       wait for the next wave: its neighborhood is in flux. *)
+    let deferred = Bitset.create n in
+    (* Other still-uncolored nodes cannot take part in a path. *)
+    List.iter (Bitset.add blocked) !pending;
+    let unresolved = ref [] in
+    let wave_changes = ref [] in
+    List.iter
+      (fun u ->
+        if Bitset.mem deferred u then unresolved := u :: !unresolved
+        else begin
+          Bitset.remove blocked u;
+          match
+            find_shift_path g snapshot delta ~blocked ~max_path:params.max_path u
+          with
+          | None ->
+              Bitset.add blocked u;
+              unresolved := u :: !unresolved
+          | Some (path, changed) ->
+              wave_changes := changed :: !wave_changes;
+              write_markers ~params ~wave:!wave g advice path;
+              (* Paths of one wave must be non-adjacent: block the path and
+                 its neighborhood. *)
+              Array.iter
+                (fun v ->
+                  Bitset.add blocked v;
+                  Bitset.add deferred v;
+                  Array.iter
+                    (fun w ->
+                      Bitset.add blocked w;
+                      Bitset.add deferred w)
+                    (Graph.neighbors g v))
+                path
+        end)
+      !pending;
+    (* Apply the wave's shifts (they are pairwise independent). *)
+    List.iter
+      (fun changed -> Hashtbl.iter (fun v c -> final.(v) <- c) changed)
+      !wave_changes;
+    if List.length !unresolved = List.length !pending then
+      fail "no progress in wave %d: %d nodes cannot be recolored" !wave
+        (List.length !unresolved);
+    pending := List.rev !unresolved;
+    incr wave
+  done;
+  (advice, final)
+
+let decode_path_advice ?(params = default_params) g psi advice =
+  let n = Graph.n g in
+  let delta = Graph.max_degree g in
+  let final = Array.copy psi in
+  (* Parse a marker: terminal, or a route of successor slots leading to
+     the next marker. *)
+  let parse v =
+    let s = advice.(v) in
+    if s = "" then None
+    else if String.length s < 3 then fail "node %d: malformed path advice" v
+    else begin
+      let wave = Advice.Bits.decode (String.sub s 1 2) in
+      if s.[0] = '1' then begin
+        if String.length s <> 3 then fail "node %d: malformed terminal" v;
+        Some (wave, None)
+      end
+      else begin
+        let lw = route_len_width params in
+        if String.length s < 3 + lw then fail "node %d: malformed marker" v;
+        let len = Advice.Bits.decode (String.sub s 3 lw) in
+        if len < 1 || len > params.stride then
+          fail "node %d: bad route length" v;
+        (* Replay the route hop by hop. *)
+        let pos = ref (3 + lw) in
+        let cur = ref v in
+        let hops = ref [] in
+        for _ = 1 to len do
+          let width = slot_width g !cur in
+          if !pos + width > String.length s then
+            fail "node %d: truncated route" v;
+          let slot = Advice.Bits.decode (String.sub s !pos width) in
+          pos := !pos + width;
+          if slot >= Graph.degree g !cur then fail "node %d: bad slot" v;
+          cur := (Graph.neighbors g !cur).(slot);
+          hops := !cur :: !hops
+        done;
+        if !pos <> String.length s then fail "node %d: trailing bits" v;
+        Some (wave, Some (List.rev !hops))
+      end
+    end
+  in
+  for wave = 0 to params.max_waves - 1 do
+    let snapshot = Array.copy final in
+    for u = 0 to n - 1 do
+      if psi.(u) = delta + 1 then begin
+        match parse u with
+        | Some (w, _) when w = wave ->
+            (* Chain markers to the absorbing endpoint. *)
+            let rec follow v acc steps =
+              if steps > params.max_path + 1 then
+                fail "path from node %d does not terminate" u
+              else
+                match parse v with
+                | Some (_, None) -> List.rev (v :: acc)
+                | Some (_, Some hops) ->
+                    (* hops ends at the next marker; the body between the
+                       two markers joins the path now. *)
+                    let rec split_last = function
+                      | [] -> assert false
+                      | [ last ] -> ([], last)
+                      | x :: rest ->
+                          let body, last = split_last rest in
+                          (x :: body, last)
+                    in
+                    let body, next_marker = split_last hops in
+                    follow next_marker
+                      (List.rev_append (v :: body) acc)
+                      (steps + List.length hops)
+                | None -> fail "path from node %d leaves the advice" u
+            in
+            let path = Array.of_list (follow u [] 0) in
+            (match simulate_shift g snapshot delta path with
+            | Some changed -> Hashtbl.iter (fun v c -> final.(v) <- c) changed
+            | None -> fail "shift path from node %d is invalid" u)
+        | _ -> ()
+      end
+    done
+  done;
+  final
+
+(* ------------------------------------------------------------------ *)
+(* Full schema *)
+
+let decode_stages ?(params = default_params) g assignment =
+  let cluster_advice, path_advice = Advice.Composable.split assignment in
+  let big = clustered_coloring g cluster_advice in
+  let psi = reduce_to_delta_plus_one g big in
+  let final = decode_path_advice ~params g psi path_advice in
+  (big, psi, final)
+
+let decode ?(params = default_params) g assignment =
+  let _, _, final = decode_stages ~params g assignment in
+  let delta = Graph.max_degree g in
+  if not (Coloring.is_proper g final) || Coloring.num_colors final > delta then
+    fail "decoded coloring is not a proper Δ-coloring";
+  final
+
+let encode ?(params = default_params) g =
+  if Graph.n g = 0 then [||]
+  else begin
+    let delta = Graph.max_degree g in
+    if delta < 3 then
+      fail "Δ-coloring schema needs Δ >= 3 (Brooks-style recoloring)";
+    let cluster_advice = encode_cluster_advice ~params g in
+    let big = clustered_coloring g cluster_advice in
+    let psi = reduce_to_delta_plus_one g big in
+    let path_advice, _ = encode_path_advice ~params g psi in
+    let assignment = Advice.Composable.pair cluster_advice path_advice in
+    (* Certify. *)
+    let final = decode ~params g assignment in
+    ignore final;
+    assignment
+  end

@@ -1,0 +1,56 @@
+(** Δ-coloring Δ-colorable graphs with advice (Contribution 5, Section 6).
+
+    Three-stage pipeline, mirroring the paper's schema:
+
+    + {b Clustered coloring with advice} (Section 6.1).  A ruling set
+      induces a Voronoi clustering both sides compute identically; each
+      cluster center's advice stores the cluster's color in a proper
+      coloring of the cluster graph (computed by the omniscient encoder).
+      A node's color is the pair (its greedy color inside the cluster, the
+      cluster color) — proper, with a palette bounded by a function of Δ
+      and the clustering parameters only.
+    + {b Reduction to Δ+1 colors, no advice.}  Color classes of the
+      clustered coloring are processed one per round; every node picks the
+      least color of 1..Δ+1 free in its neighborhood.  (The paper invokes
+      the O(√(Δ log Δ))-round list-coloring algorithm here; class iteration
+      has a worse Δ-dependence but the same n-independence, which is what
+      Definition 2 requires.  See DESIGN.md.)
+    + {b Δ+1 → Δ with advice} (Section 6.2).  Nodes of color Δ+1 are
+      uncolored; the encoder — which can simulate the decoder's first two
+      stages exactly — finds for each a short *shift path* to a node that
+      can absorb a recoloring (Panconesi–Srinivasan-style), writes the path
+      into the advice (each path node stores its wave number and successor
+      slot), and the decoder replays the shifts wave by wave.  Paths of one
+      wave are kept at pairwise distance ≥ 2, so their shifts commute.
+
+    The encoder certifies by running the decoder. *)
+
+type params = {
+  cluster_spread : int;  (** ruling-set distance of cluster centers *)
+  max_path : int;  (** longest admissible shift path *)
+  max_waves : int;  (** at most 4 (two advice bits) *)
+  stride : int;
+      (** relay-marker spacing along shift paths: only every [stride]-th
+          path node holds advice, carrying the relative route to the next
+          marker (the paper's sparse relay encoding) *)
+}
+
+val default_params : params
+
+exception Encoding_failure of string
+
+val encode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t
+(** Variable-length advice (pair of cluster advice and shift-path advice).
+    @raise Encoding_failure when the graph cannot be Δ-colored this way
+    (e.g. it is K_{Δ+1} or an odd cycle) or the search gives up. *)
+
+val decode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t -> int array
+(** A proper coloring with at most [max_degree g] colors. *)
+
+val decode_stages :
+  ?params:params ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t ->
+  int array * int array * int array
+(** The intermediate colorings (clustered, Δ+1, final) — exposed for tests
+    and the experiment harness. *)

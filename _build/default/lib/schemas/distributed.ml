@@ -1,0 +1,115 @@
+open Netgraph
+
+(* ------------------------------------------------------------------ *)
+(* 2-coloring by beacon flooding *)
+
+let two_coloring g assignment =
+  let alg =
+    {
+      Localmodel.Rounds.init =
+        (fun v ->
+          let color =
+            if assignment.(v) = "1" then 2
+            else if assignment.(v) = "0" then 1
+            else 0
+          in
+          (color, color));
+      step =
+        (fun ~round:_ ~node:_ state received ->
+          if state > 0 then (state, state)
+          else begin
+            let from_neighbor =
+              Array.fold_left (fun acc m -> if acc > 0 then acc else m) 0 received
+            in
+            let state = if from_neighbor > 0 then 3 - from_neighbor else 0 in
+            (state, state)
+          end);
+    }
+  in
+  let states, rounds =
+    Localmodel.Rounds.run_until g ~max_rounds:(Graph.n g + 1)
+      ~halted:(fun s -> s > 0)
+      alg
+  in
+  if Array.exists (fun s -> s = 0) states then
+    failwith "Distributed.two_coloring: some node heard no beacon";
+  (states, rounds)
+
+(* ------------------------------------------------------------------ *)
+(* Orientation by trail-hop propagation *)
+
+let orientation_params =
+  { Balanced_orientation.default_params with Balanced_orientation.short_threshold = 0 }
+
+(* Per-node state: direction of each incident slot, 0 unknown / 1 out /
+   2 in.  The canonical pairing (consecutive incident slots) lets a node
+   extend knowledge internally: a trail entering through one slot of a
+   pair leaves through the other. *)
+let close_pairs slots =
+  let len = Array.length slots in
+  let pairs = len / 2 in
+  for j = 0 to pairs - 1 do
+    let a = 2 * j and b = (2 * j) + 1 in
+    if slots.(a) <> 0 && slots.(b) = 0 then slots.(b) <- 3 - slots.(a);
+    if slots.(b) <> 0 && slots.(a) = 0 then slots.(a) <- 3 - slots.(b)
+  done
+
+let orientation g assignment =
+  let slot_of v u =
+    let nb = Graph.neighbors g v in
+    let rec find i = if nb.(i) = u then i else find (i + 1) in
+    find 0
+  in
+  let parse_anchor v =
+    if assignment.(v) = "" then None
+    else begin
+      let width = Advice.Bits.width_for (max 2 (Graph.degree g v)) in
+      if String.length assignment.(v) <> width then None
+      else
+        match Advice.Bits.decode assignment.(v) with
+        | slot when slot < Graph.degree g v -> Some slot
+        | _ -> None
+        | exception Invalid_argument _ -> None
+    end
+  in
+  let alg =
+    {
+      Localmodel.Rounds.init =
+        (fun v ->
+          let slots = Array.make (Graph.degree g v) 0 in
+          (match parse_anchor v with
+          | Some slot -> slots.(slot) <- 1
+          | None -> ());
+          close_pairs slots;
+          (slots, Array.copy slots));
+      step =
+        (fun ~round:_ ~node:v slots received ->
+          (* received.(i) = neighbor i's slot vector; the shared edge is my
+             slot i and the neighbor's slot for me. *)
+          let nb = Graph.neighbors g v in
+          Array.iteri
+            (fun i their_slots ->
+              if slots.(i) = 0 then begin
+                let their_view = their_slots.(slot_of nb.(i) v) in
+                if their_view <> 0 then slots.(i) <- 3 - their_view
+              end)
+            received;
+          close_pairs slots;
+          (slots, Array.copy slots));
+    }
+  in
+  let all_known slots = Array.for_all (fun s -> s <> 0) slots in
+  let states, rounds =
+    Localmodel.Rounds.run_until g ~max_rounds:(Graph.n g + 1) ~halted:all_known
+      alg
+  in
+  if not (Array.for_all all_known states) then
+    failwith "Distributed.orientation: some edge never learned a direction";
+  let o = Orientation.create g in
+  Graph.iter_nodes
+    (fun v ->
+      Array.iteri
+        (fun i u -> if states.(v).(i) = 1 then Orientation.orient o v u)
+        (Graph.neighbors g v))
+    g;
+  (o, rounds)

@@ -1,0 +1,33 @@
+(** Round-based distributed decoders.
+
+    The schema decoders elsewhere in this library are centralized
+    simulations of local algorithms (with locality verified by ball
+    restriction).  This module implements two of them as genuine
+    synchronous message-passing algorithms over {!Localmodel.Rounds}, so
+    the round counts the paper's T(Δ) bounds refer to are *executed*, not
+    just argued:
+
+    - 2-coloring from beacon advice: colors flood outward from the
+      beacons; every node halts on first contact, after at most
+      (beacon spread) rounds.
+    - balanced orientation from anchor advice: an anchor orients its named
+      out-edge; knowledge spreads one trail-hop per round, alternating
+      in/out through each node's canonical edge pairing.  Requires advice
+      in which every trail carries an anchor (encode with
+      [short_threshold = 0]). *)
+
+val two_coloring :
+  Netgraph.Graph.t -> Advice.Assignment.t -> int array * int
+(** [(colors, rounds)] — colors in {1,2}; agrees with
+    {!Two_coloring.decode}.  @raise Failure when some node never hears a
+    beacon. *)
+
+val orientation_params : Balanced_orientation.params
+(** Orientation parameters with [short_threshold = 0]: every trail is
+    anchored, which the message-passing decoder requires. *)
+
+val orientation :
+  Netgraph.Graph.t -> Advice.Assignment.t -> Netgraph.Orientation.t * int
+(** [(orientation, rounds)] — agrees with {!Balanced_orientation.decode}
+    on advice produced with {!orientation_params}.  @raise Failure when
+    some edge never learns a direction. *)

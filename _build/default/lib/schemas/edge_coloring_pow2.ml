@@ -1,0 +1,115 @@
+open Netgraph
+
+type params = { splitting : Splitting.params }
+
+let default_params = { splitting = Splitting.default_params }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+let is_power_of_two d = d > 0 && d land (d - 1) = 0
+
+let check_input g =
+  let d = Graph.max_degree g in
+  if not (is_power_of_two d) then fail "degree %d is not a power of two" d;
+  Graph.iter_nodes
+    (fun v -> if Graph.degree g v <> d then fail "graph is not regular")
+    g;
+  if not (Traversal.is_bipartite g) then fail "graph is not bipartite";
+  d
+
+(* Subgraphs share the root's node set; an edge is carried as its endpoint
+   pair in root coordinates, so re-identifying it at any level is direct. *)
+let graph_of_edges n pairs = Graph.of_edges ~n pairs
+
+let class_edges h colors wanted =
+  Graph.fold_edges
+    (fun e (u, v) acc -> if colors.(e) = wanted then (u, v) :: acc else acc)
+    h []
+
+let encode ?(params = default_params) g =
+  let d = check_input g in
+  let n = Graph.n g in
+  let assignments = ref [] in
+  let rec level queue degree =
+    if degree > 1 then begin
+      let next =
+        List.concat_map
+          (fun h ->
+            let a = Splitting.encode ~params:params.splitting h in
+            assignments := a :: !assignments;
+            let colors = Splitting.decode ~params:params.splitting h a in
+            [
+              graph_of_edges n (class_edges h colors 1);
+              graph_of_edges n (class_edges h colors 2);
+            ])
+          queue
+      in
+      level next (degree / 2)
+    end
+  in
+  level [ g ] d;
+  match List.rev !assignments with
+  | [] -> Advice.Assignment.empty g
+  | parts -> Advice.Composable.pair_list parts
+
+let decode ?(params = default_params) g assignment =
+  let d = check_input g in
+  let n = Graph.n g in
+  if d = 1 then Array.make (Graph.m g) 1
+  else begin
+    let parts = Advice.Composable.split_list (d - 1) assignment in
+    let parts = ref parts in
+    let next_part () =
+      match !parts with
+      | [] -> fail "advice exhausted"
+      | p :: rest ->
+          parts := rest;
+          p
+    in
+    let rec level queue degree =
+      if degree = 1 then queue
+      else begin
+        let next =
+          List.concat_map
+            (fun h ->
+              let a = next_part () in
+              let colors = Splitting.decode ~params:params.splitting h a in
+              [
+                graph_of_edges n (class_edges h colors 1);
+                graph_of_edges n (class_edges h colors 2);
+              ])
+            queue
+        in
+        level next (degree / 2)
+      end
+    in
+    let leaves = level [ g ] d in
+    let colors = Array.make (Graph.m g) 0 in
+    List.iteri
+      (fun j leaf ->
+        Graph.iter_edges
+          (fun _ (u, v) -> colors.(Graph.edge_id g u v) <- j + 1)
+          leaf)
+      leaves;
+    colors
+  end
+
+let verify g colors =
+  let d = Graph.max_degree g in
+  Array.length colors = Graph.m g
+  && Array.for_all (fun c -> c >= 1 && c <= d) colors
+  && Graph.fold_nodes
+       (fun v acc ->
+         let seen = Hashtbl.create 8 in
+         acc
+         && Array.for_all
+              (fun e ->
+                if Hashtbl.mem seen colors.(e) then false
+                else begin
+                  Hashtbl.replace seen colors.(e) ();
+                  true
+                end)
+              (Graph.incident_edges g v))
+       g true

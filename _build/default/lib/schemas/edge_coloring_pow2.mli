@@ -1,0 +1,25 @@
+(** Δ-edge-coloring of bipartite Δ-regular graphs, Δ a power of two
+    (Section 5 extension).
+
+    Recursively split: a splitting of a 2k-regular bipartite graph yields
+    two k-regular bipartite subgraphs, colored with disjoint palettes.
+    After log₂ Δ levels, the classes are perfect matchings = color classes.
+    The advice is the Lemma-1 pairing of one splitting assignment per
+    subgraph per level (2^level subgraphs at each level), in a fixed
+    canonical order both sides derive from the recursion. *)
+
+type params = { splitting : Splitting.params }
+
+val default_params : params
+
+exception Encoding_failure of string
+
+val encode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t
+(** @raise Encoding_failure unless the graph is bipartite and Δ-regular
+    with Δ a power of two. *)
+
+val decode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t -> int array
+(** Edge colors indexed by edge id, in [1..Δ]. *)
+
+val verify : Netgraph.Graph.t -> int array -> bool
+(** A proper edge coloring with at most Δ colors. *)

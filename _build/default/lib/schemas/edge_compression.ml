@@ -1,0 +1,49 @@
+open Netgraph
+
+let bits_bound d = ((d + 1) / 2) + 1
+
+let encode ?(params = Balanced_orientation.onebit_params) g x =
+  if Bitset.length x <> Graph.m g then
+    invalid_arg "Edge_compression.encode: edge set size mismatch";
+  let ones = Balanced_orientation.encode_onebit ~params g in
+  let o = Balanced_orientation.decode_onebit ~params g ones in
+  Array.init (Graph.n g) (fun v ->
+      let orientation_bit = if Bitset.mem ones v then "1" else "0" in
+      let membership =
+        Array.to_list (Orientation.out_neighbors o v)
+        |> List.map (fun u ->
+               if Bitset.mem x (Graph.edge_id g v u) then "1" else "0")
+        |> String.concat ""
+      in
+      orientation_bit ^ membership)
+
+let split ?params g assignment =
+  let ones = Bitset.create (Graph.n g) in
+  Array.iteri
+    (fun v s ->
+      if String.length s = 0 then
+        invalid_arg "Edge_compression.decode: missing orientation bit";
+      if s.[0] = '1' then Bitset.add ones v)
+    assignment;
+  let o = Balanced_orientation.decode_onebit ?params g ones in
+  (o, fun v -> String.sub assignment.(v) 1 (String.length assignment.(v) - 1))
+
+let decode ?params g assignment =
+  let o, vector = split ?params g assignment in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_nodes
+    (fun v ->
+      let out = Orientation.out_neighbors o v in
+      let vec = vector v in
+      if String.length vec <> Array.length out then
+        invalid_arg "Edge_compression.decode: membership vector length mismatch";
+      Array.iteri
+        (fun i u -> if vec.[i] = '1' then Bitset.add x (Graph.edge_id g v u))
+        out)
+    g;
+  x
+
+let incident_memberships ?params g assignment v =
+  let x = decode ?params g assignment in
+  Array.to_list (Graph.incident_edges g v)
+  |> List.map (fun e -> (e, Bitset.mem x e))

@@ -1,0 +1,41 @@
+(** Local decompression of arbitrary edge subsets (Contribution 4).
+
+    To store an arbitrary subset X ⊆ E one needs |E| bits in total, i.e. at
+    least d/2 bits per node on d-regular graphs; the trivial local encoding
+    (every node stores a membership bit per incident edge) costs d bits.
+    The paper closes the gap to within an additive constant: spend one bit
+    per node on an almost-balanced orientation (Contribution 3), then let
+    every node store membership bits only for its *outgoing* edges — at
+    most ⌈d/2⌉ of them.  A node of degree d stores at most ⌈d/2⌉ + 1 bits,
+    and decompression is local: recover the orientation, read your own
+    out-vector, and ask each in-neighbor for the bit of the shared edge
+    (one extra round). *)
+
+val bits_bound : int -> int
+(** [bits_bound d] = ⌈d/2⌉ + 1, the paper's per-node budget. *)
+
+val encode :
+  ?params:Balanced_orientation.params ->
+  Netgraph.Graph.t ->
+  Netgraph.Bitset.t ->
+  Advice.Assignment.t
+(** [encode g x] compresses the edge set [x] (a set of edge ids).  The
+    resulting string at a node of degree [d] has length 1 + outdeg ≤
+    [bits_bound d].  @raise Balanced_orientation.Encoding_failure when the
+    underlying orientation schema cannot place its anchors. *)
+
+val decode :
+  ?params:Balanced_orientation.params ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t ->
+  Netgraph.Bitset.t
+(** Recover the edge set. *)
+
+val incident_memberships :
+  ?params:Balanced_orientation.params ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t ->
+  int ->
+  (int * bool) list
+(** What one node learns locally: for each incident edge id, whether it
+    belongs to the compressed set. *)

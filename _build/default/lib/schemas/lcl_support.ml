@@ -1,0 +1,103 @@
+(* Shared machinery of the Section-4 schemas (Subexp_lcl and
+   Subexp_adaptive): frontier computation, label (de)serialization for
+   frontier nodes, and cluster-by-cluster brute-force completion. *)
+
+open Netgraph
+
+exception Support_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Support_failure s)) fmt
+
+(* Nodes whose checkability ball meets another cluster: their labels must
+   be pinned so clusters complete independently. *)
+let frontier g cluster radius =
+  Array.init (Graph.n g) (fun v ->
+      List.exists
+        (fun u -> cluster.(u) <> cluster.(v))
+        (Traversal.ball g v radius))
+
+(* ------------------------------------------------------------------ *)
+(* Label serialization for pinned nodes *)
+
+let node_width prob =
+  if prob.Lcl.Problem.node_alphabet = 0 then 0
+  else Advice.Bits.width_for prob.Lcl.Problem.node_alphabet
+
+let half_width prob =
+  if prob.Lcl.Problem.half_alphabet = 0 then 0
+  else Advice.Bits.width_for prob.Lcl.Problem.half_alphabet
+
+let labels_width prob g v =
+  node_width prob + (half_width prob * Graph.degree g v)
+
+let encode_labels prob (l : Lcl.Labeling.t) v =
+  let buf = Buffer.create 8 in
+  if node_width prob > 0 then
+    Buffer.add_string buf
+      (Advice.Bits.encode ~width:(node_width prob)
+         (l.Lcl.Labeling.node_labels.(v) - 1));
+  if half_width prob > 0 then
+    Array.iter
+      (fun x ->
+        Buffer.add_string buf
+          (Advice.Bits.encode ~width:(half_width prob) (x - 1)))
+      l.Lcl.Labeling.half_labels.(v);
+  Buffer.contents buf
+
+let decode_labels prob g (l : Lcl.Labeling.t) v s =
+  if String.length s <> labels_width prob g v then
+    fail "node %d: frontier label block has wrong length" v;
+  let pos = ref 0 in
+  let take width =
+    let part = String.sub s !pos width in
+    pos := !pos + width;
+    Advice.Bits.decode part + 1
+  in
+  if node_width prob > 0 then
+    l.Lcl.Labeling.node_labels.(v) <- take (node_width prob);
+  if half_width prob > 0 then begin
+    if Array.length l.Lcl.Labeling.half_labels.(v) <> Graph.degree g v then
+      l.Lcl.Labeling.half_labels.(v) <- Array.make (Graph.degree g v) 0;
+    for i = 0 to Graph.degree g v - 1 do
+      l.Lcl.Labeling.half_labels.(v).(i) <- take (half_width prob)
+    done
+  end
+
+(* Frontier nodes of one cluster, ascending, and their concatenated label
+   string. *)
+let cluster_frontier_nodes g cluster is_frontier id =
+  Graph.fold_nodes
+    (fun v acc -> if cluster.(v) = id && is_frontier.(v) then v :: acc else acc)
+    g []
+  |> List.rev
+
+let frontier_string prob l nodes =
+  String.concat "" (List.map (encode_labels prob l) nodes)
+
+let decode_frontier_string prob g pinned nodes body =
+  let pos = ref 0 in
+  List.iter
+    (fun v ->
+      let w = labels_width prob g v in
+      if !pos + w > String.length body then fail "frontier string too short";
+      decode_labels prob g pinned v (String.sub body !pos w);
+      pos := !pos + w)
+    nodes;
+  if !pos <> String.length body then fail "frontier string too long"
+
+(* ------------------------------------------------------------------ *)
+(* Completion *)
+
+let pinned_labeling prob g =
+  Lcl.Labeling.create g ~use_halves:(prob.Lcl.Problem.half_alphabet > 0)
+
+let complete_clusters prob g cluster ids pinned =
+  List.fold_left
+    (fun labeling id ->
+      let enforce v = cluster.(v) = id in
+      match
+        Lcl.Problem.complete prob g labeling ~assignable:enforce ~enforce
+      with
+      | Some extended -> extended
+      | None -> fail "cluster %d admits no completion" id)
+    pinned ids

@@ -1,0 +1,39 @@
+open Netgraph
+
+type t = {
+  prove : Graph.t -> Bitset.t;
+  verify : Graph.t -> Bitset.t -> bool;
+}
+
+let of_lcl ?params prob =
+  let prove g = Subexp_lcl.encode_onebit ?params prob g in
+  let verify g ones =
+    if Bitset.length ones <> Graph.n g then false
+    else
+      match Subexp_lcl.decode_onebit ?params prob g ones with
+      | labeling -> Lcl.Problem.verify prob g labeling
+      | exception Subexp_lcl.Encoding_failure _ -> false
+      | exception Advice.Onebit.Conversion_failure _ -> false
+      | exception Invalid_argument _ -> false
+  in
+  { prove; verify }
+
+let completeness system g =
+  match system.prove g with
+  | certificate -> system.verify g certificate
+  | exception _ -> false
+
+let soundness_sample rng system g ~trials =
+  let n = Graph.n g in
+  let reject certificate = not (system.verify g certificate) in
+  let all_zero = Bitset.create n in
+  let all_one = Bitset.of_list n (List.init n (fun i -> i)) in
+  reject all_zero && reject all_one
+  && List.for_all
+       (fun _ ->
+         let certificate = Bitset.create n in
+         for v = 0 to n - 1 do
+           if Prng.bool rng then Bitset.add certificate v
+         done;
+         reject certificate)
+       (List.init trials (fun i -> i))

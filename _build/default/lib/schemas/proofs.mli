@@ -1,0 +1,36 @@
+(** Locally checkable proofs from advice schemas (Section 1.2).
+
+    Corollary of Contribution 1: a 1-bit advice schema for an LCL Π is a
+    locally checkable proof that Π is solvable.  The prover publishes the
+    advice; the verifier decodes a candidate solution with it and checks
+    Π's constraint in every T-hop neighborhood.
+
+    - {b Completeness}: honest advice decodes to a valid solution, so
+      every node accepts.
+    - {b Soundness}: on a graph where Π has no solution, *every* advice
+      string is rejected by some node — acceptance would exhibit a valid
+      solution, contradiction.  (This is soundness in the strong,
+      information-theoretic sense; no assumption on the prover.)
+
+    Note this is not a 1-round proof labeling scheme: the verifier
+    inspects a constant-radius neighborhood larger than 1, exactly as the
+    paper points out. *)
+
+type t = {
+  prove : Netgraph.Graph.t -> Netgraph.Bitset.t;
+      (** May raise if the claim is false (Π unsolvable here). *)
+  verify : Netgraph.Graph.t -> Netgraph.Bitset.t -> bool;
+      (** Total: malformed certificates are rejected, never raise. *)
+}
+
+val of_lcl : ?params:Subexp_lcl.params -> Lcl.Problem.t -> t
+(** The proof system induced by the one-bit Section-4 schema. *)
+
+val completeness : t -> Netgraph.Graph.t -> bool
+(** Prove then verify; true when the claim holds and the system works. *)
+
+val soundness_sample :
+  Netgraph.Prng.t -> t -> Netgraph.Graph.t -> trials:int -> bool
+(** For a graph where the claim is false: sample random certificates
+    (including all-zeros and all-ones) and check that every one is
+    rejected.  A sampled check of the unconditional soundness property. *)

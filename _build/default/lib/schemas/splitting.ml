@@ -1,0 +1,60 @@
+open Netgraph
+
+type params = {
+  orientation : Balanced_orientation.params;
+  coloring : Two_coloring.params;
+}
+
+let default_params =
+  {
+    orientation = Balanced_orientation.default_params;
+    coloring = Two_coloring.default_params;
+  }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+let check_input g =
+  if not (Traversal.is_bipartite g) then fail "graph is not bipartite";
+  Graph.iter_nodes
+    (fun v ->
+      if Graph.degree g v mod 2 <> 0 then fail "node %d has odd degree" v)
+    g
+
+let encode ?(params = default_params) g =
+  check_input g;
+  let orientation_advice =
+    (Balanced_orientation.encode ~params:params.orientation g)
+      .Balanced_orientation.assignment
+  in
+  let coloring_advice = Two_coloring.encode ~params:params.coloring g in
+  Advice.Composable.pair orientation_advice coloring_advice
+
+let decode ?(params = default_params) g assignment =
+  let orientation_advice, coloring_advice = Advice.Composable.split assignment in
+  let o =
+    Balanced_orientation.decode ~params:params.orientation g orientation_advice
+  in
+  let side = Two_coloring.decode ~params:params.coloring g coloring_advice in
+  let colors = Array.make (Graph.m g) 0 in
+  Graph.iter_edges
+    (fun e (u, v) ->
+      let tail = if Orientation.points_from o u v then u else v in
+      (* Red = oriented out of a color-1 ("white") node. *)
+      colors.(e) <- (if side.(tail) = 1 then 1 else 2))
+    g;
+  colors
+
+let verify g colors =
+  Array.length colors = Graph.m g
+  && Array.for_all (fun c -> c = 1 || c = 2) colors
+  && Graph.fold_nodes
+       (fun v acc ->
+         let red =
+           Array.fold_left
+             (fun n e -> if colors.(e) = 1 then n + 1 else n)
+             0 (Graph.incident_edges g v)
+         in
+         acc && 2 * red = Graph.degree g v)
+       g true

@@ -1,0 +1,28 @@
+(** Edge splittings of bipartite even-degree graphs (Section 5 extension).
+
+    A *splitting* 2-colors the edges red/blue so that every node sees
+    equally many red and blue edges.  Composing a balanced orientation with
+    a 2-coloring of the nodes solves it: color red the edges oriented from
+    white to black and blue the edges oriented from black to white — a
+    white node's red edges are its d/2 out-edges, a black node's red edges
+    are its d/2 in-edges.  The advice is the pair (Lemma 1) of the
+    orientation schema's and the 2-coloring schema's assignments. *)
+
+type params = {
+  orientation : Balanced_orientation.params;
+  coloring : Two_coloring.params;
+}
+
+val default_params : params
+
+exception Encoding_failure of string
+
+val encode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t
+(** @raise Encoding_failure unless the graph is bipartite with all degrees
+    even. *)
+
+val decode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t -> int array
+(** Edge colors indexed by edge id: 1 = red, 2 = blue. *)
+
+val verify : Netgraph.Graph.t -> int array -> bool
+(** Every node has equally many red and blue incident edges. *)

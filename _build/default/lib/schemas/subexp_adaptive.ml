@@ -1,0 +1,208 @@
+open Netgraph
+
+type params = { x : int; r : int }
+
+let default_params = { x = 10; r = 1 }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+let wrap f =
+  try f () with Lcl_support.Support_failure msg -> raise (Encoding_failure msg)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential carving *)
+
+(* One phase of carving on the remaining graph: every listed center of
+   this color claims the ball of radius α(v) + r around itself, where α is
+   the Lemma-4.3 radius computed in the remaining graph.  Same-color
+   centers are at distance >= 5x (distance coloring), so their claims are
+   disjoint and order inside a phase is irrelevant. *)
+let carve ?(params = default_params) g centers_with_colors =
+  let n = Graph.n g in
+  let cluster = Array.make n (-1) in
+  let remaining = ref (List.init n (fun v -> v)) in
+  let phases =
+    List.sort_uniq compare (List.map snd centers_with_colors)
+  in
+  List.iter
+    (fun color ->
+      let sub, to_sub, to_orig = Graph.induced g !remaining in
+      let centers =
+        List.filter_map
+          (fun (v, c) ->
+            if c = color && cluster.(v) < 0 then Some v else None)
+          centers_with_colors
+      in
+      (* Eligibility and radii are all read off the same phase graph. *)
+      let plans =
+        List.filter_map
+          (fun v ->
+            let v_sub = to_sub.(v) in
+            if v_sub < 0 then None
+            else if Traversal.sphere sub v_sub (2 * params.x) = [] then None
+            else begin
+              let alpha =
+                match
+                  Growth.lemma3_alpha sub ~v:v_sub ~r:params.r ~x:params.x
+                with
+                | Some a -> a
+                | None -> 2 * params.x
+              in
+              Some (v, Traversal.ball sub v_sub (alpha + params.r))
+            end)
+          centers
+      in
+      List.iter
+        (fun (v, members_sub) ->
+          List.iter
+            (fun u_sub -> cluster.(to_orig.(u_sub)) <- v)
+            members_sub)
+        plans;
+      remaining := List.filter (fun v -> cluster.(v) < 0) !remaining)
+    phases;
+  (* Leftovers: cluster id = least node of the final remaining
+     component. *)
+  if !remaining <> [] then begin
+    let sub, _, to_orig = Graph.induced g !remaining in
+    Array.iter
+      (fun members ->
+        match members with
+        | [] -> ()
+        | least :: _ ->
+            List.iter
+              (fun u -> cluster.(to_orig.(u)) <- to_orig.(least))
+              members)
+      (Traversal.component_members sub)
+  end;
+  cluster
+
+(* ------------------------------------------------------------------ *)
+(* Encoder *)
+
+let solve_or_fail prob g =
+  match prob.Lcl.Problem.solve g with
+  | Some l -> l
+  | None -> fail "problem %s has no solution on this graph" prob.Lcl.Problem.name
+
+(* The encoder's center rule: in each phase, every remaining node of the
+   phase color with a full radius-2x neighborhood becomes a center. *)
+let plan_centers params g coloring =
+  let n = Graph.n g in
+  let cluster = Array.make n (-1) in
+  let remaining = ref (List.init n (fun v -> v)) in
+  let centers = ref [] in
+  let num_colors = Coloring.num_colors coloring in
+  for color = 1 to num_colors do
+    let sub, to_sub, to_orig = Graph.induced g !remaining in
+    let plans =
+      List.filter_map
+        (fun v ->
+          if coloring.(v) <> color || cluster.(v) >= 0 then None
+          else begin
+            let v_sub = to_sub.(v) in
+            if v_sub < 0 || Traversal.sphere sub v_sub (2 * params.x) = []
+            then None
+            else begin
+              let alpha =
+                match
+                  Growth.lemma3_alpha sub ~v:v_sub ~r:params.r ~x:params.x
+                with
+                | Some a -> a
+                | None -> 2 * params.x
+              in
+              Some (v, Traversal.ball sub v_sub (alpha + params.r))
+            end
+          end)
+        !remaining
+    in
+    List.iter
+      (fun (v, members_sub) ->
+        centers := (v, color) :: !centers;
+        List.iter (fun u_sub -> cluster.(to_orig.(u_sub)) <- v) members_sub)
+      plans;
+    remaining := List.filter (fun v -> cluster.(v) < 0) !remaining
+  done;
+  List.rev !centers
+
+let encode ?(params = default_params) prob g =
+  let l = solve_or_fail prob g in
+  let coloring = Coloring.distance_coloring g (5 * params.x) in
+  let centers = plan_centers params g coloring in
+  let cluster = carve ~params g centers in
+  let is_frontier = Lcl_support.frontier g cluster prob.Lcl.Problem.radius in
+  let assignment = Advice.Assignment.empty g in
+  (* Carved clusters: center holds (color, frontier string). *)
+  List.iter
+    (fun (v, color) ->
+      let nodes = Lcl_support.cluster_frontier_nodes g cluster is_frontier v in
+      assignment.(v) <-
+        Advice.Composable.pair_strings
+          (Advice.Bits.encode_int (color - 1))
+          (Lcl_support.frontier_string prob l nodes))
+    centers;
+  (* Leftover components: their least node holds ("", frontier string);
+     force a non-empty pairing even when there is nothing to pin, so the
+     holder remains detectable. *)
+  let center_ids = List.map fst centers in
+  let leftover_ids =
+    Array.to_list cluster
+    |> List.sort_uniq compare
+    |> List.filter (fun id -> not (List.mem id center_ids))
+  in
+  List.iter
+    (fun id ->
+      let nodes = Lcl_support.cluster_frontier_nodes g cluster is_frontier id in
+      assignment.(id) <-
+        "0" ^ Advice.Composable.pair_strings ""
+                (Lcl_support.frontier_string prob l nodes))
+    leftover_ids;
+  assignment
+
+(* ------------------------------------------------------------------ *)
+(* Decoder *)
+
+let decode ?(params = default_params) prob g assignment =
+  wrap (fun () ->
+      let holders = Advice.Assignment.holders assignment in
+      (* Split holders into carved centers (color payload) and leftover
+         pseudo-centers (leading "0" sentinel, empty color). *)
+      let centers = ref [] in
+      let leftover_bodies = ref [] in
+      List.iter
+        (fun v ->
+          let s = assignment.(v) in
+          if String.length s > 0 && s.[0] = '0' then begin
+            let rest = String.sub s 1 (String.length s - 1) in
+            let color_str, body = Advice.Composable.split_string rest in
+            if color_str <> "" then fail "node %d: malformed leftover advice" v;
+            leftover_bodies := (v, body) :: !leftover_bodies
+          end
+          else begin
+            let color_str, body = Advice.Composable.split_string s in
+            if color_str = "" then fail "node %d: malformed center advice" v;
+            centers := (v, Advice.Bits.decode color_str + 1, body) :: !centers
+          end)
+        holders;
+      let cluster =
+        carve ~params g (List.map (fun (v, c, _) -> (v, c)) !centers)
+      in
+      let is_frontier = Lcl_support.frontier g cluster prob.Lcl.Problem.radius in
+      let pinned = Lcl_support.pinned_labeling prob g in
+      let pin id body =
+        let nodes = Lcl_support.cluster_frontier_nodes g cluster is_frontier id in
+        Lcl_support.decode_frontier_string prob g pinned nodes body
+      in
+      List.iter (fun (v, _, body) -> pin v body) !centers;
+      List.iter (fun (v, body) -> pin v body) !leftover_bodies;
+      let ids = Array.to_list cluster |> List.sort_uniq compare in
+      Lcl_support.complete_clusters prob g cluster ids pinned)
+
+(* Certify. *)
+let encode ?(params = default_params) prob g =
+  let assignment = wrap (fun () -> encode ~params prob g) in
+  let result = decode ~params prob g assignment in
+  if not (Lcl.Problem.verify prob g result) then
+    fail "certification failed (adaptive schema)";
+  assignment

@@ -1,0 +1,48 @@
+(** The paper's adaptive Section-4 clustering, faithfully replayed.
+
+    {!Subexp_lcl} uses a ruling-set Voronoi clustering that both sides
+    derive without advice.  The paper's own construction is different and
+    this module implements it: compute a distance-(5x) coloring of the
+    graph, process color classes in ascending order, and in phase i let
+    every remaining node v of color i with a full radius-2x neighborhood
+    carve the cluster of radius α(v) + r around itself in the remaining
+    graph G_i, where α(v) ∈ [x, 2x] is the Lemma-4.3 radius (the ball
+    dominating its boundary sphere — see {!Netgraph.Growth.lemma3_alpha}).
+    Nodes left over after all phases see their entire remaining component
+    within distance 2x and are completed by brute force.
+
+    The advice (variable-length) carries, per carved cluster, the pair
+    (center's distance-coloring color, frontier label string): the color
+    is what lets the decoder replay the sequential carving exactly; the
+    radii α(v) are recomputed, not transmitted.  Leftover components pin
+    their frontier through a pseudo-center (their least node) holding an
+    empty color.  The encoder certifies by running the decoder. *)
+
+type params = {
+  x : int;  (** base scale; cluster radii fall in [x, 2x] *)
+  r : int;  (** the Lemma-4.3 margin and extra carve radius *)
+}
+
+val default_params : params
+
+exception Encoding_failure of string
+
+val encode :
+  ?params:params -> Lcl.Problem.t -> Netgraph.Graph.t -> Advice.Assignment.t
+
+val decode :
+  ?params:params ->
+  Lcl.Problem.t ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t ->
+  Lcl.Labeling.t
+
+val carve :
+  ?params:params ->
+  Netgraph.Graph.t ->
+  (int * int) list ->
+  int array
+(** [carve g centers_with_colors] replays the sequential clustering from
+    (center, color) pairs: returns the cluster id of every node, where a
+    carved node's id is its center and a leftover node's id is the least
+    node of its final remaining component.  Exposed for tests. *)

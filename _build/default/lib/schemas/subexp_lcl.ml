@@ -1,0 +1,204 @@
+open Netgraph
+
+type params = {
+  spread : int;
+  inner_margin : int;
+}
+
+let default_params = { spread = 48; inner_margin = 2 }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+(* Lcl_support failures become this schema's failures at the API
+   boundary. *)
+let wrap f =
+  try f () with Lcl_support.Support_failure msg -> raise (Encoding_failure msg)
+
+(* ------------------------------------------------------------------ *)
+(* Clustering (shared, deterministic) *)
+
+(* First-arrival Voronoi from the centers, seeded in increasing id order:
+   encoder and decoder derive identical clusters from the same center
+   set. *)
+let voronoi g centers =
+  let cluster = Array.make (Graph.n g) (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun r ->
+      cluster.(r) <- r;
+      Queue.add r queue)
+    centers;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Array.iter
+      (fun u ->
+        if cluster.(u) < 0 then begin
+          cluster.(u) <- cluster.(v);
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  cluster
+
+let frontier = Lcl_support.frontier
+
+(* ------------------------------------------------------------------ *)
+(* Variable-length schema *)
+
+let solve_or_fail prob g =
+  match prob.Lcl.Problem.solve g with
+  | Some l -> l
+  | None -> fail "problem %s has no solution on this graph" prob.Lcl.Problem.name
+
+let encode ?(params = default_params) prob g =
+  let l = solve_or_fail prob g in
+  let centers = Ruling.ruling_set g ~alpha:params.spread in
+  let cluster = voronoi g centers in
+  let is_frontier = frontier g cluster prob.Lcl.Problem.radius in
+  let assignment = Advice.Assignment.empty g in
+  List.iter
+    (fun r ->
+      let nodes = Lcl_support.cluster_frontier_nodes g cluster is_frontier r in
+      assignment.(r) <- "1" ^ Lcl_support.frontier_string prob l nodes)
+    centers;
+  assignment
+
+let decode ?(params = default_params) prob g assignment =
+  ignore params;
+  wrap (fun () ->
+      let centers = Advice.Assignment.holders assignment in
+      if centers = [] && Graph.n g > 0 then fail "no cluster centers in advice";
+      let cluster = voronoi g centers in
+      let is_frontier = frontier g cluster prob.Lcl.Problem.radius in
+      let pinned = Lcl_support.pinned_labeling prob g in
+      List.iter
+        (fun r ->
+          let s = assignment.(r) in
+          if String.length s < 1 || s.[0] <> '1' then
+            fail "center %d: malformed advice" r;
+          let body = String.sub s 1 (String.length s - 1) in
+          let nodes =
+            Lcl_support.cluster_frontier_nodes g cluster is_frontier r
+          in
+          Lcl_support.decode_frontier_string prob g pinned nodes body)
+        centers;
+      Lcl_support.complete_clusters prob g cluster centers pinned)
+
+(* Certify. *)
+let encode ?(params = default_params) prob g =
+  let assignment = wrap (fun () -> encode ~params prob g) in
+  let result = decode ~params prob g assignment in
+  if not (Lcl.Problem.verify prob g result) then
+    fail "certification failed (variable-length schema)";
+  assignment
+
+(* ------------------------------------------------------------------ *)
+(* Uniform one-bit schema *)
+
+(* The independent carrier set of a cluster: an id-greedy MIS of the
+   cluster's *interior* (nodes all of whose neighbors lie in the same
+   cluster — so carriers of different clusters are never adjacent and
+   solution bits stay isolated), minus the marker nodes and their
+   neighbors.  A pure function of (graph, centers, marker bits), so
+   encoder and decoder agree. *)
+let carrier_set g cluster markers _params r =
+  let eligible =
+    Graph.fold_nodes
+      (fun v acc ->
+        if
+          cluster.(v) = r
+          && Array.for_all (fun u -> cluster.(u) = r) (Graph.neighbors g v)
+          && (not (Bitset.mem markers v))
+          && not
+               (Array.exists
+                  (fun u -> Bitset.mem markers u)
+                  (Graph.neighbors g v))
+        then v :: acc
+        else acc)
+      g []
+    |> List.rev
+  in
+  Ruling.greedy_mis_within g eligible
+
+let isolated_ones g ones =
+  let isolated = Bitset.create (Graph.n g) in
+  Bitset.iter
+    (fun v ->
+      if not (Array.exists (fun u -> Bitset.mem ones u) (Graph.neighbors g v))
+      then Bitset.add isolated v)
+    ones;
+  isolated
+
+let encode_onebit ?(params = default_params) prob g =
+  let l = solve_or_fail prob g in
+  let centers = Ruling.ruling_set g ~alpha:params.spread in
+  let cluster = voronoi g centers in
+  let is_frontier = frontier g cluster prob.Lcl.Problem.radius in
+  (* Markers: every center holds the fixed payload "0"; the radial header
+     code identifies centers to the decoder. *)
+  let marker_assignment = Advice.Assignment.empty g in
+  List.iter (fun r -> marker_assignment.(r) <- "0") centers;
+  let markers =
+    try Advice.Onebit.encode g marker_assignment
+    with Advice.Onebit.Conversion_failure msg ->
+      fail "cannot mark centers: %s" msg
+  in
+  let ones = Bitset.copy markers in
+  List.iter
+    (fun r ->
+      let nodes = Lcl_support.cluster_frontier_nodes g cluster is_frontier r in
+      let b = Lcl_support.frontier_string prob l nodes in
+      let carriers = carrier_set g cluster markers params r in
+      if List.length carriers < String.length b then
+        fail
+          "cluster %d: carrier capacity %d below %d frontier bits (graph too \
+           dense or spread %d too small)"
+          r (List.length carriers) (String.length b) params.spread;
+      List.iteri
+        (fun j v ->
+          if j < String.length b && b.[j] = '1' then Bitset.add ones v)
+        carriers)
+    centers;
+  ones
+
+let decode_onebit ?(params = default_params) prob g ones =
+  wrap (fun () ->
+      let isolated = isolated_ones g ones in
+      let markers = Bitset.copy ones in
+      Bitset.iter (fun v -> Bitset.remove markers v) isolated;
+      let marker_assignment = Advice.Onebit.decode g markers in
+      let centers = Advice.Assignment.holders marker_assignment in
+      if centers = [] && Graph.n g > 0 then fail "no cluster markers decoded";
+      let cluster = voronoi g centers in
+      let is_frontier = frontier g cluster prob.Lcl.Problem.radius in
+      let pinned = Lcl_support.pinned_labeling prob g in
+      List.iter
+        (fun r ->
+          let nodes =
+            Lcl_support.cluster_frontier_nodes g cluster is_frontier r
+          in
+          let expected =
+            List.fold_left
+              (fun acc v -> acc + Lcl_support.labels_width prob g v)
+              0 nodes
+          in
+          let carriers = carrier_set g cluster markers params r in
+          if List.length carriers < expected then
+            fail "cluster %d: carrier set shorter than frontier string" r;
+          let b =
+            String.init expected (fun j ->
+                if Bitset.mem ones (List.nth carriers j) then '1' else '0')
+          in
+          Lcl_support.decode_frontier_string prob g pinned nodes b)
+        centers;
+      Lcl_support.complete_clusters prob g cluster centers pinned)
+
+(* Certify. *)
+let encode_onebit ?(params = default_params) prob g =
+  let ones = wrap (fun () -> encode_onebit ~params prob g) in
+  let result = decode_onebit ~params prob g ones in
+  if not (Lcl.Problem.verify prob g result) then
+    fail "certification failed (one-bit schema)";
+  ones

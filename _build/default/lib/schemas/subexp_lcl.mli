@@ -1,0 +1,74 @@
+(** Solving any LCL with one bit of advice on graphs of sub-exponential
+    growth (Contribution 1, Section 4).
+
+    The encoder fixes a global solution ℓ of the LCL, clusters the graph
+    (a ruling set of *centers* plus the deterministic Voronoi partition
+    both sides compute identically), and pins ℓ on the *frontier* — every
+    node whose checkability ball touches another cluster.  With the
+    frontier pinned, each cluster can be completed independently by brute
+    force: a constraint at a cluster node only involves the cluster's own
+    free labels and pinned frontier labels, and a completion exists because
+    ℓ itself is one.
+
+    Two encodings of (centers + frontier labels) are provided:
+
+    - {b variable-length} — each center holds ["1" ^ B] where [B]
+      concatenates the ℓ-labels of its cluster's frontier nodes in id
+      order.  Bit-holders are exactly the centers: sparse, composable.
+    - {b uniform one-bit} — the full Section-4 construction.  Centers are
+      marked by the radial header code of {!Advice.Onebit} (connected
+      1-components of size four); the frontier string [B] is spread over
+      an id-greedy maximal independent set [Z'] inside the cluster's inner
+      ball, one bit per node, as *isolated* 1s.  The decoder first strips
+      isolated 1s (solution bits), decodes the remaining marker structure
+      to find the centers, recomputes [Z'] itself — it is a pure function
+      of the clustering — and reads [B] back positionally.
+
+    The one-bit variant needs the cluster's inner ball to hold at least
+    |B| independent nodes, i.e. the boundary-to-volume ratio the paper's
+    sub-exponential-growth assumption (Lemma 3) provides.  On families
+    where the constants don't leave room (e.g. small 2-D grids), the
+    encoder raises rather than emit undecodable advice — use the
+    variable-length schema there.  Encoders certify by running the
+    decoder. *)
+
+type params = {
+  spread : int;  (** ruling-set distance between cluster centers *)
+  inner_margin : int;
+      (** retained for parameter-sweep compatibility; the carrier set now
+          uses the whole cluster interior (nodes with no cross-cluster
+          neighbor), which keeps different clusters' bits non-adjacent
+          with maximal capacity *)
+}
+
+val default_params : params
+
+exception Encoding_failure of string
+
+val encode :
+  ?params:params -> Lcl.Problem.t -> Netgraph.Graph.t -> Advice.Assignment.t
+(** Variable-length schema.  @raise Encoding_failure when the LCL has no
+    solution on the graph. *)
+
+val decode :
+  ?params:params ->
+  Lcl.Problem.t ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t ->
+  Lcl.Labeling.t
+
+val encode_onebit :
+  ?params:params -> Lcl.Problem.t -> Netgraph.Graph.t -> Netgraph.Bitset.t
+(** Uniform 1-bit schema.  @raise Encoding_failure on infeasible LCLs or
+    insufficient cluster capacity. *)
+
+val decode_onebit :
+  ?params:params ->
+  Lcl.Problem.t ->
+  Netgraph.Graph.t ->
+  Netgraph.Bitset.t ->
+  Lcl.Labeling.t
+
+val frontier : Netgraph.Graph.t -> int array -> int -> bool array
+(** [frontier g cluster radius]: nodes whose radius-ball meets another
+    cluster; exposed for tests. *)

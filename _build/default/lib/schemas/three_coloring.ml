@@ -1,0 +1,334 @@
+open Netgraph
+
+type params = {
+  small_threshold : int;
+  group_radius : int;
+  group_spread : int;
+}
+
+let default_params = { small_threshold = 40; group_radius = 8; group_spread = 48 }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+(* Decoder-side merge radius for 1-components of one group: both sets sit
+   within group_radius of the ruling node (plus one hop for a pair
+   partner), so members are at most 2 * (group_radius + 1) apart inside the
+   component. *)
+let merge_radius params = 2 * (params.group_radius + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Classification *)
+
+let classify g assignment =
+  let n = Graph.n g in
+  let ones = Array.map (fun s -> s = "1") assignment in
+  Array.init n (fun v ->
+      if not ones.(v) then `Zero
+      else begin
+        let one_neighbors =
+          Array.fold_left
+            (fun acc u -> if ones.(u) then acc + 1 else acc)
+            0 (Graph.neighbors g v)
+        in
+        if one_neighbors <= 1 then `Type1 else `Type23
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Encoder *)
+
+(* A Lemma-2 set: a single node with two color-1 neighbors, or an adjacent
+   pair with no common color-1 neighbor. *)
+type anchor_set = Single of int | Pair of int * int
+
+let set_members = function Single w -> [ w ] | Pair (x, y) -> [ x; y ]
+
+(* Select a Lemma-2 set among [candidates] (global node ids, in preference
+   order), subject to the global marking state:
+   - members must be unmarked and not G-adjacent to marked nodes (so lit
+     1-components never merge);
+   - no color-1 neighbor of a member may be saturated (each color-1 node
+     gains at most one 1-neighbor in total, preserving the type rule). *)
+let find_anchor_set g phi ~marked ~saturated ~candidates =
+  let color1_neighbors v =
+    Array.to_list (Graph.neighbors g v) |> List.filter (fun u -> phi.(u) = 1)
+  in
+  let node_ok v =
+    (not (Bitset.mem marked v))
+    && (not (Array.exists (fun u -> Bitset.mem marked u) (Graph.neighbors g v)))
+    && List.for_all (fun u -> not (Bitset.mem saturated u)) (color1_neighbors v)
+  in
+  let try_single v =
+    if List.length (color1_neighbors v) >= 2 && node_ok v then Some (Single v)
+    else None
+  in
+  let try_pair v =
+    if not (node_ok v) then None
+    else begin
+      let c1v = color1_neighbors v in
+      Array.to_list (Graph.neighbors g v)
+      |> List.find_opt (fun u ->
+             phi.(u) > 1 && node_ok u
+             && List.for_all (fun w -> not (List.mem w c1v)) (color1_neighbors u))
+      |> Option.map (fun u -> Pair (v, u))
+    end
+  in
+  let rec scan = function
+    | [] -> None
+    | v :: rest -> (
+        match try_single v with
+        | Some s -> Some s
+        | None -> (
+            match try_pair v with Some s -> Some s | None -> scan rest))
+  in
+  scan candidates
+
+let encode ?(params = default_params) ?witness g =
+  let phi0 =
+    match witness with
+    | Some w ->
+        if not (Coloring.is_proper g w) || Coloring.num_colors w > 3 then
+          fail "witness is not a proper 3-coloring";
+        w
+    | None -> (
+        match Coloring.backtracking g 3 with
+        | Some c -> c
+        | None -> fail "graph is not 3-colorable")
+  in
+  let phi = Coloring.make_greedy g phi0 in
+  let n = Graph.n g in
+  let assignment = Array.make n "0" in
+  for v = 0 to n - 1 do
+    if phi.(v) = 1 then assignment.(v) <- "1"
+  done;
+  let marked = Bitset.create n in
+  let saturated = Bitset.create n in
+  let mark_set s =
+    List.iter
+      (fun v ->
+        Bitset.add marked v;
+        Array.iter
+          (fun u -> if phi.(u) = 1 then Bitset.add saturated u)
+          (Graph.neighbors g v))
+      (set_members s)
+  in
+  let light_set s =
+    List.iter (fun v -> assignment.(v) <- "1") (set_members s)
+  in
+  (* Components of the color-{2,3} subgraph. *)
+  let g23_nodes = List.filter (fun v -> phi.(v) > 1) (List.init n (fun v -> v)) in
+  let h, _, to_g = Graph.induced g g23_nodes in
+  Array.iter
+    (fun members ->
+      if members <> [] then begin
+        let sub, _, sub_to_h = Graph.induced h members in
+        let global i = to_g.(sub_to_h.(i)) in
+        (* Diameter lower bound by double BFS. *)
+        let diam_lb =
+          let d0 = Traversal.bfs_distances sub 0 in
+          let far = ref 0 in
+          Array.iteri (fun v dv -> if dv > d0.(!far) then far := v) d0;
+          Traversal.eccentricity sub !far
+        in
+        if diam_lb > params.small_threshold then begin
+          let rulers = Ruling.ruling_set sub ~alpha:params.group_spread in
+          let placed = ref 0 in
+          List.iter
+            (fun r ->
+              let near =
+                Traversal.bfs_limited sub r params.group_radius
+                |> List.map (fun (v, _) -> global v)
+              in
+              match find_anchor_set g phi ~marked ~saturated ~candidates:near with
+              | None -> ()
+              | Some s ->
+                  mark_set s;
+                  (* Second set: at component distance >= 3 from the first
+                     so the two lit 1-components stay distinct. *)
+                  let s_local =
+                    List.filter_map
+                      (fun i -> if List.mem (global i) (set_members s) then Some i else None)
+                      (List.init (Graph.n sub) (fun i -> i))
+                  in
+                  let dist_s = Traversal.bfs_distances_multi sub s_local in
+                  let candidates' =
+                    Traversal.bfs_limited sub r params.group_radius
+                    |> List.filter_map (fun (v, _) ->
+                           if dist_s.(v) >= 3 then Some (global v) else None)
+                  in
+                  (match
+                     find_anchor_set g phi ~marked ~saturated
+                       ~candidates:candidates'
+                   with
+                  | None -> () (* s stays marked but unlit: harmless *)
+                  | Some s' ->
+                      mark_set s';
+                      let all = set_members s @ set_members s' in
+                      let smallest = List.fold_left min max_int all in
+                      let x_s =
+                        if List.mem smallest (set_members s) then s else s'
+                      in
+                      if phi.(smallest) = 2 then light_set x_s
+                      else begin
+                        light_set s;
+                        light_set s'
+                      end;
+                      incr placed))
+            rulers;
+          if !placed = 0 then
+            fail "no parity group placed on a large component (diam >= %d)"
+              diam_lb
+        end
+      end)
+    (Traversal.component_members h);
+  assignment
+
+(* ------------------------------------------------------------------ *)
+(* Decoder *)
+
+let canonical_two_coloring sub =
+  match Traversal.bipartition sub with
+  | None -> fail "a color-{2,3} component is not bipartite: invalid advice"
+  | Some side ->
+      (* bipartition assigns 0 to the least node of the component, which is
+         exactly the canonical rule: least node gets color 2. *)
+      Array.map (fun s -> s + 2) side
+
+let decode ?(params = default_params) g assignment =
+  Array.iteri
+    (fun v s ->
+      if s <> "0" && s <> "1" then
+        fail "node %d holds %S: not a uniform one-bit assignment" v s)
+    assignment;
+  let kinds = classify g assignment in
+  let n = Graph.n g in
+  let output = Array.make n 0 in
+  Array.iteri (fun v k -> if k = `Type1 then output.(v) <- 1) kinds;
+  let rest =
+    List.filter (fun v -> kinds.(v) <> `Type1) (List.init n (fun v -> v))
+  in
+  let h, _, to_g = Graph.induced g rest in
+  Array.iter
+    (fun members ->
+      if members <> [] then begin
+        let sub, _, sub_to_h = Graph.induced h members in
+        let sn = Graph.n sub in
+        let global v = to_g.(sub_to_h.(v)) in
+        let t23 =
+          List.filter
+            (fun v -> kinds.(global v) = `Type23)
+            (List.init sn (fun v -> v))
+        in
+        if t23 = [] then begin
+          let colors = canonical_two_coloring sub in
+          for v = 0 to sn - 1 do
+            output.(global v) <- colors.(v)
+          done
+        end
+        else begin
+          (* 1-components among type-23 members (adjacency inside sub). *)
+          let t23_set = Bitset.of_list sn t23 in
+          let assigned = Bitset.create sn in
+          let one_components = ref [] in
+          List.iter
+            (fun v ->
+              if not (Bitset.mem assigned v) then begin
+                let queue = Queue.create () in
+                Queue.add v queue;
+                Bitset.add assigned v;
+                let comp = ref [ v ] in
+                while not (Queue.is_empty queue) do
+                  let u = Queue.take queue in
+                  Array.iter
+                    (fun w ->
+                      if Bitset.mem t23_set w && not (Bitset.mem assigned w)
+                      then begin
+                        Bitset.add assigned w;
+                        comp := w :: !comp;
+                        Queue.add w queue
+                      end)
+                    (Graph.neighbors sub u)
+                done;
+                one_components := !comp :: !one_components
+              end)
+            t23;
+          let one_components = Array.of_list !one_components in
+          (* Merge 1-components within the merge radius into groups. *)
+          let k = Array.length one_components in
+          let parent = Array.init k (fun i -> i) in
+          let rec find i = if parent.(i) = i then i else find parent.(i) in
+          let union i j =
+            let ri = find i and rj = find j in
+            if ri <> rj then parent.(max ri rj) <- min ri rj
+          in
+          Array.iteri
+            (fun i ci ->
+              let dist = Traversal.bfs_distances_multi sub ci in
+              Array.iteri
+                (fun j cj ->
+                  if
+                    j > i
+                    && List.exists
+                         (fun v ->
+                           dist.(v) >= 0 && dist.(v) <= merge_radius params)
+                         cj
+                  then union i j)
+                one_components)
+            one_components;
+          let groups = Hashtbl.create 4 in
+          Array.iteri
+            (fun i ci ->
+              let root = find i in
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt groups root)
+              in
+              Hashtbl.replace groups root (ci :: prev))
+            one_components;
+          let side =
+            match Traversal.bipartition sub with
+            | Some side -> side
+            | None -> fail "a color-{2,3} component is not bipartite"
+          in
+          (* Every group yields (s, φ(s)); they must agree on the parity. *)
+          let verdicts =
+            Hashtbl.fold
+              (fun _ comps acc ->
+                let members = List.concat comps in
+                let s_local =
+                  List.fold_left
+                    (fun acc v ->
+                      if global v < global acc then v else acc)
+                    (List.hd members) members
+                in
+                let color_s = if List.length comps = 1 then 2 else 3 in
+                (s_local, color_s) :: acc)
+              groups []
+          in
+          match verdicts with
+          | [] -> assert false
+          | (s_local, color_s) :: rest_verdicts ->
+              let color_for v =
+                if side.(v) = side.(s_local) then color_s else 5 - color_s
+              in
+              List.iter
+                (fun (s', c') ->
+                  if color_for s' <> c' then
+                    fail "inconsistent parity groups in one component")
+                rest_verdicts;
+              for v = 0 to sn - 1 do
+                output.(global v) <- color_for v
+              done
+        end
+      end)
+    (Traversal.component_members h);
+  output
+
+(* Certify at the end of encoding: the published advice must decode to a
+   proper 3-coloring. *)
+let encode ?(params = default_params) ?witness g =
+  let assignment = encode ~params ?witness g in
+  let result = decode ~params g assignment in
+  if not (Coloring.is_proper g result) || Coloring.num_colors result > 3 then
+    fail "certification failed: advice does not decode to a 3-coloring";
+  assignment

@@ -1,0 +1,66 @@
+(** 3-coloring 3-colorable graphs with one bit per node (Contribution 6,
+    Section 7).
+
+    The encoder fixes a greedy proper 3-coloring φ (every node of color c
+    has neighbors of all colors below c) and assigns bit 1 to every node of
+    color 1.  Removing color 1 leaves components of colors {2,3}; each is
+    bipartite, but 2-coloring it is a global problem, so the advice must
+    also pin down the *parity* of each large component.  Extra 1-bits do
+    that, and the two kinds of 1-bits are distinguished by a purely local
+    rule the greedy property makes sound:
+
+    - a 1-bit is of *type 1* (its node has color 1) iff at most one
+      neighbor carries a 1 — color classes are independent sets, so a
+      color-1 node sees 1s only on parity-group members, of which the
+      selection allows at most one per color-1 node;
+    - parity-group members always see at least two 1s: their own color-1
+      neighbors (guaranteed by greediness) plus, for adjacent pairs, their
+      partner.
+
+    A parity group consists of two node sets S and S′ (each a single node
+    with two color-1 neighbors, or an adjacent pair with no common color-1
+    neighbor — Lemma 2 of the paper), placed a few hops apart.  Lighting
+    only the set containing the group's smallest node s encodes φ(s) = 2;
+    lighting both sets (two 1-components instead of one) encodes φ(s) = 3.
+    Decoders locate groups, recover φ(s), and 2-color their component by
+    parity from s.  Components without any group are canonically 2-colored
+    (smallest node ↦ color 2), which is always valid because distinct
+    components of the color-{2,3} subgraph are never adjacent.
+
+    The encoder certifies its output by running the decoder and checking
+    the result is a proper 3-coloring. *)
+
+type params = {
+  small_threshold : int;
+      (** Components of the color-{2,3} subgraph whose diameter is at most
+          this receive no groups; canonical 2-coloring handles them. *)
+  group_radius : int;
+      (** How far around its ruling node a group may sit; also determines
+          the decoder's merge radius for grouping 1-components. *)
+  group_spread : int;
+      (** Ruling-set distance between group centers; keep at least
+          5 × group_radius so distinct groups cannot be confused. *)
+}
+
+val default_params : params
+
+exception Encoding_failure of string
+
+val encode :
+  ?params:params ->
+  ?witness:int array ->
+  Netgraph.Graph.t ->
+  Advice.Assignment.t
+(** One bit per node.  [witness] is any proper 3-coloring; without it the
+    encoder runs exact backtracking (exponential — small graphs only).
+    @raise Encoding_failure when the graph is not 3-colorable or group
+    placement fails. *)
+
+val decode :
+  ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t -> int array
+(** A proper 3-coloring (colors 1..3).  @raise Encoding_failure on advice
+    that does not follow the schema. *)
+
+val classify :
+  Netgraph.Graph.t -> Advice.Assignment.t -> [ `Type1 | `Type23 | `Zero ] array
+(** The local bit-type discrimination, exposed for tests and experiments. *)

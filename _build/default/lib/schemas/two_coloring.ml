@@ -1,0 +1,57 @@
+open Netgraph
+
+type params = { spread : int }
+
+let default_params = { spread = 8 }
+
+(* Beacon messages are one payload bit (10 symbols); spacing needs to
+   exceed twice that. *)
+let onebit_params = { spread = 32 }
+
+exception Encoding_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
+
+let decode_radius params = params.spread - 1
+
+let encode ?(params = default_params) g =
+  match Traversal.bipartition g with
+  | None -> fail "graph is not bipartite"
+  | Some side ->
+      let beacons = Ruling.ruling_set g ~alpha:params.spread in
+      let assignment = Advice.Assignment.empty g in
+      List.iter
+        (fun v -> assignment.(v) <- (if side.(v) = 1 then "1" else "0"))
+        beacons;
+      assignment
+
+let decode ?params:_ g assignment =
+  let holders =
+    List.filter (fun v -> String.length assignment.(v) = 1)
+      (Advice.Assignment.holders assignment)
+  in
+  if holders = [] && Graph.n g > 0 then fail "no beacons present";
+  (* Multi-source BFS recording, for each node, the color implied by the
+     beacon that reaches it first; bipartiteness makes all beacons of a
+     component agree, so the race is harmless. *)
+  let n = Graph.n g in
+  let color = Array.make n 0 in
+  let queue = Queue.create () in
+  List.iter
+    (fun b ->
+      color.(b) <- (if assignment.(b) = "1" then 2 else 1);
+      Queue.add b queue)
+    holders;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Array.iter
+      (fun u ->
+        if color.(u) = 0 then begin
+          color.(u) <- 3 - color.(v);
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  if Array.exists (fun c -> c = 0) color then
+    fail "some component has no beacon";
+  color

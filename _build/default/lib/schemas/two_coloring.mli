@@ -1,0 +1,27 @@
+(** Proper 2-coloring of bipartite graphs with sparse advice.
+
+    The paper's running example of a composable schema (Section 3.5, Πv):
+    2-coloring is a *global* problem without advice (Ω(n) on paths), but a
+    sparse set of beacon nodes, each holding a single bit — its own color —
+    makes it local: any node finds a nearby beacon and flips the beacon's
+    color by the parity of the distance.  Bipartiteness makes every path to
+    the beacon give the same parity, so any beacon and any shortest path
+    will do. *)
+
+type params = { spread : int  (** beacon ruling-set distance α *) }
+
+val default_params : params
+val onebit_params : params
+
+exception Encoding_failure of string
+
+val encode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t
+(** Beacons hold one bit: their side of the bipartition.
+    @raise Encoding_failure if the graph is not bipartite. *)
+
+val decode : ?params:params -> Netgraph.Graph.t -> Advice.Assignment.t -> int array
+(** Colors in {1, 2}.  @raise Encoding_failure when some component has no
+    beacon. *)
+
+val decode_radius : params -> int
+(** Every node finds a beacon within this distance. *)

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Advice Alcotest Array Builders Gen Graph Lcl List Netgraph Printf QCheck QCheck_alcotest Schemas String Subexp_adaptive Traversal

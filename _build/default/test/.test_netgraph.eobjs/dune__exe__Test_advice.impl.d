@@ -1,0 +1,1 @@
+test/test_advice.ml: Advice Alcotest Array Bitset Builders Gen Netgraph Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_delta_coloring.ml: Advice Alcotest Builders Coloring Delta_coloring Gen Graph List Netgraph Printf Prng QCheck QCheck_alcotest Schemas Traversal

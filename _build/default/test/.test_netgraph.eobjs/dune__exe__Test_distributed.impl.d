@@ -1,0 +1,1 @@
+test/test_distributed.ml: Advice Alcotest Balanced_orientation Builders Coloring Distributed Gen Graph Netgraph Orientation Printf Prng QCheck QCheck_alcotest Schemas Two_coloring

@@ -1,0 +1,1 @@
+test/test_eth_baselines.ml: Advice Alcotest Array Baselines Bitset Builders Coloring Ethlink Graph Hashtbl Lcl List Localmodel Netgraph Orientation Prng String

@@ -1,0 +1,1 @@
+test/test_growth_instances.ml: Alcotest Array Builders Coloring Degeneracy Gen Graph Growth Lcl List Netgraph Orientation Printf Prng QCheck QCheck_alcotest Schemas

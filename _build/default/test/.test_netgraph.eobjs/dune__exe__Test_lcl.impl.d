@@ -1,0 +1,1 @@
+test/test_lcl.ml: Alcotest Array Builders Coloring Gen Graph Lcl List Netgraph Printf Prng QCheck QCheck_alcotest

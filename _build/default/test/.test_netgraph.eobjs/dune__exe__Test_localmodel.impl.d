@@ -1,0 +1,1 @@
+test/test_localmodel.ml: Advice Alcotest Array Builders Graph List Localmodel Netgraph Prng Traversal

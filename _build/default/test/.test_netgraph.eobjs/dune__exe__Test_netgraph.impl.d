@@ -1,0 +1,1 @@
+test/test_netgraph.ml: Alcotest Array Bitset Builders Coloring Graph List Netgraph Orientation Printf Prng QCheck QCheck_alcotest Ruling Traversal

@@ -1,0 +1,1 @@
+test/test_subexp_lcl.ml: Advice Alcotest Array Bitset Builders Gen Graph Lcl Netgraph Printf Prng QCheck QCheck_alcotest Schemas Subexp_lcl

@@ -1,0 +1,1 @@
+test/test_three_coloring.ml: Advice Alcotest Array Builders Coloring Gen Graph List Netgraph Printf Prng QCheck QCheck_alcotest Schemas Three_coloring

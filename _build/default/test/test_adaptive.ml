@@ -1,0 +1,130 @@
+(* Tests for the adaptive Section-4 schema: distance coloring + Lemma-4.3
+   radii + sequential color-class carving. *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+
+let roundtrip ?params prob g =
+  let advice = Subexp_adaptive.encode ?params prob g in
+  let labeling = Subexp_adaptive.decode ?params prob g advice in
+  (advice, labeling)
+
+let test_cycle_coloring () =
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 300 in
+  let advice, labeling = roundtrip prob g in
+  check "valid 3-coloring" true (Lcl.Problem.verify prob g labeling);
+  check "holders are sparse" true
+    (Advice.Assignment.num_holders advice < Graph.n g / 10)
+
+let test_cycle_mis () =
+  let prob = Lcl.Instances.mis in
+  let g = Builders.cycle 400 in
+  let _, labeling = roundtrip prob g in
+  check "valid MIS" true (Lcl.Problem.verify prob g labeling)
+
+let test_small_graph_all_leftover () =
+  (* A graph smaller than one 2x-sphere: no center carves, everything is a
+     leftover component solved by brute force. *)
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 15 in
+  let params = { Subexp_adaptive.x = 10; r = 1 } in
+  let advice, labeling = roundtrip ~params prob g in
+  check "valid" true (Lcl.Problem.verify prob g labeling);
+  check "single leftover holder" true (Advice.Assignment.num_holders advice = 1)
+
+let test_grid () =
+  let prob = Lcl.Instances.coloring 5 in
+  let g = Builders.grid 13 13 in
+  let params = { Subexp_adaptive.x = 4; r = 1 } in
+  let _, labeling = roundtrip ~params prob g in
+  check "valid 5-coloring on grid" true (Lcl.Problem.verify prob g labeling)
+
+let test_carve_properties () =
+  let g = Builders.cycle 300 in
+  let params = { Subexp_adaptive.x = 10; r = 1 } in
+  let prob = Lcl.Instances.mis in
+  let advice = Subexp_adaptive.encode ~params prob g in
+  (* Re-derive the carving from the holders as the decoder does. *)
+  let centers =
+    List.filter_map
+      (fun v ->
+        let s = advice.(v) in
+        if s = "" || s.[0] = '0' then None
+        else
+          let color_str, _ = Advice.Composable.split_string s in
+          Some (v, Advice.Bits.decode color_str + 1))
+      (List.init (Graph.n g) (fun v -> v))
+  in
+  check "some carved clusters" true (centers <> []);
+  let cluster = Subexp_adaptive.carve ~params g centers in
+  (* Every node gets a cluster; carved clusters contain their center and
+     have bounded radius. *)
+  check "total" true (Array.for_all (fun c -> c >= 0) cluster);
+  List.iter
+    (fun (v, _) ->
+      check "center in own cluster" true (cluster.(v) = v);
+      Graph.iter_nodes
+        (fun u ->
+          if cluster.(u) = v then
+            check "bounded radius" true
+              (Traversal.distance g v u <= (2 * params.Subexp_adaptive.x) + params.Subexp_adaptive.r))
+        g)
+    centers;
+  (* Same-color centers are far apart (distance coloring). *)
+  let rec pairs = function
+    | [] -> ()
+    | (v, c) :: rest ->
+        List.iter
+          (fun (u, c') ->
+            if c = c' then
+              check "same-color centers spread" true
+                (Traversal.distance g u v > 5 * params.Subexp_adaptive.x))
+          rest;
+        pairs rest
+  in
+  pairs centers
+
+let test_infeasible_rejected () =
+  let prob = Lcl.Instances.coloring 2 in
+  let g = Builders.cycle 101 in
+  match Subexp_adaptive.encode prob g with
+  | exception Subexp_adaptive.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "2-coloring an odd cycle must fail"
+
+let prop_adaptive_roundtrip =
+  QCheck.Test.make ~name:"adaptive schema solves LCLs on cycles" ~count:10
+    QCheck.(
+      make
+        ~print:(fun (n, which) -> Printf.sprintf "n=%d which=%d" n which)
+        Gen.(
+          int_range 120 400 >>= fun n ->
+          int_range 0 1 >>= fun which -> return (n, which)))
+    (fun (n, which) ->
+      let prob =
+        match which with 0 -> Lcl.Instances.coloring 3 | _ -> Lcl.Instances.mis
+      in
+      let g = Builders.cycle n in
+      let advice = Subexp_adaptive.encode prob g in
+      let labeling = Subexp_adaptive.decode prob g advice in
+      Lcl.Problem.verify prob g labeling)
+
+let () =
+  Alcotest.run "subexp-adaptive"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "3-coloring cycle" `Quick test_cycle_coloring;
+          Alcotest.test_case "MIS cycle" `Quick test_cycle_mis;
+          Alcotest.test_case "small graph" `Quick test_small_graph_all_leftover;
+          Alcotest.test_case "grid" `Quick test_grid;
+        ] );
+      ( "carving",
+        [
+          Alcotest.test_case "carve properties" `Quick test_carve_properties;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_rejected;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_adaptive_roundtrip ]);
+    ]

@@ -1,0 +1,324 @@
+(* Tests for the advice framework: assignments, pairing (Lemma 1 plumbing)
+   and the variable-length -> uniform 1-bit conversion (Lemma 2). *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Assignment metrics *)
+
+let test_assignment_metrics () =
+  let g = Builders.cycle 6 in
+  let a = Advice.Assignment.empty g in
+  a.(0) <- "101";
+  a.(3) <- "1";
+  check_int "max bits" 3 (Advice.Assignment.max_bits a);
+  check_int "total bits" 4 (Advice.Assignment.total_bits a);
+  Alcotest.(check (list int)) "holders" [ 0; 3 ] (Advice.Assignment.holders a);
+  check_int "holders in ball r1 of 5" 1
+    (Advice.Assignment.holders_in_ball g a ~center:5 ~radius:1);
+  check_int "gamma at r=3" 2 (Advice.Assignment.max_holders_per_ball g a ~radius:3);
+  check "wellformed" true (Advice.Assignment.is_wellformed a);
+  a.(1) <- "x";
+  check "malformed" false (Advice.Assignment.is_wellformed a)
+
+let test_uniform_one_bit () =
+  let g = Builders.cycle 4 in
+  let a = [| "1"; "0"; "0"; "1" |] in
+  check "uniform" true (Advice.Assignment.is_uniform_one_bit a);
+  Alcotest.(check (float 1e-9)) "sparsity" 0.5 (Advice.Assignment.sparsity a);
+  let b = Advice.Assignment.to_bitset a in
+  check "bit 0" true (Bitset.mem b 0);
+  check "bit 1" false (Bitset.mem b 1);
+  let a' = Advice.Assignment.of_bitset b in
+  check "roundtrip" true (a = a');
+  ignore g
+
+(* ------------------------------------------------------------------ *)
+(* Pairing *)
+
+let test_pair_strings () =
+  check_str "both empty" "" (Advice.Composable.pair_strings "" "");
+  let p = Advice.Composable.pair_strings "10" "011" in
+  check_str "pair" "110" (String.sub p 0 3);
+  let s1, s2 = Advice.Composable.split_string p in
+  check_str "split 1" "10" s1;
+  check_str "split 2" "011" s2;
+  let s1, s2 = Advice.Composable.split_string (Advice.Composable.pair_strings "" "11") in
+  check_str "empty first" "" s1;
+  check_str "second" "11" s2;
+  let s1, s2 = Advice.Composable.split_string (Advice.Composable.pair_strings "11" "") in
+  check_str "first" "11" s1;
+  check_str "empty second" "" s2
+
+let test_pair_assignments () =
+  let a = [| "1"; ""; "01" |] and b = [| ""; "10"; "1" |] in
+  let p = Advice.Composable.pair a b in
+  let a', b' = Advice.Composable.split p in
+  check "a roundtrip" true (a = a');
+  check "b roundtrip" true (b = b')
+
+let test_pair_list () =
+  let parts = [ [| "1"; "" |]; [| ""; "01" |]; [| "11"; "1" |] ] in
+  let combined = Advice.Composable.pair_list parts in
+  let back = Advice.Composable.split_list 3 combined in
+  check "list roundtrip" true (parts = back)
+
+let test_pair_preserves_holders () =
+  let a = [| "1"; ""; "" |] and b = [| ""; ""; "1" |] in
+  let p = Advice.Composable.pair a b in
+  Alcotest.(check (list int)) "holders union" [ 0; 2 ] (Advice.Assignment.holders p)
+
+(* ------------------------------------------------------------------ *)
+(* One-bit conversion *)
+
+let test_message_structure () =
+  check_str "empty string message" "111101100" (Advice.Onebit.message_of "");
+  check_str "zero" "11110110" (String.sub (Advice.Onebit.message_of "0") 0 8);
+  check_str "full zero msg" "111101101100" (Advice.Onebit.message_of "0");
+  check_str "full one msg" "1111011011100" (Advice.Onebit.message_of "1");
+  check_int "length" 13 (Advice.Onebit.message_length "1")
+
+let roundtrip g assignment =
+  let ones = Advice.Onebit.encode g assignment in
+  let back = Advice.Onebit.decode g ones in
+  back = assignment
+
+let test_onebit_single_holder_cycle () =
+  let g = Builders.cycle 100 in
+  let a = Advice.Assignment.empty g in
+  a.(10) <- "10110";
+  check "roundtrip" true (roundtrip g a)
+
+let test_onebit_multiple_holders () =
+  let g = Builders.cycle 300 in
+  let a = Advice.Assignment.empty g in
+  a.(0) <- "101";
+  a.(100) <- "11";
+  a.(200) <- "0001";
+  check "roundtrip" true (roundtrip g a)
+
+let test_onebit_on_grid () =
+  let g = Builders.grid 30 30 in
+  let a = Advice.Assignment.empty g in
+  a.(0) <- "110";
+  (* Opposite corner: far from node 0. *)
+  a.((30 * 30) - 1) <- "01";
+  check "roundtrip" true (roundtrip g a)
+
+let test_onebit_spacing_rejected () =
+  let g = Builders.cycle 100 in
+  let a = Advice.Assignment.empty g in
+  a.(0) <- "1011";
+  a.(5) <- "1100";
+  (match Advice.Onebit.encode g a with
+  | exception Advice.Onebit.Conversion_failure _ -> ()
+  | _ -> Alcotest.fail "expected Conversion_failure for close holders")
+
+let test_onebit_too_small_graph () =
+  let g = Builders.cycle 6 in
+  let a = Advice.Assignment.empty g in
+  a.(0) <- "10110101" (* message longer than any geodesic *);
+  (match Advice.Onebit.encode g a with
+  | exception Advice.Onebit.Conversion_failure _ -> ()
+  | _ -> Alcotest.fail "expected Conversion_failure for short geodesics")
+
+let test_onebit_no_holder () =
+  let g = Builders.cycle 20 in
+  let a = Advice.Assignment.empty g in
+  let ones = Advice.Onebit.encode g a in
+  check_int "no ones" 0 (Bitset.cardinal ones);
+  check "decode empty" true (Advice.Onebit.decode g ones = a)
+
+let test_onebit_sparsity_decreases () =
+  (* Same holder string on larger and larger cycles: global 1-density
+     decreases (arbitrarily sparse advice). *)
+  let density n =
+    let g = Builders.cycle n in
+    let a = Advice.Assignment.empty g in
+    a.(0) <- "1010";
+    let ones = Advice.Onebit.encode g a in
+    float_of_int (Bitset.cardinal ones) /. float_of_int n
+  in
+  check "density shrinks" true (density 400 < density 100)
+
+let test_onebit_qcheck_roundtrip =
+  QCheck.Test.make ~name:"one-bit roundtrip on cycles with random strings"
+    ~count:60
+    QCheck.(
+      make
+        ~print:(fun (len, bits) -> Printf.sprintf "len=%d bits=%d" len bits)
+        Gen.(
+          int_range 0 6 >>= fun len ->
+          int_range 0 63 >>= fun bits -> return (len, bits)))
+    (fun (len, bits) ->
+      let s = String.init len (fun i -> if bits land (1 lsl i) <> 0 then '1' else '0') in
+      let g = Builders.cycle 120 in
+      let a = Advice.Assignment.empty g in
+      a.(7) <- s;
+      if s = "" then true else roundtrip g a)
+
+let test_onebit_disconnected_components () =
+  (* Holders in different components never interfere; spacing checks must
+     not reject them. *)
+  let g = Builders.disjoint_union (Builders.cycle 60) (Builders.cycle 60) in
+  let a = Advice.Assignment.empty g in
+  a.(5) <- "101";
+  a.(65) <- "11";
+  check "roundtrip across components" true (roundtrip g a)
+
+let prop_pair_strings_fuzz =
+  QCheck.Test.make ~name:"pair_strings/split_string roundtrip on random bits"
+    ~count:200
+    QCheck.(
+      make
+        ~print:(fun (a, b) -> Printf.sprintf "%S %S" a b)
+        Gen.(
+          let bits = string_size ~gen:(oneofl [ '0'; '1' ]) (int_range 0 12) in
+          pair bits bits))
+    (fun (a, b) ->
+      Advice.Composable.split_string (Advice.Composable.pair_strings a b)
+      = (a, b))
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"Bits.encode/decode roundtrip" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (w, v) -> Printf.sprintf "w=%d v=%d" w v)
+        Gen.(
+          int_range 1 16 >>= fun w ->
+          int_range 0 ((1 lsl w) - 1) >>= fun v -> return (w, v)))
+    (fun (w, v) ->
+      Advice.Bits.decode (Advice.Bits.encode ~width:w v) = v)
+
+let test_schema_measure () =
+  let g = Builders.cycle 8 in
+  let a = Advice.Assignment.empty g in
+  a.(0) <- "11";
+  a.(4) <- "0";
+  let stats = Advice.Schema.measure ~ball_radius:2 g a in
+  check_int "n" 8 stats.Advice.Schema.n;
+  check_int "max bits" 2 stats.Advice.Schema.max_bits;
+  check_int "holders" 2 stats.Advice.Schema.holders;
+  check_int "ones" 1 stats.Advice.Schema.ones;
+  check "no sparsity (not uniform)" true (stats.Advice.Schema.sparsity = None);
+  (* Node 2's radius-2 ball {0,1,2,3,4} contains both holders. *)
+  check "gamma" true (stats.Advice.Schema.max_holders_ball = Some 2)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline composition (Lemma 1 as a combinator) *)
+
+let toy_store node value =
+  (* Schema: node [node] stores [value]; decoding reads it back. *)
+  {
+    Advice.Pipeline.encode =
+      (fun g ->
+        let a = Advice.Assignment.empty g in
+        a.(node) <- Advice.Bits.encode_int value;
+        a);
+    decode = (fun _ a -> Advice.Bits.decode a.(node));
+  }
+
+let test_pipeline_compose () =
+  let g = Builders.cycle 10 in
+  (* Stage 1 stores 5 at node 0; stage 2, given the oracle answer x,
+     stores x * 3 at node 1 and decodes their sum. *)
+  let composed =
+    Advice.Pipeline.compose (toy_store 0 5) ~with_oracle:(fun x ->
+        Advice.Pipeline.map (fun y -> x + y) (toy_store 1 (x * 3)))
+  in
+  let a = composed.Advice.Pipeline.encode g in
+  check_int "composed result" 20 (composed.Advice.Pipeline.decode g a);
+  (* Both stages' holders coexist in the paired assignment. *)
+  Alcotest.(check (list int)) "holders" [ 0; 1 ] (Advice.Assignment.holders a)
+
+let test_pipeline_pair_constant () =
+  let g = Builders.cycle 6 in
+  let both = Advice.Pipeline.pair (toy_store 2 7) (Advice.Pipeline.constant 99) in
+  let a = both.Advice.Pipeline.encode g in
+  check "pair decodes" true (both.Advice.Pipeline.decode g a = (7, 99));
+  let empty = Advice.Pipeline.constant 1 in
+  check_int "constant uses no advice" 0
+    (Advice.Assignment.total_bits (empty.Advice.Pipeline.encode g))
+
+(* ------------------------------------------------------------------ *)
+(* Definitions 2-4 as executable checks *)
+
+let test_definition_beta () =
+  let a = [| "101"; ""; "1" |] in
+  check "beta 3 ok" true (Advice.Definition.respects_beta a ~beta:3);
+  check "beta 2 violated" false (Advice.Definition.respects_beta a ~beta:2)
+
+let test_definition_types () =
+  check "uniform" true (Advice.Definition.is_uniform_fixed_length [| "10"; "01"; "11" |]);
+  check "not uniform" false (Advice.Definition.is_uniform_fixed_length [| "10"; "0" |]);
+  check "subset fixed" true (Advice.Definition.is_subset_fixed_length [| "10"; ""; "01" |]);
+  check "variable" false (Advice.Definition.is_subset_fixed_length [| "10"; "0" |])
+
+let test_definition_sparse () =
+  let a = [| "1"; "0"; "0"; "0" |] in
+  check "eps .25" true (Advice.Definition.is_epsilon_sparse a ~epsilon:0.25);
+  check "eps .2" false (Advice.Definition.is_epsilon_sparse a ~epsilon:0.2)
+
+let test_definition_composability () =
+  let g = Builders.cycle 100 in
+  let a = Advice.Assignment.empty g in
+  a.(0) <- "11";
+  a.(50) <- "10";
+  let r = Advice.Definition.composability g a ~c:1.0 ~gamma:2 ~alpha:20 in
+  check "composable" true r.Advice.Definition.ok;
+  (* Holders too dense for a small gamma at a big radius. *)
+  let r = Advice.Definition.composability g a ~c:1.0 ~gamma:1 ~alpha:60 in
+  check "violation detected" false r.Advice.Definition.ok
+
+let () =
+  Alcotest.run "advice"
+    [
+      ( "assignment",
+        [
+          Alcotest.test_case "metrics" `Quick test_assignment_metrics;
+          Alcotest.test_case "uniform one bit" `Quick test_uniform_one_bit;
+          Alcotest.test_case "schema measure" `Quick test_schema_measure;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "compose" `Quick test_pipeline_compose;
+          Alcotest.test_case "pair and constant" `Quick test_pipeline_pair_constant;
+        ] );
+      ( "definitions",
+        [
+          Alcotest.test_case "beta bound" `Quick test_definition_beta;
+          Alcotest.test_case "schema types" `Quick test_definition_types;
+          Alcotest.test_case "epsilon sparsity" `Quick test_definition_sparse;
+          Alcotest.test_case "composability" `Quick test_definition_composability;
+        ] );
+      ( "pairing",
+        [
+          Alcotest.test_case "strings" `Quick test_pair_strings;
+          Alcotest.test_case "assignments" `Quick test_pair_assignments;
+          Alcotest.test_case "lists" `Quick test_pair_list;
+          Alcotest.test_case "holders union" `Quick test_pair_preserves_holders;
+        ] );
+      ( "onebit",
+        [
+          Alcotest.test_case "message structure" `Quick test_message_structure;
+          Alcotest.test_case "single holder cycle" `Quick
+            test_onebit_single_holder_cycle;
+          Alcotest.test_case "multiple holders" `Quick test_onebit_multiple_holders;
+          Alcotest.test_case "grid" `Quick test_onebit_on_grid;
+          Alcotest.test_case "spacing rejected" `Quick test_onebit_spacing_rejected;
+          Alcotest.test_case "short geodesics rejected" `Quick
+            test_onebit_too_small_graph;
+          Alcotest.test_case "no holder" `Quick test_onebit_no_holder;
+          Alcotest.test_case "sparsity decreases" `Quick
+            test_onebit_sparsity_decreases;
+          QCheck_alcotest.to_alcotest test_onebit_qcheck_roundtrip;
+          Alcotest.test_case "disconnected components" `Quick
+            test_onebit_disconnected_components;
+          QCheck_alcotest.to_alcotest prop_pair_strings_fuzz;
+          QCheck_alcotest.to_alcotest prop_bits_roundtrip;
+        ] );
+    ]

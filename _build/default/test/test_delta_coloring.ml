@@ -1,0 +1,133 @@
+(* Tests for Contribution 5: Δ-coloring Δ-colorable graphs with advice. *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+
+let roundtrip g =
+  let advice = Delta_coloring.encode g in
+  let colors = Delta_coloring.decode g advice in
+  (advice, colors)
+
+let assert_delta_coloring g colors =
+  check "proper" true (Coloring.is_proper g colors);
+  check "at most Δ colors" true (Coloring.num_colors colors <= Graph.max_degree g)
+
+let test_planted_delta4 () =
+  let rng = Prng.create 3 in
+  let g, _ = Builders.planted_max_degree_colorable rng ~n:120 ~delta:4 in
+  let _, colors = roundtrip g in
+  assert_delta_coloring g colors
+
+let test_planted_delta6 () =
+  let rng = Prng.create 7 in
+  let g, _ = Builders.planted_max_degree_colorable rng ~n:150 ~delta:6 in
+  let _, colors = roundtrip g in
+  assert_delta_coloring g colors
+
+let test_grid_delta4 () =
+  (* Interior grid nodes have degree 4; grids are 2-colorable, so trivially
+     4-colorable. *)
+  let g = Builders.grid 12 12 in
+  let _, colors = roundtrip g in
+  assert_delta_coloring g colors
+
+let test_torus () =
+  let g = Builders.torus 8 9 in
+  let _, colors = roundtrip g in
+  assert_delta_coloring g colors
+
+let test_hypercube () =
+  let g = Builders.hypercube 4 in
+  let _, colors = roundtrip g in
+  assert_delta_coloring g colors
+
+let test_stages_consistent () =
+  let rng = Prng.create 11 in
+  let g, _ = Builders.planted_max_degree_colorable rng ~n:100 ~delta:5 in
+  let advice = Delta_coloring.encode g in
+  let big, psi, final = Delta_coloring.decode_stages g advice in
+  let delta = Graph.max_degree g in
+  check "stage 1 proper" true (Coloring.is_proper g big);
+  check "stage 2 proper" true (Coloring.is_proper g psi);
+  check "stage 2 within Δ+1" true (Coloring.num_colors psi <= delta + 1);
+  check "stage 3 proper" true (Coloring.is_proper g final);
+  check "stage 3 within Δ" true (Coloring.num_colors final <= delta)
+
+let test_complete_graph_rejected () =
+  (* K_{Δ+1} is not Δ-colorable; the shift search must fail. *)
+  let g = Builders.complete 5 in
+  match Delta_coloring.encode g with
+  | exception Delta_coloring.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "K5 must be rejected for Δ=4"
+
+let test_low_degree_rejected () =
+  let g = Builders.cycle 10 in
+  match Delta_coloring.encode g with
+  | exception Delta_coloring.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "Δ=2 must be rejected"
+
+let test_cluster_advice_on_centers_only () =
+  let rng = Prng.create 13 in
+  let g, _ = Builders.planted_max_degree_colorable rng ~n:80 ~delta:4 in
+  let advice = Delta_coloring.encode g in
+  let cluster_part, _ = Advice.Composable.split advice in
+  let holders = Advice.Assignment.holders cluster_part in
+  (* Centers form a ruling set: pairwise distance >= spread. *)
+  let spread = Delta_coloring.default_params.Delta_coloring.cluster_spread in
+  let rec pairs = function
+    | [] -> ()
+    | v :: rest ->
+        List.iter
+          (fun u ->
+            let d = Traversal.distance g u v in
+            check "centers spread" true (d < 0 || d >= spread))
+          rest;
+        pairs rest
+  in
+  pairs holders
+
+let prop_planted_roundtrip =
+  QCheck.Test.make ~name:"Δ-coloring advice roundtrips on planted graphs"
+    ~count:15
+    QCheck.(
+      make
+        ~print:(fun (n, delta, seed) ->
+          Printf.sprintf "n=%d delta=%d seed=%d" n delta seed)
+        Gen.(
+          int_range 40 120 >>= fun n ->
+          int_range 4 7 >>= fun delta ->
+          int_range 0 1000 >>= fun seed -> return (n, delta, seed)))
+    (fun (n, delta, seed) ->
+      let rng = Prng.create seed in
+      let g, _ = Builders.planted_max_degree_colorable rng ~n ~delta in
+      let advice = Delta_coloring.encode g in
+      let colors = Delta_coloring.decode g advice in
+      Coloring.is_proper g colors
+      && Coloring.num_colors colors <= Graph.max_degree g)
+
+let () =
+  Alcotest.run "delta-coloring"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "planted Δ=4" `Quick test_planted_delta4;
+          Alcotest.test_case "planted Δ=6" `Quick test_planted_delta6;
+          Alcotest.test_case "grid" `Quick test_grid_delta4;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "stages" `Quick test_stages_consistent;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "K5" `Quick test_complete_graph_rejected;
+          Alcotest.test_case "low degree" `Quick test_low_degree_rejected;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "cluster centers" `Quick
+            test_cluster_advice_on_centers_only;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_planted_roundtrip ]);
+    ]

@@ -1,0 +1,112 @@
+(* Tests for the genuinely round-based distributed decoders. *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+
+let test_two_coloring_rounds () =
+  let g = Builders.grid 14 14 in
+  let params = { Two_coloring.spread = 8 } in
+  let advice = Two_coloring.encode ~params g in
+  let colors, rounds = Distributed.two_coloring g advice in
+  check "proper" true (Coloring.is_proper g colors);
+  check "matches centralized decode" true (colors = Two_coloring.decode g advice);
+  check "rounds within beacon spread" true
+    (rounds <= Two_coloring.decode_radius params + 1)
+
+let test_two_coloring_rounds_cycle () =
+  let g = Builders.cycle 400 in
+  let params = { Two_coloring.spread = 20 } in
+  let advice = Two_coloring.encode ~params g in
+  let colors, rounds = Distributed.two_coloring g advice in
+  check "proper" true (Coloring.is_proper g colors);
+  check "rounds bounded, n-independent" true (rounds <= 20)
+
+let test_two_coloring_no_beacon_fails () =
+  let g = Builders.cycle 10 in
+  let advice = Advice.Assignment.empty g in
+  match Distributed.two_coloring g advice with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "must fail without beacons"
+
+let orientations_equal g a b =
+  Graph.fold_edges
+    (fun _ (u, v) acc ->
+      acc && Orientation.points_from a u v = Orientation.points_from b u v)
+    g true
+
+let test_orientation_rounds_cycle () =
+  let g = Builders.cycle 300 in
+  let params = Distributed.orientation_params in
+  let enc = Balanced_orientation.encode ~params g in
+  let advice = enc.Balanced_orientation.assignment in
+  let o, rounds = Distributed.orientation g advice in
+  check "balanced" true (Orientation.is_balanced o);
+  check "matches centralized" true
+    (orientations_equal g o (Balanced_orientation.decode ~params g advice));
+  check "rounds near realized cover" true
+    (rounds <= enc.Balanced_orientation.realized_cover + 2)
+
+let test_orientation_rounds_circulant () =
+  let g = Builders.circulant 240 [ 1; 2 ] in
+  let params = Distributed.orientation_params in
+  let enc = Balanced_orientation.encode ~params g in
+  let o, rounds = Distributed.orientation g enc.Balanced_orientation.assignment in
+  check "balanced" true (Orientation.is_balanced o);
+  check "rounds bounded" true (rounds <= 2 * enc.Balanced_orientation.realized_cover + 2)
+
+let test_orientation_rounds_random_even () =
+  let rng = Prng.create 5 in
+  let g = Builders.random_even_degree rng 200 2 in
+  let params = Distributed.orientation_params in
+  let enc = Balanced_orientation.encode ~params g in
+  let o, _ = Distributed.orientation g enc.Balanced_orientation.assignment in
+  check "balanced" true (Orientation.is_balanced o)
+
+let test_orientation_rounds_odd_degrees () =
+  let rng = Prng.create 9 in
+  let g = Builders.gnp rng 120 0.04 in
+  let params = Distributed.orientation_params in
+  let enc = Balanced_orientation.encode ~params g in
+  let o, _ = Distributed.orientation g enc.Balanced_orientation.assignment in
+  check "almost balanced" true (Orientation.is_almost_balanced o)
+
+let prop_distributed_matches_centralized =
+  QCheck.Test.make
+    ~name:"round-based orientation decoder matches the centralized one"
+    ~count:20
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+        Gen.(
+          int_range 60 250 >>= fun n ->
+          int_range 0 500 >>= fun seed -> return (n, seed)))
+    (fun (n, seed) ->
+      let g = Builders.gnp (Prng.create seed) n 0.03 in
+      let params = Distributed.orientation_params in
+      let enc = Balanced_orientation.encode ~params g in
+      let advice = enc.Balanced_orientation.assignment in
+      let o, _ = Distributed.orientation g advice in
+      orientations_equal g o (Balanced_orientation.decode ~params g advice))
+
+let () =
+  Alcotest.run "distributed"
+    [
+      ( "two-coloring",
+        [
+          Alcotest.test_case "grid" `Quick test_two_coloring_rounds;
+          Alcotest.test_case "cycle" `Quick test_two_coloring_rounds_cycle;
+          Alcotest.test_case "no beacons" `Quick test_two_coloring_no_beacon_fails;
+        ] );
+      ( "orientation",
+        [
+          Alcotest.test_case "cycle" `Quick test_orientation_rounds_cycle;
+          Alcotest.test_case "circulant" `Quick test_orientation_rounds_circulant;
+          Alcotest.test_case "random even" `Quick
+            test_orientation_rounds_random_even;
+          Alcotest.test_case "odd degrees" `Quick
+            test_orientation_rounds_odd_degrees;
+          QCheck_alcotest.to_alcotest prop_distributed_matches_centralized;
+        ] );
+    ]

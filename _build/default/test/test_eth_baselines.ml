@@ -1,0 +1,222 @@
+(* Tests for the Contribution-2 machinery (exhaustive advice search,
+   order-invariance) and the no-advice baselines. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force advice search *)
+
+(* The trivial decoder: read your own advice as a color. *)
+let read_own_color (view : Localmodel.View.t) =
+  let s = view.Localmodel.View.advice.(view.Localmodel.View.center) in
+  Advice.Bits.decode s + 1
+
+let test_bruteforce_finds_2bit_3coloring () =
+  let g = Builders.cycle 5 in
+  let ids = Localmodel.Ids.identity g in
+  let prob = Lcl.Instances.coloring 3 in
+  let outcome =
+    Ethlink.Bruteforce.search prob g ~ids ~radius:0 ~beta:2
+      ~decide:read_own_color
+  in
+  (match outcome.Ethlink.Bruteforce.result with
+  | Some (_, labels) ->
+      check "found proper" true
+        (Coloring.is_proper g labels && Coloring.num_colors labels <= 3)
+  | None -> Alcotest.fail "2 bits suffice to encode a 3-coloring");
+  check "searched some assignments" true (outcome.Ethlink.Bruteforce.tried >= 1)
+
+let test_bruteforce_1bit_threshold () =
+  (* With 1 bit read as a color in {1,2}, even cycles are solvable and odd
+     cycles are not: the search exhausts 2^n assignments. *)
+  let prob = Lcl.Instances.coloring 2 in
+  let ids4 = Localmodel.Ids.identity (Builders.cycle 4) in
+  let even =
+    Ethlink.Bruteforce.search prob (Builders.cycle 4) ~ids:ids4 ~radius:0
+      ~beta:1 ~decide:read_own_color
+  in
+  check "even cycle found" true (even.Ethlink.Bruteforce.result <> None);
+  let ids5 = Localmodel.Ids.identity (Builders.cycle 5) in
+  let odd =
+    Ethlink.Bruteforce.search prob (Builders.cycle 5) ~ids:ids5 ~radius:0
+      ~beta:1 ~decide:read_own_color
+  in
+  check "odd cycle exhausted" true (odd.Ethlink.Bruteforce.result = None);
+  check_int "tried all 2^5" 32 odd.Ethlink.Bruteforce.tried
+
+let test_assignment_enumeration () =
+  let a = Ethlink.Bruteforce.assignment_of_counter ~n:2 ~beta:2 0b1101 in
+  Alcotest.(check string) "node 0 bits" "10" a.(0);
+  Alcotest.(check string) "node 1 bits" "11" a.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Order invariance *)
+
+let test_signature_ignores_id_values () =
+  let g = Builders.cycle 7 in
+  let v1 = Localmodel.View.make g ~ids:(Localmodel.Ids.identity g) ~radius:1 3 in
+  let scaled = Array.map (fun id -> id * 10) (Localmodel.Ids.identity g) in
+  let v2 = Localmodel.View.make g ~ids:scaled ~radius:1 3 in
+  Alcotest.(check string) "same signature" (Ethlink.Canonical.signature v1)
+    (Ethlink.Canonical.signature v2)
+
+let test_signature_sees_order () =
+  let g = Builders.cycle 7 in
+  let v1 = Localmodel.View.make g ~ids:(Localmodel.Ids.identity g) ~radius:1 3 in
+  let flipped = Array.map (fun id -> 100 - id) (Localmodel.Ids.identity g) in
+  let v2 = Localmodel.View.make g ~ids:flipped ~radius:1 3 in
+  check "different signature" true
+    (Ethlink.Canonical.signature v1 <> Ethlink.Canonical.signature v2)
+
+let test_order_invariance_detection () =
+  let rng = Prng.create 9 in
+  let g = Builders.cycle 20 in
+  let assignments =
+    [
+      Localmodel.Ids.identity g;
+      Localmodel.Ids.random_sparse rng g;
+      Localmodel.Ids.random_sparse rng g;
+    ]
+  in
+  (* "Am I a local id-minimum?" depends only on the order: invariant. *)
+  let local_min (view : Localmodel.View.t) =
+    let c = view.Localmodel.View.center in
+    let mine = view.Localmodel.View.ids.(c) in
+    if
+      Array.for_all
+        (fun u -> view.Localmodel.View.ids.(u) > mine)
+        (Graph.neighbors view.Localmodel.View.graph c)
+    then 2
+    else 1
+  in
+  check "local-min is order-invariant" true
+    (Ethlink.Canonical.is_order_invariant ~decide:local_min
+       ~graphs:[ (g, assignments) ] ~radius:1);
+  (* "id mod 2" depends on the numeric values: not invariant. *)
+  let parity (view : Localmodel.View.t) =
+    (view.Localmodel.View.ids.(view.Localmodel.View.center) mod 2) + 1
+  in
+  check "id parity is not order-invariant" false
+    (Ethlink.Canonical.is_order_invariant ~decide:parity
+       ~graphs:[ (g, assignments) ] ~radius:1)
+
+let test_lookup_table_replay () =
+  let g = Builders.cycle 24 in
+  let ids = Localmodel.Ids.identity g in
+  let advice = Array.make 24 "" in
+  let local_min (view : Localmodel.View.t) =
+    let c = view.Localmodel.View.center in
+    let mine = view.Localmodel.View.ids.(c) in
+    if
+      Array.for_all
+        (fun u -> view.Localmodel.View.ids.(u) > mine)
+        (Graph.neighbors view.Localmodel.View.graph c)
+    then 2
+    else 1
+  in
+  let samples =
+    Array.to_list
+      (Localmodel.View.map_nodes ~advice g ~ids ~radius:1 (fun view ->
+           (view, local_min view)))
+  in
+  match Ethlink.Canonical.build_table samples with
+  | Ethlink.Canonical.Conflict _ -> Alcotest.fail "no conflict expected"
+  | Ethlink.Canonical.Table table ->
+      let replayed =
+        Ethlink.Canonical.run_with_table table ~default:0 g ~ids ~advice
+          ~radius:1
+      in
+      let direct =
+        Localmodel.View.map_nodes ~advice g ~ids ~radius:1 local_min
+      in
+      check "table replays algorithm" true (replayed = direct);
+      check "table is small" true (Hashtbl.length table <= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines *)
+
+let test_cole_vishkin () =
+  List.iter
+    (fun n ->
+      let g = Builders.cycle n in
+      let succ = Array.init n (fun v -> (v + 1) mod n) in
+      let rng = Prng.create (n + 1) in
+      let ids = Localmodel.Ids.random_sparse rng g in
+      let colors, rounds = Baselines.Cole_vishkin.run g ~succ ~ids in
+      check "proper" true (Coloring.is_proper g colors);
+      check "3 colors" true (Coloring.num_colors colors <= 3);
+      check "few rounds" true (rounds <= 2 * (Baselines.Cole_vishkin.log_star (n * n) + 8)))
+    [ 5; 10; 100; 1000 ]
+
+let test_linial_reduction () =
+  let rng = Prng.create 21 in
+  let g = Builders.gnp rng 80 0.06 in
+  let start =
+    Array.map (fun id -> id) (Localmodel.Ids.random_sparse rng g)
+  in
+  (* ids are a proper coloring with a huge palette. *)
+  check "ids proper" true (Coloring.is_proper g start);
+  let reduced, rounds = Baselines.Linial.reduce g start in
+  check "still proper" true (Coloring.is_proper g reduced);
+  check "far fewer colors" true
+    (Coloring.num_colors reduced < Coloring.num_colors start / 4);
+  check "few rounds" true (rounds <= 8)
+
+let test_smallest_prime () =
+  check_int "7" 7 (Baselines.Linial.smallest_prime_from 7);
+  check_int "8->11" 11 (Baselines.Linial.smallest_prime_from 8);
+  check_int "2" 2 (Baselines.Linial.smallest_prime_from 1)
+
+let test_trivial_schemas () =
+  let rng = Prng.create 23 in
+  let g = Builders.gnp rng 40 0.1 in
+  let colors = Coloring.greedy g in
+  let k = Coloring.num_colors colors in
+  let enc = Baselines.Trivial.coloring_encode k colors in
+  check "coloring roundtrip" true (Baselines.Trivial.coloring_decode k enc = colors);
+  let x = Bitset.of_list (Graph.m g) [ 0; 2; 5 ] in
+  let enc = Baselines.Trivial.edge_subset_encode g x in
+  check "edge subset roundtrip" true
+    (Bitset.equal x (Baselines.Trivial.edge_subset_decode g enc));
+  (* Trivial edge-subset cost is d bits per node. *)
+  Graph.iter_nodes
+    (fun v -> check_int "d bits" (Graph.degree g v) (String.length enc.(v)))
+    g;
+  let o = Orientation.of_trails g (fun _ -> true) in
+  let enc = Baselines.Trivial.orientation_encode o in
+  let o' = Baselines.Trivial.orientation_decode g enc in
+  Graph.iter_edges
+    (fun _ (u, v) ->
+      check "orientation roundtrip" true
+        (Orientation.points_from o u v = Orientation.points_from o' u v))
+    g
+
+let () =
+  Alcotest.run "eth-baselines"
+    [
+      ( "bruteforce",
+        [
+          Alcotest.test_case "2-bit 3-coloring" `Quick
+            test_bruteforce_finds_2bit_3coloring;
+          Alcotest.test_case "1-bit threshold" `Quick test_bruteforce_1bit_threshold;
+          Alcotest.test_case "enumeration" `Quick test_assignment_enumeration;
+        ] );
+      ( "order-invariance",
+        [
+          Alcotest.test_case "signature ignores values" `Quick
+            test_signature_ignores_id_values;
+          Alcotest.test_case "signature sees order" `Quick test_signature_sees_order;
+          Alcotest.test_case "detection" `Quick test_order_invariance_detection;
+          Alcotest.test_case "lookup table" `Quick test_lookup_table_replay;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "cole-vishkin" `Quick test_cole_vishkin;
+          Alcotest.test_case "linial reduction" `Quick test_linial_reduction;
+          Alcotest.test_case "primes" `Quick test_smallest_prime;
+          Alcotest.test_case "trivial schemas" `Quick test_trivial_schemas;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the growth machinery (Lemma 4.3 of the paper), the degeneracy
+   substrate, and the extended LCL instance battery. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Growth profiles and Lemma 3 *)
+
+let test_profile_cycle () =
+  let g = Builders.cycle 50 in
+  Alcotest.(check (list int)) "linear growth" [ 1; 3; 5; 7 ]
+    (Growth.profile g 0 3)
+
+let test_profile_grid () =
+  let g = Builders.grid 11 11 in
+  let center = (5 * 11) + 5 in
+  Alcotest.(check (list int)) "quadratic growth" [ 1; 5; 13; 25 ]
+    (Growth.profile g center 3)
+
+let test_sphere_sizes () =
+  let g = Builders.cycle 20 in
+  Alcotest.(check (list int)) "spheres" [ 1; 2; 2 ] (Growth.sphere_sizes g 0 2)
+
+let test_exponent_estimates () =
+  let cycle = Builders.cycle 200 in
+  let e1 = Growth.exponent_estimate cycle ~v:0 ~rmax:20 in
+  check "cycle exponent ~1" true (e1 > 0.7 && e1 < 1.3);
+  let grid = Builders.grid 41 41 in
+  let e2 = Growth.exponent_estimate grid ~v:((20 * 41) + 20) ~rmax:15 in
+  check "grid exponent ~2" true (e2 > 1.5 && e2 < 2.5);
+  (* The log-log slope saturates on finite expanders, but a hypercube
+     still grows distinctly faster than the 2-dimensional grid. *)
+  let cube = Builders.hypercube 9 in
+  let e3 = Growth.exponent_estimate cube ~v:0 ~rmax:4 in
+  check "hypercube grows faster than the grid" true (e3 > e2 +. 0.2)
+
+let test_lemma3_on_bounded_growth () =
+  (* On cycles, balls grow linearly and spheres stay constant: the
+     Lemma-3 radius exists for any r once x covers the Δ^r factor. *)
+  let g = Builders.cycle 400 in
+  (match Growth.lemma3_alpha g ~v:0 ~r:2 ~x:8 with
+  | Some alpha ->
+      check "alpha in range" true (alpha >= 8 && alpha <= 16);
+      (* Verify the inequality the lemma promises. *)
+      let spheres = Array.of_list (Growth.sphere_sizes g 0 (alpha + 2)) in
+      let balls = Array.of_list (Growth.profile g 0 alpha) in
+      check "|ball| >= Δ^r |sphere|" true
+        (balls.(alpha) >= 4 * spheres.(alpha + 2))
+  | None -> Alcotest.fail "cycles satisfy Lemma 3");
+  let grid = Builders.grid 41 41 in
+  check "grids satisfy Lemma 3" true
+    (Growth.lemma3_alpha grid ~v:((20 * 41) + 20) ~r:1 ~x:10 <> None)
+
+let test_lemma3_fails_on_expanders () =
+  (* On a hypercube spheres dwarf balls at small radii: no α in a small
+     window satisfies the inequality for r = 2. *)
+  let g = Builders.hypercube 9 in
+  check "hypercube: no Lemma-3 radius at small x" true
+    (Growth.lemma3_alpha g ~v:0 ~r:2 ~x:2 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Degeneracy substrate *)
+
+let test_degeneracy_values () =
+  check_int "tree" 1 (snd (Degeneracy.order (Builders.random_tree (Prng.create 1) 30)));
+  check_int "cycle" 2 (snd (Degeneracy.order (Builders.cycle 12)));
+  check_int "K6" 5 (snd (Degeneracy.order (Builders.complete 6)));
+  check_int "grid" 2 (snd (Degeneracy.order (Builders.grid 6 6)))
+
+let prop_degeneracy_orientation_bound =
+  QCheck.Test.make ~name:"degeneracy orientation bounds out-degrees" ~count:50
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+        Gen.(
+          int_range 5 50 >>= fun n ->
+          int_range 0 500 >>= fun seed -> return (n, seed)))
+    (fun (n, seed) ->
+      let g = Builders.gnp (Prng.create seed) n 0.2 in
+      let pos, d = Degeneracy.order g in
+      let o = Degeneracy.orient g pos in
+      Graph.fold_nodes (fun v acc -> acc && Orientation.out_degree o v <= d) g true)
+
+(* ------------------------------------------------------------------ *)
+(* Extended LCL instances *)
+
+let solver_valid prob g =
+  match prob.Lcl.Problem.solve g with
+  | None -> false
+  | Some l -> Lcl.Problem.verify prob g l
+
+let test_defective_coloring () =
+  let rng = Prng.create 3 in
+  let g = Builders.gnp rng 60 0.15 in
+  let delta = Graph.max_degree g in
+  (* 2 colors with defect Δ/2 are always greedy-feasible. *)
+  let prob = Lcl.Instances.defective_coloring ~colors:2 ~defect:(delta / 2) in
+  check "defective solver valid" true (solver_valid prob g);
+  (* Defect 0 with enough colors degenerates to proper coloring. *)
+  let proper = Lcl.Instances.defective_coloring ~colors:(delta + 1) ~defect:0 in
+  (match proper.Lcl.Problem.solve g with
+  | Some l ->
+      check "defect 0 is proper" true (Coloring.is_proper g l.Lcl.Labeling.node_labels)
+  | None -> Alcotest.fail "proper coloring exists");
+  (* Validation rejects over-defective labelings. *)
+  let k4 = Builders.complete 4 in
+  let all_same = Lcl.Labeling.of_node_labels [| 1; 1; 1; 1 |] in
+  let tight = Lcl.Instances.defective_coloring ~colors:2 ~defect:1 in
+  check "defect bound enforced" false (Lcl.Problem.verify tight k4 all_same)
+
+let test_bounded_outdegree () =
+  let g = Builders.grid 8 8 in
+  (* Grids are 2-degenerate: out-degree 2 suffices. *)
+  let prob = Lcl.Instances.bounded_outdegree_orientation 2 in
+  check "grid oriented with outdeg <= 2" true (solver_valid prob g);
+  (* A cycle cannot be oriented with out-degree 0... but k >= 1 always
+     works on cycles. *)
+  let c = Builders.cycle 10 in
+  check "cycle outdeg 1" true
+    (solver_valid (Lcl.Instances.bounded_outdegree_orientation 1) c);
+  (* K5 has pseudoarboricity 2: k = 1 is infeasible (10 edges, 5 nodes). *)
+  let k5 = Builders.complete 5 in
+  check "K5 outdeg 1 infeasible" true
+    ((Lcl.Instances.bounded_outdegree_orientation 1).Lcl.Problem.solve k5 = None)
+
+let test_minimal_dominating () =
+  let rng = Prng.create 7 in
+  List.iter
+    (fun g ->
+      check "MDS solver valid" true
+        (solver_valid Lcl.Instances.minimal_dominating_set g))
+    [ Builders.cycle 30; Builders.grid 6 6; Builders.gnp rng 40 0.1 ];
+  (* The full node set is dominating but not minimal on an edge. *)
+  let g = Builders.path 2 in
+  let all = Lcl.Labeling.of_node_labels [| 2; 2 |] in
+  check "non-minimal rejected" false
+    (Lcl.Problem.verify Lcl.Instances.minimal_dominating_set g all)
+
+let test_forbidden_color_coloring () =
+  let rng = Prng.create 11 in
+  let g = Builders.gnp rng 40 0.12 in
+  let n = Graph.n g in
+  let forbidden = Array.init n (fun v -> 1 + (v mod 3)) in
+  let k = Graph.max_degree g + 2 in
+  let prob = Lcl.Instances.forbidden_color_coloring k ~forbidden in
+  (match prob.Lcl.Problem.solve g with
+  | None -> Alcotest.fail "greedy with k = Δ+2 always succeeds"
+  | Some l ->
+      check "valid" true (Lcl.Problem.verify prob g l);
+      Array.iteri
+        (fun v c ->
+          check "forbidden avoided" true (c <> forbidden.(v)))
+        l.Lcl.Labeling.node_labels);
+  (* The input restriction can make small palettes infeasible. *)
+  let path = Builders.path 2 in
+  let tight = Lcl.Instances.forbidden_color_coloring 2 ~forbidden:[| 1; 2 |] in
+  (match tight.Lcl.Problem.solve path with
+  | Some l ->
+      check "respects forbidden" true (Lcl.Problem.verify tight path l)
+  | None -> Alcotest.fail "colors 2 and 1 remain available");
+  let impossible = Lcl.Instances.forbidden_color_coloring 2 ~forbidden:[| 1; 1 |] in
+  check "infeasible detected" true (impossible.Lcl.Problem.solve path = None);
+  (* And the advice schema handles the input-labeled problem unchanged. *)
+  let cyc = Builders.cycle 200 in
+  let forbidden = Array.init 200 (fun v -> 1 + (v mod 4)) in
+  let prob = Lcl.Instances.forbidden_color_coloring 4 ~forbidden in
+  let advice = Schemas.Subexp_lcl.encode prob cyc in
+  let labeling = Schemas.Subexp_lcl.decode prob cyc advice in
+  check "advice solves input-labeled LCL" true
+    (Lcl.Problem.verify prob cyc labeling)
+
+let test_new_instances_with_advice () =
+  (* The Section-4 schema is problem-generic: it should handle the new
+     instances out of the box. *)
+  let g = Builders.cycle 300 in
+  List.iter
+    (fun prob ->
+      let advice = Schemas.Subexp_lcl.encode prob g in
+      let labeling = Schemas.Subexp_lcl.decode prob g advice in
+      check (prob.Lcl.Problem.name ^ " via advice") true
+        (Lcl.Problem.verify prob g labeling))
+    [
+      Lcl.Instances.defective_coloring ~colors:2 ~defect:1;
+      Lcl.Instances.bounded_outdegree_orientation 1;
+      Lcl.Instances.minimal_dominating_set;
+    ]
+
+let () =
+  Alcotest.run "growth-instances"
+    [
+      ( "growth",
+        [
+          Alcotest.test_case "cycle profile" `Quick test_profile_cycle;
+          Alcotest.test_case "grid profile" `Quick test_profile_grid;
+          Alcotest.test_case "spheres" `Quick test_sphere_sizes;
+          Alcotest.test_case "exponents" `Quick test_exponent_estimates;
+          Alcotest.test_case "lemma 3 holds (bounded growth)" `Quick
+            test_lemma3_on_bounded_growth;
+          Alcotest.test_case "lemma 3 fails (expander)" `Quick
+            test_lemma3_fails_on_expanders;
+        ] );
+      ( "degeneracy",
+        [
+          Alcotest.test_case "values" `Quick test_degeneracy_values;
+          QCheck_alcotest.to_alcotest prop_degeneracy_orientation_bound;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "defective coloring" `Quick test_defective_coloring;
+          Alcotest.test_case "bounded outdegree" `Quick test_bounded_outdegree;
+          Alcotest.test_case "minimal dominating" `Quick test_minimal_dominating;
+          Alcotest.test_case "forbidden colors (input-labeled)" `Quick
+            test_forbidden_color_coloring;
+          Alcotest.test_case "new instances with advice" `Quick
+            test_new_instances_with_advice;
+        ] );
+    ]

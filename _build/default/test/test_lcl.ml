@@ -1,0 +1,237 @@
+(* Tests for the LCL formalism: labelings, verification, instances and the
+   backtracking completion engine. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Labeling *)
+
+let test_labeling_halves () =
+  let g = Builders.cycle 4 in
+  let l = Lcl.Labeling.create g ~use_halves:true in
+  check "uses halves" true (Lcl.Labeling.uses_halves l);
+  let e = Graph.edge_id g 0 1 in
+  Lcl.Labeling.set_half l g 0 e 2;
+  check_int "get back" 2 (Lcl.Labeling.get_half l g 0 e);
+  check_int "other side untouched" 0 (Lcl.Labeling.get_half_other l g 0 e);
+  Lcl.Labeling.set_half l g 1 e 1;
+  check_int "other side" 1 (Lcl.Labeling.get_half_other l g 0 e)
+
+let test_labeling_copy_independent () =
+  let g = Builders.cycle 4 in
+  let l = Lcl.Labeling.create g ~use_halves:true in
+  let l2 = Lcl.Labeling.copy l in
+  l2.Lcl.Labeling.node_labels.(0) <- 7;
+  Lcl.Labeling.set_half l2 g 0 (Graph.edge_id g 0 1) 2;
+  check_int "node untouched" 0 l.Lcl.Labeling.node_labels.(0);
+  check_int "half untouched" 0 (Lcl.Labeling.get_half l g 0 (Graph.edge_id g 0 1))
+
+let test_labeling_restrict () =
+  let g = Builders.cycle 6 in
+  let l = Lcl.Labeling.of_node_labels [| 1; 2; 3; 1; 2; 3 |] in
+  let sub, _, to_global = Graph.induced g [ 0; 1; 2 ] in
+  let r = Lcl.Labeling.restrict l g ~sub ~to_global in
+  Alcotest.(check (array int)) "restricted" [| 1; 2; 3 |] r.Lcl.Labeling.node_labels
+
+(* ------------------------------------------------------------------ *)
+(* Instances: solvers produce valid solutions *)
+
+let solver_produces_valid prob g =
+  match prob.Lcl.Problem.solve g with
+  | None -> false
+  | Some l -> Lcl.Problem.verify prob g l
+
+let test_instance_solvers () =
+  let rng = Prng.create 17 in
+  let graphs =
+    [
+      Builders.cycle 20;
+      Builders.grid 5 6;
+      Builders.gnp rng 40 0.1;
+      Builders.circulant 30 [ 1; 2 ];
+    ]
+  in
+  List.iter
+    (fun g ->
+      let delta = max 2 (Graph.max_degree g) in
+      List.iter
+        (fun (name, prob) ->
+          check (prob.Lcl.Problem.name ^ " solver valid: " ^ name) true
+            (solver_produces_valid prob g))
+        (Lcl.Instances.all_bounded_degree delta))
+    graphs
+
+let test_coloring_constraints () =
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 4 in
+  let good = Lcl.Labeling.of_node_labels [| 1; 2; 1; 2 |] in
+  check "proper accepted" true (Lcl.Problem.verify prob g good);
+  let bad = Lcl.Labeling.of_node_labels [| 1; 1; 2; 3 |] in
+  check "conflict rejected" false (Lcl.Problem.verify prob g bad);
+  let out_of_range = Lcl.Labeling.of_node_labels [| 1; 2; 1; 4 |] in
+  check "range enforced" false (Lcl.Problem.verify prob g out_of_range)
+
+let test_mis_constraints () =
+  let g = Builders.path 4 in
+  let good = Lcl.Labeling.of_node_labels [| 2; 1; 2; 1 |] in
+  check "MIS accepted" true (Lcl.Problem.verify Lcl.Instances.mis g good);
+  let not_maximal = Lcl.Labeling.of_node_labels [| 2; 1; 1; 1 |] in
+  check "non-maximal rejected" false
+    (Lcl.Problem.verify Lcl.Instances.mis g not_maximal);
+  let not_independent = Lcl.Labeling.of_node_labels [| 2; 2; 1; 2 |] in
+  check "non-independent rejected" false
+    (Lcl.Problem.verify Lcl.Instances.mis g not_independent)
+
+let test_sinkless_constraints () =
+  let g = Builders.complete 4 in
+  (* Degree-3 nodes must each have an outgoing edge. *)
+  let prob = Lcl.Instances.sinkless_orientation in
+  match prob.Lcl.Problem.solve g with
+  | None -> Alcotest.fail "solver failed on K4"
+  | Some l ->
+      check "valid" true (Lcl.Problem.verify prob g l);
+      (* Make node 0 a sink: flip all its halves to 'in'. *)
+      let bad = Lcl.Labeling.copy l in
+      Array.iteri
+        (fun i _ -> bad.Lcl.Labeling.half_labels.(0).(i) <- 2)
+        bad.Lcl.Labeling.half_labels.(0);
+      Array.iter
+        (fun e ->
+          let u = Graph.edge_other_endpoint g e 0 in
+          Lcl.Labeling.set_half bad g u e 1)
+        (Graph.incident_edges g 0);
+      check "sink rejected" false (Lcl.Problem.verify prob g bad)
+
+let test_weak_2_coloring () =
+  let prob = Lcl.Instances.weak_2_coloring in
+  let g = Builders.complete_kary_tree 3 3 in
+  check "solver valid" true (solver_produces_valid prob g)
+
+(* ------------------------------------------------------------------ *)
+(* Completion engine *)
+
+let test_complete_extends_partial () =
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 6 in
+  let partial = Lcl.Labeling.of_node_labels [| 1; 0; 0; 0; 0; 2 |] in
+  match Lcl.Problem.complete prob g partial ~enforce:(fun _ -> true) with
+  | None -> Alcotest.fail "completion exists"
+  | Some l ->
+      check "valid" true (Lcl.Problem.verify prob g l);
+      check_int "pinned 0" 1 l.Lcl.Labeling.node_labels.(0);
+      check_int "pinned 5" 2 l.Lcl.Labeling.node_labels.(5)
+
+let test_complete_detects_infeasible () =
+  let prob = Lcl.Instances.coloring 2 in
+  let g = Builders.cycle 5 in
+  check "odd cycle not 2-colorable" true
+    (Lcl.Problem.complete prob g
+       (Lcl.Labeling.create g ~use_halves:false)
+       ~enforce:(fun _ -> true)
+    = None)
+
+let test_complete_respects_enforce () =
+  (* Conflicting pinned labels at unenforced nodes are tolerated. *)
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.path 4 in
+  let partial = Lcl.Labeling.of_node_labels [| 1; 1; 0; 0 |] in
+  (* Node 0/1 conflict, but only nodes 2,3 are enforced. *)
+  match Lcl.Problem.complete prob g partial ~enforce:(fun v -> v >= 2) with
+  | None -> Alcotest.fail "completion with restricted enforcement exists"
+  | Some l ->
+      check "2 and 3 consistent" true
+        (l.Lcl.Labeling.node_labels.(2) <> l.Lcl.Labeling.node_labels.(1)
+        && l.Lcl.Labeling.node_labels.(2) <> l.Lcl.Labeling.node_labels.(3))
+
+let test_complete_assignable () =
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.path 5 in
+  let partial = Lcl.Labeling.of_node_labels [| 1; 0; 0; 0; 1 |] in
+  match
+    Lcl.Problem.complete prob g partial
+      ~assignable:(fun v -> v <= 2)
+      ~enforce:(fun v -> v <= 1)
+  with
+  | None -> Alcotest.fail "restricted completion exists"
+  | Some l ->
+      check "assigned inside zone" true (l.Lcl.Labeling.node_labels.(1) > 0);
+      check_int "outside zone untouched" 0 l.Lcl.Labeling.node_labels.(3)
+
+let test_half_edge_completion () =
+  let prob = Lcl.Instances.edge_coloring 3 in
+  let g = Builders.cycle 6 in
+  match Lcl.Problem.solve_by_backtracking prob g with
+  | None -> Alcotest.fail "even cycle is 2-edge-colorable, so 3 works"
+  | Some l -> check "valid edge coloring" true (Lcl.Problem.verify prob g l)
+
+let test_verify_locally_agrees () =
+  let rng = Prng.create 29 in
+  let graphs = [ Builders.cycle 30; Builders.grid 5 5; Builders.gnp rng 30 0.15 ] in
+  List.iter
+    (fun g ->
+      let delta = max 2 (Graph.max_degree g) in
+      List.iter
+        (fun (_, prob) ->
+          match prob.Lcl.Problem.solve g with
+          | None -> ()
+          | Some l ->
+              check "local = global verification (valid)" true
+                (Lcl.Problem.verify_locally prob g l
+                = Lcl.Problem.verify prob g l))
+        (Lcl.Instances.all_bounded_degree delta))
+    graphs;
+  (* A broken labeling must also be rejected locally. *)
+  let g = Builders.cycle 8 in
+  let bad = Lcl.Labeling.of_node_labels [| 1; 1; 2; 1; 2; 1; 2; 1 |] in
+  check "local verification rejects conflicts" false
+    (Lcl.Problem.verify_locally (Lcl.Instances.coloring 3) g bad)
+
+let prop_backtracking_matches_solver =
+  QCheck.Test.make
+    ~name:"backtracking agrees with solvers about feasibility (3-coloring)"
+    ~count:40
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+        Gen.(
+          int_range 4 12 >>= fun n ->
+          int_range 0 500 >>= fun seed -> return (n, seed)))
+    (fun (n, seed) ->
+      let g = Builders.gnp (Prng.create seed) n 0.4 in
+      let prob = Lcl.Instances.coloring 3 in
+      let via_graph = Coloring.backtracking g 3 <> None in
+      let via_lcl = Lcl.Problem.solve_by_backtracking prob g <> None in
+      via_graph = via_lcl)
+
+let () =
+  Alcotest.run "lcl"
+    [
+      ( "labeling",
+        [
+          Alcotest.test_case "halves" `Quick test_labeling_halves;
+          Alcotest.test_case "copy" `Quick test_labeling_copy_independent;
+          Alcotest.test_case "restrict" `Quick test_labeling_restrict;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "solvers valid" `Quick test_instance_solvers;
+          Alcotest.test_case "coloring constraints" `Quick test_coloring_constraints;
+          Alcotest.test_case "MIS constraints" `Quick test_mis_constraints;
+          Alcotest.test_case "sinkless constraints" `Quick test_sinkless_constraints;
+          Alcotest.test_case "weak 2-coloring" `Quick test_weak_2_coloring;
+        ] );
+      ( "completion",
+        [
+          Alcotest.test_case "extends partial" `Quick test_complete_extends_partial;
+          Alcotest.test_case "detects infeasible" `Quick
+            test_complete_detects_infeasible;
+          Alcotest.test_case "respects enforce" `Quick test_complete_respects_enforce;
+          Alcotest.test_case "respects assignable" `Quick test_complete_assignable;
+          Alcotest.test_case "half-edge completion" `Quick test_half_edge_completion;
+          Alcotest.test_case "local verification" `Quick test_verify_locally_agrees;
+          QCheck_alcotest.to_alcotest prop_backtracking_matches_solver;
+        ] );
+    ]

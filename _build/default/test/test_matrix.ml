@@ -1,0 +1,198 @@
+(* Systematic cross-product sweep: every advice schema against every graph
+   family it claims to handle, with one generic runner per schema.  This is
+   the breadth counterpart to the per-schema suites: a configuration that
+   silently stops working anywhere in the matrix fails here. *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Families *)
+
+let bounded_growth_families =
+  [
+    ("cycle-240", fun () -> Builders.cycle 240);
+    ("cycle-241", fun () -> Builders.cycle 241);
+    ("circulant-240", fun () -> Builders.circulant 240 [ 1; 2 ]);
+    ("ladder-120", fun () -> Builders.ladder 120);
+    ("caterpillar-120", fun () -> Builders.caterpillar 120);
+  ]
+
+let general_families =
+  bounded_growth_families
+  @ [
+      ("gnp-160", fun () -> Builders.gnp (Prng.create 41) 160 0.025);
+      ("even-random-160", fun () -> Builders.random_even_degree (Prng.create 42) 160 2);
+      ("tree-160", fun () -> Builders.random_tree (Prng.create 43) 160);
+      ("grid-13x13", fun () -> Builders.grid 13 13);
+      ("torus-9x9", fun () -> Builders.torus 9 9);
+      ("double-cycle-80", fun () -> Builders.double_cycle 80);
+      ("geometric-160", fun () -> Builders.random_geometric (Prng.create 44) 160 0.11);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* C3 x all families *)
+
+let test_orientation_matrix () =
+  List.iter
+    (fun (name, make) ->
+      let g = make () in
+      let enc = Balanced_orientation.encode g in
+      let o = Balanced_orientation.decode g enc.Balanced_orientation.assignment in
+      check (name ^ ": almost balanced") true (Orientation.is_almost_balanced o);
+      check
+        (name ^ ": anchor bits bounded by 1+log Δ")
+        true
+        (Advice.Assignment.max_bits enc.Balanced_orientation.assignment
+        <= 1 + Advice.Bits.width_for (max 2 (Graph.max_degree g))))
+    general_families
+
+(* ------------------------------------------------------------------ *)
+(* C4 x all families *)
+
+let test_compression_matrix () =
+  List.iter
+    (fun (name, make) ->
+      let g = make () in
+      let rng = Prng.create 7 in
+      let x = Bitset.create (Graph.m g) in
+      Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+      (* The one-bit orientation underneath needs room; families without it
+         must fail cleanly, the rest must roundtrip within the bound. *)
+      match Edge_compression.encode g x with
+      | compressed ->
+          check (name ^ ": lossless") true
+            (Bitset.equal x (Edge_compression.decode g compressed));
+          Graph.iter_nodes
+            (fun v ->
+              check (name ^ ": bit bound") true
+                (String.length compressed.(v)
+                <= Edge_compression.bits_bound (Graph.degree g v)))
+            g
+      | exception Advice.Onebit.Conversion_failure _ -> ()
+      | exception Balanced_orientation.Encoding_failure _ -> ())
+    general_families
+
+(* ------------------------------------------------------------------ *)
+(* C1 (variable-length) x LCL battery x bounded-growth families *)
+
+let test_lcl_matrix () =
+  let problems =
+    [
+      ("3-coloring", Lcl.Instances.coloring 3);
+      ("mis", Lcl.Instances.mis);
+      ("maximal-matching", Lcl.Instances.maximal_matching);
+      ("minimal-dominating", Lcl.Instances.minimal_dominating_set);
+      ("defective", Lcl.Instances.defective_coloring ~colors:2 ~defect:2);
+    ]
+  in
+  List.iter
+    (fun (fname, make) ->
+      let g = make () in
+      List.iter
+        (fun (pname, prob) ->
+          match Subexp_lcl.encode prob g with
+          | advice ->
+              let labeling = Subexp_lcl.decode prob g advice in
+              check
+                (fname ^ " / " ^ pname)
+                true
+                (Lcl.Problem.verify prob g labeling)
+          | exception Subexp_lcl.Encoding_failure _ ->
+              (* Feasibility failures only: the LCL genuinely has no
+                 solution here (e.g. 3-coloring needs no exception on these
+                 families, so treat any failure as suspicious). *)
+              check (fname ^ " / " ^ pname ^ " unexpectedly failed") true
+                (prob.Lcl.Problem.solve g = None))
+        problems)
+    bounded_growth_families
+
+(* ------------------------------------------------------------------ *)
+(* C1 (one-bit) x bounded-growth families *)
+
+let test_onebit_matrix () =
+  List.iter
+    (fun (name, make) ->
+      let g = make () in
+      let prob = Lcl.Instances.mis in
+      match Subexp_lcl.encode_onebit prob g with
+      | ones ->
+          let labeling = Subexp_lcl.decode_onebit prob g ones in
+          check (name ^ ": one-bit MIS") true (Lcl.Problem.verify prob g labeling)
+      | exception Subexp_lcl.Encoding_failure _ ->
+          (* Families without geometric room for the marker code are
+             allowed to fail cleanly; cycles and circulants are not. *)
+          check (name ^ ": unexpected one-bit failure") true
+            (String.length name >= 6 && String.sub name 0 6 <> "cycle-"))
+    bounded_growth_families
+
+(* ------------------------------------------------------------------ *)
+(* C6 x 3-colorable families *)
+
+let test_three_coloring_matrix () =
+  let cases =
+    [
+      ("cycle-241", Builders.cycle 241, None);
+      ( "caterpillar-150",
+        Builders.caterpillar 150,
+        Some (Builders.caterpillar_witness 150) );
+      (let g, w = Builders.planted_colorable (Prng.create 45) 120 3 0.05 in
+       ("planted-120", g, Some w));
+      ("grid-10x10", Builders.grid 10 10, None);
+    ]
+  in
+  List.iter
+    (fun (name, g, witness) ->
+      let witness =
+        match witness with
+        | Some w -> Some w
+        | None -> Coloring.backtracking g 3
+      in
+      match witness with
+      | None -> Alcotest.fail (name ^ " should be 3-colorable")
+      | Some w ->
+          let advice = Three_coloring.encode ~witness:w g in
+          let colors = Three_coloring.decode g advice in
+          check (name ^ ": proper 3-coloring") true
+            (Coloring.is_proper g colors && Coloring.num_colors colors <= 3))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* C5 x Δ-colorable families *)
+
+let test_delta_matrix () =
+  List.iter
+    (fun (name, g) ->
+      let advice = Delta_coloring.encode g in
+      let colors = Delta_coloring.decode g advice in
+      check (name ^ ": Δ-coloring") true
+        (Coloring.is_proper g colors
+        && Coloring.num_colors colors <= Graph.max_degree g))
+    [
+      ("torus-9x9", Builders.torus 9 9);
+      ("circulant-200", Builders.circulant 200 [ 1; 2 ]);
+      ("hypercube-4", Builders.hypercube 4);
+      (let g, _ =
+         Builders.planted_max_degree_colorable (Prng.create 46) ~n:160 ~delta:5
+       in
+       ("planted-160-d5", g));
+    ]
+
+let () =
+  Alcotest.run "matrix"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "C3 orientation x families" `Quick
+            test_orientation_matrix;
+          Alcotest.test_case "C4 compression x families" `Quick
+            test_compression_matrix;
+          Alcotest.test_case "C1 LCL battery x families" `Slow test_lcl_matrix;
+          Alcotest.test_case "C1 one-bit x families" `Quick test_onebit_matrix;
+          Alcotest.test_case "C6 x 3-colorable families" `Quick
+            test_three_coloring_matrix;
+          Alcotest.test_case "C5 x Δ-colorable families" `Quick test_delta_matrix;
+        ] );
+    ]

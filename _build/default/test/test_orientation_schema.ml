@@ -1,0 +1,285 @@
+(* Tests for Contribution 3 (balanced orientation with advice) and
+   Contribution 4 (edge-subset compression with local decompression). *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let orientations_equal g a b =
+  Graph.fold_edges
+    (fun _ (u, v) acc -> acc && Orientation.points_from a u v = Orientation.points_from b u v)
+    g true
+
+(* ------------------------------------------------------------------ *)
+(* Variable-length orientation schema *)
+
+let roundtrip_is_balanced ?params g =
+  let enc = Balanced_orientation.encode ?params g in
+  let o = Balanced_orientation.decode ?params g enc.Balanced_orientation.assignment in
+  Orientation.is_almost_balanced o
+
+let test_cycle_orientation () =
+  let g = Builders.cycle 200 in
+  let enc = Balanced_orientation.encode g in
+  let o = Balanced_orientation.decode g enc.Balanced_orientation.assignment in
+  check "balanced" true (Orientation.is_balanced o);
+  (* A single long cycle: orientation must be consistent, i.e. every node
+     has out-degree exactly 1. *)
+  Graph.iter_nodes (fun v -> check_int "outdeg" 1 (Orientation.out_degree o v)) g
+
+let test_even_degree_balanced () =
+  let rng = Prng.create 7 in
+  let g = Builders.random_even_degree rng 150 3 in
+  let enc = Balanced_orientation.encode g in
+  let o = Balanced_orientation.decode g enc.Balanced_orientation.assignment in
+  check "balanced (even degrees)" true (Orientation.is_balanced o)
+
+let test_general_graph_almost_balanced () =
+  let rng = Prng.create 13 in
+  let g = Builders.gnp rng 120 0.05 in
+  check "almost balanced" true (roundtrip_is_balanced g)
+
+let test_short_trails_no_advice () =
+  (* Cycle shorter than the threshold: no advice at all. *)
+  let g = Builders.cycle 10 in
+  let enc = Balanced_orientation.encode g in
+  check_int "no holders" 0
+    (Advice.Assignment.num_holders enc.Balanced_orientation.assignment);
+  let o = Balanced_orientation.decode g enc.Balanced_orientation.assignment in
+  check "balanced" true (Orientation.is_balanced o)
+
+let test_choose_direction () =
+  let g = Builders.cycle 100 in
+  let enc_f = Balanced_orientation.encode ~choose:(fun _ -> true) g in
+  let enc_b = Balanced_orientation.encode ~choose:(fun _ -> false) g in
+  let o_f = Balanced_orientation.decode g enc_f.Balanced_orientation.assignment in
+  let o_b = Balanced_orientation.decode g enc_b.Balanced_orientation.assignment in
+  Graph.iter_edges
+    (fun _ (u, v) ->
+      check "opposite directions" true
+        (Orientation.points_from o_f u v = Orientation.points_from o_b v u))
+    g
+
+let test_anchor_cover_reasonable () =
+  let g = Builders.cycle 400 in
+  let enc = Balanced_orientation.encode g in
+  check "cover bounded" true
+    (enc.Balanced_orientation.realized_cover
+    <= 2 * Balanced_orientation.default_params.Balanced_orientation.cover)
+
+let test_anchor_spacing () =
+  let rng = Prng.create 19 in
+  let g = Builders.random_even_degree rng 300 2 in
+  let enc = Balanced_orientation.encode g in
+  let holders = Advice.Assignment.holders enc.Balanced_orientation.assignment in
+  let rec pairs = function
+    | [] -> ()
+    | v :: rest ->
+        List.iter
+          (fun u ->
+            let d = Traversal.distance g v u in
+            check "spacing respected" true
+              (d < 0
+              || d >= Balanced_orientation.default_params.Balanced_orientation.spacing))
+          rest;
+        pairs rest
+  in
+  pairs holders
+
+let test_bits_are_logarithmic () =
+  let rng = Prng.create 23 in
+  let g = Builders.random_even_degree rng 200 4 in
+  (* Degrees up to 8: anchors need at most 3 bits. *)
+  let enc = Balanced_orientation.encode g in
+  check "bits <= 3" true
+    (Advice.Assignment.max_bits enc.Balanced_orientation.assignment <= 3)
+
+let test_missing_advice_rejected () =
+  let g = Builders.cycle 100 in
+  let empty = Advice.Assignment.empty g in
+  (match Balanced_orientation.decode g empty with
+  | exception Balanced_orientation.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "expected failure on missing anchors");
+  (* Tolerant decoding still yields an almost-balanced orientation. *)
+  let o = Balanced_orientation.decode_tolerant g empty in
+  check "tolerant fallback balanced" true (Orientation.is_almost_balanced o)
+
+(* ------------------------------------------------------------------ *)
+(* One-bit orientation schema *)
+
+let test_onebit_roundtrip_cycle () =
+  let g = Builders.cycle 400 in
+  let ones = Balanced_orientation.encode_onebit g in
+  let o = Balanced_orientation.decode_onebit g ones in
+  check "balanced" true (Orientation.is_balanced o);
+  Graph.iter_nodes (fun v -> check_int "consistent" 1 (Orientation.out_degree o v)) g
+
+let test_onebit_matches_variable_length () =
+  let g = Builders.cycle 500 in
+  let params = Balanced_orientation.onebit_params in
+  let enc = Balanced_orientation.encode ~params g in
+  let via_var = Balanced_orientation.decode ~params g enc.Balanced_orientation.assignment in
+  let ones = Balanced_orientation.encode_onebit ~params g in
+  let via_bit = Balanced_orientation.decode_onebit ~params g ones in
+  check "same orientation" true (orientations_equal g via_var via_bit)
+
+let test_onebit_sparsity () =
+  (* The sparsity knob is the anchor cover: fewer anchors, fewer 1s.
+     This realizes "arbitrarily sparse advice" (Definition 3). *)
+  let density cover =
+    let g = Builders.cycle 2000 in
+    let params =
+      { Balanced_orientation.onebit_params with Balanced_orientation.cover }
+    in
+    let ones = Balanced_orientation.encode_onebit ~params g in
+    float_of_int (Bitset.cardinal ones) /. 2000.0
+  in
+  check "sparser with larger cover" true (density 800 < density 96);
+  check "below 5%" true (density 800 < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Locality of the orientation decoder *)
+
+let test_orientation_locality () =
+  let g = Builders.cycle 600 in
+  let params = Balanced_orientation.default_params in
+  let enc = Balanced_orientation.encode ~params g in
+  let advice = enc.Balanced_orientation.assignment in
+  (* Output representation per node: oriented incident edges as
+     (neighbor id, outgoing?) pairs — fragment-independent. *)
+  let decode g ~ids ~advice =
+    let o = Balanced_orientation.decode_tolerant ~params g advice in
+    Array.init (Graph.n g) (fun v ->
+        Array.to_list (Graph.neighbors g v)
+        |> List.map (fun u -> (ids.(u), Orientation.points_from o v u)))
+  in
+  let ids = Array.init (Graph.n g) (fun v -> v + 1) in
+  let radius = enc.Balanced_orientation.realized_cover + 2 in
+  let samples = [ 0; 100; 250; 417; 599 ] in
+  check "decoder is local" true
+    (Localmodel.Locality.stable_for_all g ~ids ~advice ~decode ~equal:( = )
+       ~radius ~samples)
+
+(* ------------------------------------------------------------------ *)
+(* Edge compression (C4) *)
+
+let random_edge_set rng g p =
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.float rng 1.0 < p then Bitset.add x e) g;
+  x
+
+let test_compression_roundtrip_cycle () =
+  let rng = Prng.create 31 in
+  let g = Builders.cycle 500 in
+  let x = random_edge_set rng g 0.4 in
+  let compressed = Edge_compression.encode g x in
+  let back = Edge_compression.decode g compressed in
+  check "roundtrip" true (Bitset.equal x back)
+
+let test_compression_roundtrip_even_degree () =
+  let rng = Prng.create 37 in
+  let g = Builders.circulant 300 [ 1; 2 ] in
+  let x = random_edge_set rng g 0.5 in
+  let compressed = Edge_compression.encode g x in
+  check "roundtrip" true (Bitset.equal x (Edge_compression.decode g compressed))
+
+let test_compression_bit_bound () =
+  let rng = Prng.create 41 in
+  let g = Builders.circulant 400 [ 1; 2; 3 ] in
+  let x = random_edge_set rng g 0.3 in
+  let compressed = Edge_compression.encode g x in
+  Graph.iter_nodes
+    (fun v ->
+      check "<= ceil(d/2)+1 bits" true
+        (String.length compressed.(v)
+        <= Edge_compression.bits_bound (Graph.degree g v)))
+    g
+
+let test_compression_beats_trivial () =
+  (* Trivial encoding: d bits per node.  Ours: ⌈d/2⌉+1. *)
+  let rng = Prng.create 43 in
+  let g = Builders.circulant 400 [ 1; 2; 3 ] in
+  let x = random_edge_set rng g 0.3 in
+  let compressed = Edge_compression.encode g x in
+  let ours = Advice.Assignment.total_bits compressed in
+  let trivial = Graph.fold_nodes (fun v acc -> acc + Graph.degree g v) g 0 in
+  check "fewer total bits than trivial" true (ours < trivial)
+
+let test_compression_incident_view () =
+  let rng = Prng.create 47 in
+  let g = Builders.cycle 300 in
+  let x = random_edge_set rng g 0.5 in
+  let compressed = Edge_compression.encode g x in
+  let memberships = Edge_compression.incident_memberships g compressed 42 in
+  List.iter
+    (fun (e, present) -> check "incident view correct" true (present = Bitset.mem x e))
+    memberships;
+  check_int "two incident edges" 2 (List.length memberships)
+
+let test_compression_empty_and_full () =
+  let g = Builders.cycle 300 in
+  let empty = Bitset.create (Graph.m g) in
+  check "empty set" true
+    (Bitset.equal empty (Edge_compression.decode g (Edge_compression.encode g empty)));
+  let full = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> Bitset.add full e) g;
+  check "full set" true
+    (Bitset.equal full (Edge_compression.decode g (Edge_compression.encode g full)))
+
+let prop_compression_roundtrip =
+  QCheck.Test.make ~name:"compression roundtrips on circulant graphs"
+    ~count:20
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+        Gen.(
+          int_range 150 400 >>= fun n ->
+          int_range 0 1000 >>= fun seed -> return (n, seed)))
+    (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let g = Builders.circulant n [ 1; 2 ] in
+      let x = random_edge_set rng g 0.5 in
+      let compressed = Edge_compression.encode g x in
+      Bitset.equal x (Edge_compression.decode g compressed))
+
+let () =
+  Alcotest.run "orientation-schema"
+    [
+      ( "variable-length",
+        [
+          Alcotest.test_case "cycle" `Quick test_cycle_orientation;
+          Alcotest.test_case "even degrees balanced" `Quick
+            test_even_degree_balanced;
+          Alcotest.test_case "general almost balanced" `Quick
+            test_general_graph_almost_balanced;
+          Alcotest.test_case "short trails advice-free" `Quick
+            test_short_trails_no_advice;
+          Alcotest.test_case "direction choice" `Quick test_choose_direction;
+          Alcotest.test_case "anchor cover" `Quick test_anchor_cover_reasonable;
+          Alcotest.test_case "anchor spacing" `Quick test_anchor_spacing;
+          Alcotest.test_case "logarithmic bits" `Quick test_bits_are_logarithmic;
+          Alcotest.test_case "missing advice" `Quick test_missing_advice_rejected;
+        ] );
+      ( "one-bit",
+        [
+          Alcotest.test_case "roundtrip cycle" `Quick test_onebit_roundtrip_cycle;
+          Alcotest.test_case "matches variable length" `Quick
+            test_onebit_matches_variable_length;
+          Alcotest.test_case "sparsity" `Quick test_onebit_sparsity;
+        ] );
+      ( "locality",
+        [ Alcotest.test_case "orientation decoder" `Slow test_orientation_locality ] );
+      ( "compression",
+        [
+          Alcotest.test_case "roundtrip cycle" `Quick test_compression_roundtrip_cycle;
+          Alcotest.test_case "roundtrip even degree" `Quick
+            test_compression_roundtrip_even_degree;
+          Alcotest.test_case "bit bound" `Quick test_compression_bit_bound;
+          Alcotest.test_case "beats trivial" `Quick test_compression_beats_trivial;
+          Alcotest.test_case "incident view" `Quick test_compression_incident_view;
+          Alcotest.test_case "empty and full" `Quick test_compression_empty_and_full;
+          QCheck_alcotest.to_alcotest prop_compression_roundtrip;
+        ] );
+    ]

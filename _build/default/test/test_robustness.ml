@@ -1,0 +1,186 @@
+(* Robustness fuzzing: decoders confronted with arbitrary certificates
+   must fail *cleanly* (typed schema exceptions or a harmless wrong
+   answer), never crash with stray exceptions; and graph I/O roundtrips. *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+
+let random_bitset rng n p =
+  let b = Bitset.create n in
+  for v = 0 to n - 1 do
+    if Prng.float rng 1.0 < p then Bitset.add b v
+  done;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* Graph I/O *)
+
+let test_edge_list_roundtrip () =
+  let rng = Prng.create 3 in
+  List.iter
+    (fun g ->
+      let text = Graphio.to_edge_list g in
+      check "roundtrip" true (Graph.equal g (Graphio.of_edge_list text)))
+    [ Builders.cycle 20; Builders.grid 4 5; Builders.gnp rng 30 0.2 ]
+
+let test_edge_list_comments () =
+  let g = Graphio.of_edge_list "# a comment\nn 3\n0 1\n# another\n1 2\n" in
+  check "parsed" true (Graph.n g = 3 && Graph.m g = 2)
+
+let test_edge_list_malformed () =
+  List.iter
+    (fun text ->
+      match Graphio.of_edge_list text with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail ("should reject: " ^ text))
+    [ ""; "nope"; "n x\n"; "n 3\n0\n"; "n 2\n0 5\n" ]
+
+let test_file_roundtrip () =
+  let g = Builders.circulant 25 [ 1; 2 ] in
+  let path = Filename.temp_file "graphio" ".txt" in
+  Graphio.save path g;
+  let back = Graphio.load path in
+  Sys.remove path;
+  check "file roundtrip" true (Graph.equal g back)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dot_output () =
+  let g = Builders.cycle 4 in
+  let h = Bitset.of_list 4 [ 0 ] in
+  let dot = Graphio.to_dot ~highlight:h ~labels:[| "1"; ""; ""; "" |] g in
+  check "has graph" true (String.length dot > 7 && String.sub dot 0 7 = "graph G");
+  check "has highlight" true (contains dot "fillcolor");
+  check "has label" true (contains dot "0:1");
+  check "has edges" true (contains dot "0 -- 1")
+
+(* ------------------------------------------------------------------ *)
+(* Decoder fuzzing *)
+
+let fuzz_onebit_decode =
+  QCheck.Test.make ~name:"Onebit.decode never crashes on random bitsets"
+    ~count:100
+    QCheck.(
+      make
+        ~print:(fun (seed, p) -> Printf.sprintf "seed=%d p=%.2f" seed p)
+        Gen.(
+          int_range 0 10_000 >>= fun seed ->
+          float_range 0.0 0.6 >>= fun p -> return (seed, p)))
+    (fun (seed, p) ->
+      let rng = Prng.create seed in
+      let g = Builders.cycle 80 in
+      let ones = random_bitset rng 80 p in
+      match Advice.Onebit.decode g ones with
+      | _ -> true
+      | exception Advice.Onebit.Conversion_failure _ -> true)
+
+let fuzz_subexp_decode =
+  QCheck.Test.make
+    ~name:"Subexp_lcl.decode_onebit fails cleanly on random certificates"
+    ~count:60
+    QCheck.(
+      make
+        ~print:(fun (seed, p) -> Printf.sprintf "seed=%d p=%.2f" seed p)
+        Gen.(
+          int_range 0 10_000 >>= fun seed ->
+          float_range 0.0 0.5 >>= fun p -> return (seed, p)))
+    (fun (seed, p) ->
+      let rng = Prng.create seed in
+      let g = Builders.cycle 120 in
+      let prob = Lcl.Instances.coloring 3 in
+      let ones = random_bitset rng 120 p in
+      match Subexp_lcl.decode_onebit prob g ones with
+      | _ -> true
+      | exception Subexp_lcl.Encoding_failure _ -> true
+      | exception Advice.Onebit.Conversion_failure _ -> true)
+
+let fuzz_three_coloring_decode =
+  QCheck.Test.make
+    ~name:"Three_coloring.decode fails cleanly on random certificates"
+    ~count:60
+    QCheck.(
+      make
+        ~print:(fun (seed, p) -> Printf.sprintf "seed=%d p=%.2f" seed p)
+        Gen.(
+          int_range 0 10_000 >>= fun seed ->
+          float_range 0.0 1.0 >>= fun p -> return (seed, p)))
+    (fun (seed, p) ->
+      let rng = Prng.create seed in
+      let g = Builders.caterpillar 60 in
+      let advice =
+        Array.init (Graph.n g) (fun _ ->
+            if Prng.float rng 1.0 < p then "1" else "0")
+      in
+      match Three_coloring.decode g advice with
+      | _ -> true
+      | exception Three_coloring.Encoding_failure _ -> true)
+
+let fuzz_orientation_decode =
+  QCheck.Test.make
+    ~name:"Balanced_orientation.decode fails cleanly on random advice"
+    ~count:60
+    QCheck.(
+      make
+        ~print:(fun (seed, p) -> Printf.sprintf "seed=%d p=%.2f" seed p)
+        Gen.(
+          int_range 0 10_000 >>= fun seed ->
+          float_range 0.0 0.3 >>= fun p -> return (seed, p)))
+    (fun (seed, p) ->
+      let rng = Prng.create seed in
+      let g = Builders.cycle 100 in
+      let advice =
+        Array.init 100 (fun _ ->
+            if Prng.float rng 1.0 < p then (if Prng.bool rng then "1" else "0")
+            else "")
+      in
+      match Balanced_orientation.decode g advice with
+      | _ -> true
+      | exception Balanced_orientation.Encoding_failure _ -> true)
+
+let fuzz_compression_decode =
+  QCheck.Test.make
+    ~name:"Edge_compression.decode fails cleanly on corrupted strings"
+    ~count:40
+    QCheck.(
+      make
+        ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+        Gen.(int_range 0 10_000))
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Builders.cycle 200 in
+      let x = random_bitset rng (Graph.m g) 0.5 in
+      let compressed = Edge_compression.encode g x in
+      (* Corrupt one node's string. *)
+      let v = Prng.int rng 200 in
+      compressed.(v) <- (if Prng.bool rng then "" else "11111");
+      match Edge_compression.decode g compressed with
+      | _ -> true
+      | exception Invalid_argument _ -> true
+      | exception Balanced_orientation.Encoding_failure _ -> true
+      | exception Advice.Onebit.Conversion_failure _ -> true)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "graphio",
+        [
+          Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;
+          Alcotest.test_case "comments" `Quick test_edge_list_comments;
+          Alcotest.test_case "malformed rejected" `Quick test_edge_list_malformed;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "dot" `Quick test_dot_output;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest fuzz_onebit_decode;
+          QCheck_alcotest.to_alcotest fuzz_subexp_decode;
+          QCheck_alcotest.to_alcotest fuzz_three_coloring_decode;
+          QCheck_alcotest.to_alcotest fuzz_orientation_decode;
+          QCheck_alcotest.to_alcotest fuzz_compression_decode;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the Section 5 extensions: 2-coloring beacons, splitting, and
+   recursive Δ-edge-coloring of bipartite Δ-regular graphs (Δ = 2^k). *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* 2-coloring beacons *)
+
+let test_two_coloring_grid () =
+  let g = Builders.grid 15 17 in
+  let advice = Two_coloring.encode g in
+  let colors = Two_coloring.decode g advice in
+  check "proper" true (Coloring.is_proper g colors);
+  check_int "two colors" 2 (Coloring.num_colors colors)
+
+let test_two_coloring_even_cycle () =
+  let g = Builders.cycle 200 in
+  let advice = Two_coloring.encode g in
+  let colors = Two_coloring.decode g advice in
+  check "proper" true (Coloring.is_proper g colors)
+
+let test_two_coloring_rejects_odd_cycle () =
+  let g = Builders.cycle 9 in
+  match Two_coloring.encode g with
+  | exception Two_coloring.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "expected failure on odd cycle"
+
+let test_two_coloring_sparse () =
+  let g = Builders.cycle 1000 in
+  let params = { Two_coloring.spread = 50 } in
+  let advice = Two_coloring.encode ~params g in
+  check "few holders" true (Advice.Assignment.num_holders advice <= 1000 / 50 * 2);
+  check "1 bit each" true (Advice.Assignment.max_bits advice = 1);
+  let colors = Two_coloring.decode ~params g advice in
+  check "proper" true (Coloring.is_proper g colors)
+
+let test_two_coloring_disconnected () =
+  let g = Builders.disjoint_union (Builders.cycle 40) (Builders.grid 5 5) in
+  let advice = Two_coloring.encode g in
+  let colors = Two_coloring.decode g advice in
+  check "proper" true (Coloring.is_proper g colors)
+
+let test_two_coloring_beacon_spread () =
+  let g = Builders.grid 20 20 in
+  let params = { Two_coloring.spread = 6 } in
+  let advice = Two_coloring.encode ~params g in
+  let holders = Advice.Assignment.holders advice in
+  let dist = Traversal.bfs_distances_multi g holders in
+  Graph.iter_nodes
+    (fun v ->
+      check "dominated within spread" true
+        (dist.(v) >= 0 && dist.(v) <= Two_coloring.decode_radius params))
+    g
+
+let test_two_coloring_locality () =
+  let g = Builders.cycle 400 in
+  let params = { Two_coloring.spread = 8 } in
+  let advice = Two_coloring.encode ~params g in
+  let decode g ~ids:_ ~advice = Two_coloring.decode ~params g advice in
+  let ids = Array.init (Graph.n g) (fun v -> v + 1) in
+  check "2-coloring decode is local" true
+    (Localmodel.Locality.stable_for_all g ~ids ~advice ~decode ~equal:( = )
+       ~radius:(Two_coloring.decode_radius params + 1)
+       ~samples:[ 3; 77; 200; 399 ])
+
+(* ------------------------------------------------------------------ *)
+(* Splitting *)
+
+let test_splitting_even_cycle () =
+  let g = Builders.cycle 120 in
+  let advice = Splitting.encode g in
+  let colors = Splitting.decode g advice in
+  check "valid splitting" true (Splitting.verify g colors)
+
+let test_splitting_grid_torus () =
+  (* Even-by-even torus: bipartite, 4-regular. *)
+  let g = Builders.torus 8 10 in
+  let advice = Splitting.encode g in
+  let colors = Splitting.decode g advice in
+  check "valid splitting" true (Splitting.verify g colors)
+
+let test_splitting_rejects_odd_degree () =
+  let g = Builders.path 5 in
+  match Splitting.encode g with
+  | exception Splitting.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "expected rejection (odd degrees)"
+
+let test_splitting_rejects_non_bipartite () =
+  let g = Builders.cycle 9 in
+  match Splitting.encode g with
+  | exception Splitting.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "expected rejection (odd cycle)"
+
+let test_splitting_bipartite_regular () =
+  let rng = Prng.create 3 in
+  let g = Builders.random_bipartite_regular rng 30 4 in
+  let advice = Splitting.encode g in
+  check "valid splitting" true (Splitting.verify g (Splitting.decode g advice))
+
+(* ------------------------------------------------------------------ *)
+(* Lemma-1 pipeline equivalence: splitting = orientation ∘ 2-coloring *)
+
+let test_splitting_as_pipeline () =
+  (* Rebuild the splitting schema from its two composable ingredients via
+     the generic Lemma-1 combinator and check it solves the problem. *)
+  let orientation_schema =
+    {
+      Advice.Pipeline.encode =
+        (fun g ->
+          (Balanced_orientation.encode g).Balanced_orientation.assignment);
+      decode = (fun g a -> Balanced_orientation.decode g a);
+    }
+  in
+  let coloring_schema =
+    {
+      Advice.Pipeline.encode = (fun g -> Two_coloring.encode g);
+      decode = (fun g a -> Two_coloring.decode g a);
+    }
+  in
+  let split_schema =
+    Advice.Pipeline.compose orientation_schema ~with_oracle:(fun o ->
+        Advice.Pipeline.map
+          (fun side ->
+            (* Red = out of a color-1 node, exactly as Splitting does. *)
+            fun g ->
+              Array.init (Graph.m g) (fun e ->
+                  let u, v = Graph.edge_endpoints g e in
+                  let tail = if Orientation.points_from o u v then u else v in
+                  if side.(tail) = 1 then 1 else 2))
+          coloring_schema)
+  in
+  let g = Builders.cycle 200 in
+  let a = split_schema.Advice.Pipeline.encode g in
+  let colors = split_schema.Advice.Pipeline.decode g a g in
+  check "pipeline splitting valid" true (Splitting.verify g colors)
+
+(* ------------------------------------------------------------------ *)
+(* Δ-edge coloring, Δ = 2^k *)
+
+let test_edge_coloring_matching () =
+  (* 1-regular: a perfect matching; single color, no advice needed. *)
+  let g = Graph.of_edges ~n:6 [ (0, 3); (1, 4); (2, 5) ] in
+  let advice = Edge_coloring_pow2.encode g in
+  let colors = Edge_coloring_pow2.decode g advice in
+  check "valid" true (Edge_coloring_pow2.verify g colors);
+  check_int "one color" 1 (Array.fold_left max 0 colors)
+
+let test_edge_coloring_cycle () =
+  (* Even cycle = 2-regular bipartite: 2 colors. *)
+  let g = Builders.cycle 60 in
+  let advice = Edge_coloring_pow2.encode g in
+  let colors = Edge_coloring_pow2.decode g advice in
+  check "valid" true (Edge_coloring_pow2.verify g colors);
+  check_int "two colors" 2 (Array.fold_left max 0 colors)
+
+let test_edge_coloring_torus () =
+  (* 4-regular bipartite torus: 4 colors. *)
+  let g = Builders.torus 8 8 in
+  let advice = Edge_coloring_pow2.encode g in
+  let colors = Edge_coloring_pow2.decode g advice in
+  check "valid" true (Edge_coloring_pow2.verify g colors);
+  check "at most 4 colors" true (Array.fold_left max 0 colors <= 4)
+
+let test_edge_coloring_random_regular () =
+  let rng = Prng.create 11 in
+  let g = Builders.random_bipartite_regular rng 40 4 in
+  let advice = Edge_coloring_pow2.encode g in
+  let colors = Edge_coloring_pow2.decode g advice in
+  check "valid" true (Edge_coloring_pow2.verify g colors)
+
+let test_edge_coloring_eight_regular () =
+  let rng = Prng.create 13 in
+  let g = Builders.random_bipartite_regular rng 60 8 in
+  let advice = Edge_coloring_pow2.encode g in
+  let colors = Edge_coloring_pow2.decode g advice in
+  check "valid" true (Edge_coloring_pow2.verify g colors);
+  check "at most 8 colors" true (Array.fold_left max 0 colors <= 8)
+
+let test_edge_coloring_rejects_non_power () =
+  let rng = Prng.create 17 in
+  let g = Builders.random_bipartite_regular rng 30 3 in
+  match Edge_coloring_pow2.encode g with
+  | exception Edge_coloring_pow2.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "expected rejection (Δ=3)"
+
+let prop_edge_coloring =
+  QCheck.Test.make ~name:"recursive splitting edge-colors bipartite regular graphs"
+    ~count:15
+    QCheck.(
+      make
+        ~print:(fun (side, logd, seed) ->
+          Printf.sprintf "side=%d d=%d seed=%d" side (1 lsl logd) seed)
+        Gen.(
+          int_range 20 50 >>= fun side ->
+          int_range 1 2 >>= fun logd ->
+          int_range 0 500 >>= fun seed -> return (side, logd, seed)))
+    (fun (side, logd, seed) ->
+      let rng = Prng.create seed in
+      let g = Builders.random_bipartite_regular rng side (1 lsl logd) in
+      let advice = Edge_coloring_pow2.encode g in
+      Edge_coloring_pow2.verify g (Edge_coloring_pow2.decode g advice))
+
+let () =
+  Alcotest.run "splitting"
+    [
+      ( "two-coloring",
+        [
+          Alcotest.test_case "grid" `Quick test_two_coloring_grid;
+          Alcotest.test_case "even cycle" `Quick test_two_coloring_even_cycle;
+          Alcotest.test_case "odd cycle rejected" `Quick
+            test_two_coloring_rejects_odd_cycle;
+          Alcotest.test_case "sparse" `Quick test_two_coloring_sparse;
+          Alcotest.test_case "disconnected" `Quick test_two_coloring_disconnected;
+          Alcotest.test_case "beacon spread" `Quick test_two_coloring_beacon_spread;
+          Alcotest.test_case "locality" `Slow test_two_coloring_locality;
+        ] );
+      ( "splitting",
+        [
+          Alcotest.test_case "even cycle" `Quick test_splitting_even_cycle;
+          Alcotest.test_case "torus" `Quick test_splitting_grid_torus;
+          Alcotest.test_case "odd degree rejected" `Quick
+            test_splitting_rejects_odd_degree;
+          Alcotest.test_case "non-bipartite rejected" `Quick
+            test_splitting_rejects_non_bipartite;
+          Alcotest.test_case "bipartite regular" `Quick
+            test_splitting_bipartite_regular;
+          Alcotest.test_case "as a Lemma-1 pipeline" `Quick
+            test_splitting_as_pipeline;
+        ] );
+      ( "edge-coloring",
+        [
+          Alcotest.test_case "matching" `Quick test_edge_coloring_matching;
+          Alcotest.test_case "cycle" `Quick test_edge_coloring_cycle;
+          Alcotest.test_case "torus" `Quick test_edge_coloring_torus;
+          Alcotest.test_case "random 4-regular" `Quick
+            test_edge_coloring_random_regular;
+          Alcotest.test_case "random 8-regular" `Quick
+            test_edge_coloring_eight_regular;
+          Alcotest.test_case "non-power rejected" `Quick
+            test_edge_coloring_rejects_non_power;
+          QCheck_alcotest.to_alcotest prop_edge_coloring;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests for Contribution 1: any LCL with one bit of advice on graphs of
+   sub-exponential growth. *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+
+let var_roundtrip ?params prob g =
+  let advice = Subexp_lcl.encode ?params prob g in
+  let labeling = Subexp_lcl.decode ?params prob g advice in
+  (advice, labeling)
+
+let bit_roundtrip ?params prob g =
+  let ones = Subexp_lcl.encode_onebit ?params prob g in
+  let labeling = Subexp_lcl.decode_onebit ?params prob g ones in
+  (ones, labeling)
+
+(* ------------------------------------------------------------------ *)
+(* Variable-length schema *)
+
+let test_var_coloring_cycle () =
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 400 in
+  let advice, labeling = var_roundtrip prob g in
+  check "valid 3-coloring" true (Lcl.Problem.verify prob g labeling);
+  (* Bit-holders are exactly the sparse cluster centers. *)
+  check "few holders" true (Advice.Assignment.num_holders advice <= 1 + (400 / 40))
+
+let test_var_mis_cycle () =
+  let prob = Lcl.Instances.mis in
+  let g = Builders.cycle 300 in
+  let _, labeling = var_roundtrip prob g in
+  check "valid MIS" true (Lcl.Problem.verify prob g labeling)
+
+let test_var_coloring_grid () =
+  let prob = Lcl.Instances.coloring 5 in
+  let g = Builders.grid 20 20 in
+  let params = { Subexp_lcl.spread = 12; inner_margin = 2 } in
+  let _, labeling = var_roundtrip ~params prob g in
+  check "valid 5-coloring" true (Lcl.Problem.verify prob g labeling)
+
+let test_var_mis_grid () =
+  let prob = Lcl.Instances.mis in
+  let g = Builders.grid 16 16 in
+  let params = { Subexp_lcl.spread = 10; inner_margin = 2 } in
+  let _, labeling = var_roundtrip ~params prob g in
+  check "valid MIS" true (Lcl.Problem.verify prob g labeling)
+
+let test_var_sinkless_cycle () =
+  (* Half-edge labeled LCL. *)
+  let prob = Lcl.Instances.sinkless_orientation in
+  let g = Builders.circulant 240 [ 1; 2 ] in
+  let _, labeling = var_roundtrip prob g in
+  check "valid sinkless orientation" true (Lcl.Problem.verify prob g labeling)
+
+let test_var_maximal_matching_cycle () =
+  let prob = Lcl.Instances.maximal_matching in
+  let g = Builders.cycle 260 in
+  let _, labeling = var_roundtrip prob g in
+  check "valid maximal matching" true (Lcl.Problem.verify prob g labeling)
+
+let test_var_single_cluster () =
+  (* A graph smaller than one cluster: no frontier, pure brute force. *)
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 20 in
+  let advice, labeling = var_roundtrip prob g in
+  check "valid" true (Lcl.Problem.verify prob g labeling);
+  check "single holder" true (Advice.Assignment.num_holders advice = 1)
+
+let test_var_infeasible () =
+  let prob = Lcl.Instances.coloring 2 in
+  let g = Builders.cycle 9 in
+  match Subexp_lcl.encode prob g with
+  | exception Subexp_lcl.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "2-coloring an odd cycle must fail"
+
+let test_frontier_definition () =
+  let g = Builders.cycle 100 in
+  let centers = [ 0; 50 ] in
+  let cluster =
+    Array.init 100 (fun v -> if v >= 25 && v < 75 then 50 else 0)
+  in
+  let f = Subexp_lcl.frontier g cluster 1 in
+  check "boundary node" true f.(25);
+  check "boundary neighbor" true f.(24);
+  check "interior" false f.(10);
+  ignore centers
+
+(* ------------------------------------------------------------------ *)
+(* One-bit schema *)
+
+let test_onebit_coloring_cycle () =
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 500 in
+  let ones, labeling = bit_roundtrip prob g in
+  check "valid 3-coloring" true (Lcl.Problem.verify prob g labeling);
+  (* Uniform one bit per node, and sparse. *)
+  let density = float_of_int (Bitset.cardinal ones) /. 500.0 in
+  check "sparse" true (density < 0.25)
+
+let test_onebit_mis_cycle () =
+  let prob = Lcl.Instances.mis in
+  let g = Builders.cycle 400 in
+  let _, labeling = bit_roundtrip prob g in
+  check "valid MIS" true (Lcl.Problem.verify prob g labeling)
+
+let test_onebit_sparsity_knob () =
+  (* Larger spread => sparser advice (Definition 3). *)
+  let prob = Lcl.Instances.mis in
+  let g = Builders.cycle 1200 in
+  let density spread =
+    let params = { Subexp_lcl.spread; inner_margin = 2 } in
+    let ones = Subexp_lcl.encode_onebit ~params prob g in
+    float_of_int (Bitset.cardinal ones) /. 1200.0
+  in
+  check "sparser" true (density 200 < density 48)
+
+let test_onebit_matches_variable () =
+  (* Both schemas must produce valid solutions of the same LCL. *)
+  let prob = Lcl.Instances.coloring 3 in
+  let g = Builders.cycle 300 in
+  let _, l1 = var_roundtrip prob g in
+  let _, l2 = bit_roundtrip prob g in
+  check "both valid" true
+    (Lcl.Problem.verify prob g l1 && Lcl.Problem.verify prob g l2)
+
+let test_onebit_capacity_failure () =
+  (* A dense graph has no room: expect a clean failure, not bad advice. *)
+  let rng = Prng.create 3 in
+  let g = Builders.gnp rng 120 0.2 in
+  let prob = Lcl.Instances.coloring (Graph.max_degree g + 1) in
+  match Subexp_lcl.encode_onebit prob g with
+  | exception Subexp_lcl.Encoding_failure _ -> ()
+  | _ ->
+      (* If it succeeds the advice is certified anyway; accept. *)
+      ()
+
+let prop_var_roundtrip_cycles =
+  QCheck.Test.make ~name:"variable-length schema solves LCLs on cycles"
+    ~count:20
+    QCheck.(
+      make
+        ~print:(fun (n, which) -> Printf.sprintf "n=%d which=%d" n which)
+        Gen.(
+          int_range 150 500 >>= fun n ->
+          int_range 0 2 >>= fun which -> return (n, which)))
+    (fun (n, which) ->
+      let prob =
+        match which with
+        | 0 -> Lcl.Instances.coloring 3
+        | 1 -> Lcl.Instances.mis
+        | _ -> Lcl.Instances.maximal_matching
+      in
+      let g = Builders.cycle n in
+      let advice = Subexp_lcl.encode prob g in
+      let labeling = Subexp_lcl.decode prob g advice in
+      Lcl.Problem.verify prob g labeling)
+
+let prop_onebit_roundtrip_cycles =
+  QCheck.Test.make ~name:"one-bit schema solves LCLs on cycles" ~count:10
+    QCheck.(
+      make
+        ~print:(fun (n, which) -> Printf.sprintf "n=%d which=%d" n which)
+        Gen.(
+          int_range 200 600 >>= fun n ->
+          int_range 0 1 >>= fun which -> return (n, which)))
+    (fun (n, which) ->
+      let prob =
+        match which with 0 -> Lcl.Instances.coloring 3 | _ -> Lcl.Instances.mis
+      in
+      let g = Builders.cycle n in
+      let ones = Subexp_lcl.encode_onebit prob g in
+      let labeling = Subexp_lcl.decode_onebit prob g ones in
+      Lcl.Problem.verify prob g labeling)
+
+let () =
+  Alcotest.run "subexp-lcl"
+    [
+      ( "variable-length",
+        [
+          Alcotest.test_case "3-coloring cycle" `Quick test_var_coloring_cycle;
+          Alcotest.test_case "MIS cycle" `Quick test_var_mis_cycle;
+          Alcotest.test_case "5-coloring grid" `Quick test_var_coloring_grid;
+          Alcotest.test_case "MIS grid" `Quick test_var_mis_grid;
+          Alcotest.test_case "sinkless orientation" `Quick test_var_sinkless_cycle;
+          Alcotest.test_case "maximal matching" `Quick
+            test_var_maximal_matching_cycle;
+          Alcotest.test_case "single cluster" `Quick test_var_single_cluster;
+          Alcotest.test_case "infeasible LCL" `Quick test_var_infeasible;
+          Alcotest.test_case "frontier" `Quick test_frontier_definition;
+        ] );
+      ( "one-bit",
+        [
+          Alcotest.test_case "3-coloring cycle" `Quick test_onebit_coloring_cycle;
+          Alcotest.test_case "MIS cycle" `Quick test_onebit_mis_cycle;
+          Alcotest.test_case "sparsity knob" `Quick test_onebit_sparsity_knob;
+          Alcotest.test_case "matches variable length" `Quick
+            test_onebit_matches_variable;
+          Alcotest.test_case "capacity failure is clean" `Quick
+            test_onebit_capacity_failure;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_var_roundtrip_cycles;
+          QCheck_alcotest.to_alcotest prop_onebit_roundtrip_cycles;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for Contribution 6: 3-coloring 3-colorable graphs with one bit of
+   advice per node. *)
+
+open Netgraph
+open Schemas
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A caterpillar: a long path (which becomes a large color-{2,3} component)
+   with a pendant color-1 node attached to every path node.  The canonical
+   hard case: pinning the 2-coloring parity of the path needs the group
+   mechanism. *)
+let caterpillar len =
+  let path_edges = List.init (len - 1) (fun i -> (i, i + 1)) in
+  let pendant_edges = List.init len (fun i -> (i, len + i)) in
+  let g = Graph.of_edges ~n:(2 * len) (path_edges @ pendant_edges) in
+  let witness =
+    Array.init (2 * len) (fun v ->
+        if v >= len then 1 (* pendants *) else 2 + (v mod 2))
+  in
+  (g, witness)
+
+let roundtrip ?witness g =
+  let advice = Three_coloring.encode ?witness g in
+  let colors = Three_coloring.decode g advice in
+  (advice, colors)
+
+let test_small_cycles () =
+  List.iter
+    (fun n ->
+      let g = Builders.cycle n in
+      let _, colors = roundtrip g in
+      check "proper" true (Coloring.is_proper g colors);
+      check "3 colors" true (Coloring.num_colors colors <= 3))
+    [ 3; 4; 5; 6; 7; 12; 13 ]
+
+let test_large_cycle_with_witness () =
+  (* Greedy 3-colorings of cycles have tiny color-{2,3} components, so the
+     canonical branch handles everything. *)
+  let g = Builders.cycle 301 in
+  let witness =
+    Array.init 301 (fun v -> if v = 300 then 3 else 1 + (v mod 2))
+  in
+  let _, colors = roundtrip ~witness g in
+  check "proper" true (Coloring.is_proper g colors);
+  check "3 colors" true (Coloring.num_colors colors <= 3)
+
+let test_planted_random () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 5 do
+    let g, witness = Builders.planted_colorable rng 80 3 0.08 in
+    let _, colors = roundtrip ~witness g in
+    check "proper" true (Coloring.is_proper g colors);
+    check "3 colors" true (Coloring.num_colors colors <= 3)
+  done
+
+let test_caterpillar_groups () =
+  let g, witness = caterpillar 300 in
+  let advice, colors = roundtrip ~witness g in
+  check "proper" true (Coloring.is_proper g colors);
+  check "3 colors" true (Coloring.num_colors colors <= 3);
+  (* The path is one large component: group bits beyond the color-1 class
+     must exist. *)
+  let phi = Coloring.make_greedy g witness in
+  let color1 = Array.fold_left (fun acc c -> if c = 1 then acc + 1 else acc) 0 phi in
+  check "extra group bits" true (Advice.Assignment.ones advice > color1)
+
+let test_uniform_one_bit () =
+  let g, witness = caterpillar 120 in
+  let advice, _ = roundtrip ~witness g in
+  check "uniform 1-bit" true (Advice.Assignment.is_uniform_one_bit advice)
+
+let test_classification_matches_colors () =
+  let g, witness = caterpillar 250 in
+  let advice, colors = roundtrip ~witness g in
+  let kinds = Three_coloring.classify g advice in
+  Array.iteri
+    (fun v kind ->
+      match kind with
+      | `Type1 -> check_int "type1 is color 1" 1 colors.(v)
+      | `Type23 | `Zero -> check "others are 2/3" true (colors.(v) > 1))
+    kinds
+
+let test_group_members_see_two_ones () =
+  let g, witness = caterpillar 250 in
+  let advice, _ = roundtrip ~witness g in
+  let kinds = Three_coloring.classify g advice in
+  Array.iteri
+    (fun v kind ->
+      if kind = `Type23 then begin
+        let ones =
+          Array.fold_left
+            (fun acc u -> if advice.(u) = "1" then acc + 1 else acc)
+            0 (Graph.neighbors g v)
+        in
+        check "two 1-neighbors" true (ones >= 2)
+      end)
+    kinds
+
+let test_non_three_colorable_rejected () =
+  let g = Builders.complete 4 in
+  match Three_coloring.encode g with
+  | exception Three_coloring.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "K4 should be rejected"
+
+let test_malformed_advice_rejected () =
+  let g = Builders.cycle 12 in
+  let advice = Array.make 12 "" in
+  (match Three_coloring.decode g advice with
+  | exception Three_coloring.Encoding_failure _ -> ()
+  | _ -> Alcotest.fail "expected rejection of empty strings")
+
+let test_disconnected () =
+  let g1, w1 = caterpillar 100 in
+  let g2 = Builders.cycle 9 in
+  let g = Builders.disjoint_union g1 g2 in
+  let w2 =
+    match Coloring.backtracking g2 3 with
+    | Some c -> c
+    | None -> Alcotest.fail "cycle 9 is 3-colorable"
+  in
+  let witness = Array.append w1 w2 in
+  let _, colors = roundtrip ~witness g in
+  check "proper" true (Coloring.is_proper g colors);
+  check "3 colors" true (Coloring.num_colors colors <= 3)
+
+let test_bipartite_input () =
+  (* 2-colorable graphs are 3-colorable; the greedy coloring uses 2 colors
+     and the color-{2,3} subgraph is an independent set. *)
+  let g = Builders.grid 10 12 in
+  let witness = Coloring.two_color_bipartite g in
+  let _, colors = roundtrip ~witness g in
+  check "proper" true (Coloring.is_proper g colors)
+
+let prop_planted_roundtrip =
+  QCheck.Test.make ~name:"3-coloring advice roundtrips on planted graphs"
+    ~count:25
+    QCheck.(
+      make
+        ~print:(fun (n, seed, p) -> Printf.sprintf "n=%d seed=%d p=%.3f" n seed p)
+        Gen.(
+          int_range 20 90 >>= fun n ->
+          int_range 0 1000 >>= fun seed ->
+          float_range 0.02 0.15 >>= fun p -> return (n, seed, p)))
+    (fun (n, seed, p) ->
+      let rng = Prng.create seed in
+      let g, witness = Builders.planted_colorable rng n 3 p in
+      let advice = Three_coloring.encode ~witness g in
+      let colors = Three_coloring.decode g advice in
+      Coloring.is_proper g colors && Coloring.num_colors colors <= 3)
+
+let prop_caterpillar_roundtrip =
+  QCheck.Test.make ~name:"3-coloring advice roundtrips on caterpillars"
+    ~count:10
+    QCheck.(
+      make
+        ~print:(fun len -> Printf.sprintf "len=%d" len)
+        Gen.(int_range 60 400))
+    (fun len ->
+      let g, witness = caterpillar len in
+      let advice = Three_coloring.encode ~witness g in
+      let colors = Three_coloring.decode g advice in
+      Coloring.is_proper g colors && Coloring.num_colors colors <= 3)
+
+let () =
+  Alcotest.run "three-coloring"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "small cycles" `Quick test_small_cycles;
+          Alcotest.test_case "large cycle" `Quick test_large_cycle_with_witness;
+          Alcotest.test_case "planted random" `Quick test_planted_random;
+          Alcotest.test_case "caterpillar (groups)" `Quick test_caterpillar_groups;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "bipartite input" `Quick test_bipartite_input;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "uniform one bit" `Quick test_uniform_one_bit;
+          Alcotest.test_case "classification" `Quick
+            test_classification_matches_colors;
+          Alcotest.test_case "group members see two ones" `Quick
+            test_group_members_see_two_ones;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "K4" `Quick test_non_three_colorable_rejected;
+          Alcotest.test_case "malformed advice" `Quick
+            test_malformed_advice_rejected;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_planted_roundtrip;
+          QCheck_alcotest.to_alcotest prop_caterpillar_roundtrip;
+        ] );
+    ]
