@@ -1,0 +1,210 @@
+(* LOCAL-simulation throughput bench: ball-extraction rates for the
+   workspace-based View hot path, sequential vs parallel, against the seed
+   implementation kept below as the baseline.  Writes a JSON report
+   (BENCH_local.json) so the perf trajectory is tracked across PRs:
+
+     dune exec bench/main.exe -- --json [--smoke] [--out FILE]
+
+   Rates are balls per second of [View.map_nodes]-style extraction with a
+   trivial per-view function, i.e. they isolate the simulator overhead the
+   paper's decoders all pay. *)
+
+open Netgraph
+
+(* ------------------------------------------------------------------ *)
+(* The seed hot path, verbatim: Hashtbl-based limited BFS plus an
+   induced-subgraph extraction that allocates an O(n) array and folds over
+   all m edges of the host graph for every ball.  Kept here (not in the
+   library) purely as the measured baseline. *)
+module Legacy = struct
+  let bfs_limited g s r =
+    let dist = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.replace dist s 0;
+    Queue.add s queue;
+    let order = ref [ (s, 0) ] in
+    while not (Queue.is_empty queue) do
+      let v = Queue.take queue in
+      let dv = Hashtbl.find dist v in
+      if dv < r then
+        Array.iter
+          (fun u ->
+            if not (Hashtbl.mem dist u) then begin
+              Hashtbl.replace dist u (dv + 1);
+              order := (u, dv + 1) :: !order;
+              Queue.add u queue
+            end)
+          (Graph.neighbors g v)
+    done;
+    List.rev !order
+
+  let induced g nodes =
+    let to_sub = Array.make (Graph.n g) (-1) in
+    let count = ref 0 in
+    List.iter
+      (fun v ->
+        if to_sub.(v) < 0 then begin
+          to_sub.(v) <- !count;
+          incr count
+        end)
+      nodes;
+    let to_orig = Array.make !count 0 in
+    Array.iteri (fun v i -> if i >= 0 then to_orig.(i) <- v) to_sub;
+    let sub_edges =
+      Graph.fold_edges
+        (fun _ (u, v) acc ->
+          if to_sub.(u) >= 0 && to_sub.(v) >= 0 then
+            (to_sub.(u), to_sub.(v)) :: acc
+          else acc)
+        g []
+    in
+    (Graph.of_edges ~n:!count sub_edges, to_sub, to_orig)
+
+  let extract_ball g v radius =
+    let members = bfs_limited g v radius in
+    let nodes = List.map fst members in
+    let sub, _, _ = induced g nodes in
+    Graph.n sub
+end
+
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  family : string;
+  n : int;
+  radius : int;
+  seq_rate : float;  (* balls/sec, View.map_nodes *)
+  par_rate : float;  (* balls/sec, View.map_nodes_par *)
+  par_domains : int;
+  legacy_rate : float;  (* balls/sec, seed path, sampled *)
+  legacy_sample : int;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let t1 = Unix.gettimeofday () in
+  (x, t1 -. t0)
+
+let bench_domains () =
+  match Sys.getenv_opt "LOCAL_ADVICE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ -> 4)
+  | None -> max 4 (Domain.recommended_domain_count ())
+
+let build family n =
+  match family with
+  | "cycle" -> Builders.cycle n
+  | "grid" ->
+      let side = int_of_float (sqrt (float_of_int n)) in
+      Builders.grid side side
+  | "random-regular-4" -> Builders.random_regular (Prng.create 42) n 4
+  | _ -> invalid_arg "Bench_local.build"
+
+let bench_row ~family ~g ~radius =
+  let n = Graph.n g in
+  let ids = Localmodel.Ids.identity g in
+  let sink = fun (view : Localmodel.View.t) -> Graph.n view.Localmodel.View.graph in
+  let seq_sizes, seq_t =
+    time (fun () -> Localmodel.View.map_nodes g ~ids ~radius sink)
+  in
+  let domains = bench_domains () in
+  let par_sizes, par_t =
+    time (fun () -> Localmodel.View.map_nodes_par ~domains g ~ids ~radius sink)
+  in
+  assert (seq_sizes = par_sizes);
+  (* The seed path scans all m edges per ball: sample it, the rate is the
+     honest comparison. *)
+  let sample = min n (max 64 (2_000_000 / (n + (2 * Graph.m g) + 1))) in
+  let stride = max 1 (n / sample) in
+  let legacy_count = ref 0 in
+  let (), legacy_t =
+    time (fun () ->
+        let v = ref 0 in
+        while !v < n do
+          ignore (Legacy.extract_ball g !v radius);
+          incr legacy_count;
+          v := !v + stride
+        done)
+  in
+  let rate balls t = if t <= 0.0 then infinity else float_of_int balls /. t in
+  {
+    family;
+    n;
+    radius;
+    seq_rate = rate n seq_t;
+    par_rate = rate n par_t;
+    par_domains = domains;
+    legacy_rate = rate !legacy_count legacy_t;
+    legacy_sample = !legacy_count;
+  }
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"family\": %S, \"n\": %d, \"radius\": %d,\n\
+    \     \"seq_balls_per_sec\": %.1f, \"par_balls_per_sec\": %.1f,\n\
+    \     \"par_domains\": %d, \"par_speedup\": %.3f,\n\
+    \     \"legacy_balls_per_sec\": %.1f, \"legacy_sample\": %d,\n\
+    \     \"new_vs_seed_speedup\": %.3f}"
+    r.family r.n r.radius r.seq_rate r.par_rate r.par_domains
+    (r.par_rate /. r.seq_rate) r.legacy_rate r.legacy_sample
+    (r.seq_rate /. r.legacy_rate)
+
+let run ~smoke ~out () =
+  let families = [ "cycle"; "grid"; "random-regular-4" ] in
+  let sizes = if smoke then [ 512 ] else [ 4096; 65536; 262144 ] in
+  let radii = [ 1; 2; 3 ] in
+  let rows =
+    List.concat_map
+      (fun family ->
+        List.concat_map
+          (fun n ->
+            let g = build family n in
+            List.map
+              (fun radius ->
+                let r = bench_row ~family ~g ~radius in
+                Printf.printf
+                  "%-18s n=%-7d r=%d  seq %10.0f balls/s  par %10.0f  seed \
+                   %8.0f  (new/seed %6.1fx, par/seq %4.2fx)\n\
+                   %!"
+                  r.family r.n r.radius r.seq_rate r.par_rate r.legacy_rate
+                  (r.seq_rate /. r.legacy_rate)
+                  (r.par_rate /. r.seq_rate);
+                r)
+              radii)
+          sizes)
+      families
+  in
+  let acceptance =
+    List.find_opt
+      (fun r -> r.family = "random-regular-4" && r.n = 65536 && r.radius = 2)
+      rows
+  in
+  let best_par =
+    List.fold_left (fun acc r -> max acc (r.par_rate /. r.seq_rate)) 0.0 rows
+  in
+  let oc = open_out out in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"local_view_extraction\",\n";
+  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
+  Printf.fprintf oc "  \"par_domains\": %d,\n" (bench_domains ());
+  Printf.fprintf oc "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"results\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map json_of_row rows));
+  (match acceptance with
+  | Some r ->
+      Printf.fprintf oc
+        "  \"acceptance\": {\"radius2_random_regular_64k_new_vs_seed\": %.3f, \
+         \"best_par_speedup\": %.3f}\n"
+        (r.seq_rate /. r.legacy_rate)
+        best_par
+  | None ->
+      Printf.fprintf oc
+        "  \"acceptance\": {\"radius2_random_regular_64k_new_vs_seed\": null, \
+         \"best_par_speedup\": %.3f}\n"
+        best_par);
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out

@@ -826,7 +826,7 @@ let bechamel_benchmarks () =
 
 (* ================================================================== *)
 
-let () =
+let run_experiments () =
   print_endline "Local Advice and Local Decompression — experiment harness";
   e1_subexp_lcl ();
   e2_sparsity ();
@@ -844,3 +844,19 @@ let () =
   a4_distributed_rounds ();
   bechamel_benchmarks ();
   summary ()
+
+let rec arg_value key = function
+  | k :: v :: _ when k = key -> Some v
+  | _ :: rest -> arg_value key rest
+  | [] -> None
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--json" argv then begin
+    let smoke = List.mem "--smoke" argv in
+    let out =
+      Option.value ~default:"BENCH_local.json" (arg_value "--out" argv)
+    in
+    Bench_local.run ~smoke ~out ()
+  end
+  else run_experiments ()

@@ -20,11 +20,16 @@ let search prob g ~ids ~radius ~beta ~decide =
   let tried = ref 0 in
   let result = ref None in
   let counter = ref 0 in
+  (* The graph is fixed across the 2^{βn} assignments: extract every ball
+     once and only re-project the advice per assignment. *)
+  let views = Localmodel.View.map_nodes g ~ids ~radius (fun view -> view) in
   while !result = None && !counter < total do
     let advice = assignment_of_counter ~n ~beta !counter in
     incr tried;
     let labels =
-      Localmodel.View.map_nodes ~advice g ~ids ~radius decide
+      Array.map
+        (fun view -> decide (Localmodel.View.with_advice view advice))
+        views
     in
     let labeling = Lcl.Labeling.of_node_labels labels in
     if Lcl.Problem.verify prob g labeling then

@@ -57,7 +57,8 @@ let build_table samples =
   | None -> Table table
 
 let run_with_table table ~default g ~ids ~advice ~radius =
-  Localmodel.View.map_nodes ~advice g ~ids ~radius (fun view ->
+  (* Pure per-node lookups against a frozen table: safe to fan out. *)
+  Localmodel.View.map_nodes_par ~advice g ~ids ~radius (fun view ->
       match Hashtbl.find_opt table (signature view) with
       | Some output -> output
       | None -> default)

@@ -2,11 +2,32 @@ type t = {
   n : int;
   adj : int array array;
   edges : (int * int) array;
-  edge_ids : (int * int, int) Hashtbl.t;
   incident : int array array;
 }
 
 let normalize u v = if u < v then (u, v) else (v, u)
+
+(* Index of [x] in a sorted int array, or -1. *)
+let find_in_sorted arr x =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  let res = ref (-1) in
+  while !res < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let y = arr.(mid) in
+    if y = x then res := mid else if y < x then lo := mid + 1 else hi := mid - 1
+  done;
+  !res
+
+(* Adjacency-aligned incident-edge ids: for every edge, locate each
+   endpoint in the other's sorted neighbor array. *)
+let incident_of_adj adj edges =
+  let incident = Array.map (fun nb -> Array.make (Array.length nb) 0) adj in
+  Array.iteri
+    (fun e (u, v) ->
+      incident.(u).(find_in_sorted adj.(u) v) <- e;
+      incident.(v).(find_in_sorted adj.(v) u) <- e)
+    edges;
+  incident
 
 let of_edges ~n edge_list =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
@@ -23,8 +44,6 @@ let of_edges ~n edge_list =
   let i = ref 0 in
   Hashtbl.iter (fun e () -> edges.(!i) <- e; incr i) seen;
   Array.sort compare edges;
-  let edge_ids = Hashtbl.create (Array.length edges) in
-  Array.iteri (fun id e -> Hashtbl.replace edge_ids e id) edges;
   let deg = Array.make n 0 in
   Array.iter (fun (u, v) -> deg.(u) <- deg.(u) + 1; deg.(v) <- deg.(v) + 1) edges;
   let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
@@ -37,11 +56,7 @@ let of_edges ~n edge_list =
       fill.(v) <- fill.(v) + 1)
     edges;
   Array.iter (fun nb -> Array.sort compare nb) adj;
-  let incident =
-    Array.init n (fun v ->
-        Array.map (fun u -> Hashtbl.find edge_ids (normalize v u)) adj.(v))
-  in
-  { n; adj; edges; edge_ids; incident }
+  { n; adj; edges; incident = incident_of_adj adj edges }
 
 let n g = g.n
 let m g = Array.length g.edges
@@ -51,12 +66,23 @@ let neighbors g v = g.adj.(v)
 let max_degree g =
   Array.fold_left (fun acc nb -> max acc (Array.length nb)) 0 g.adj
 
-let is_edge g u v = u <> v && Hashtbl.mem g.edge_ids (normalize u v)
+(* Membership and edge ids by binary search in the sorted neighbor array of
+   the lower-degree endpoint: O(log min-degree), no hashing. *)
+let is_edge g u v =
+  u <> v
+  &&
+  let a, b =
+    if Array.length g.adj.(u) <= Array.length g.adj.(v) then (u, v) else (v, u)
+  in
+  find_in_sorted g.adj.(a) b >= 0
 
 let edge_id g u v =
-  match Hashtbl.find_opt g.edge_ids (normalize u v) with
-  | Some id -> id
-  | None -> raise Not_found
+  if u = v then raise Not_found;
+  let a, b =
+    if Array.length g.adj.(u) <= Array.length g.adj.(v) then (u, v) else (v, u)
+  in
+  let i = find_in_sorted g.adj.(a) b in
+  if i < 0 then raise Not_found else g.incident.(a).(i)
 
 let edge_endpoints g e = g.edges.(e)
 let incident_edges g v = g.incident.(v)
@@ -86,26 +112,65 @@ let fold_nodes f g init =
 
 let edges g = g.edges
 
+(* Extract the subgraph induced by the node set stamped in [ws], numbering
+   sub nodes by stamp (insertion) order.  Only the members' own adjacency
+   lists are scanned, so the cost is O(ball nodes + ball edges) plus the
+   sort of each sub adjacency array — never O(n) or O(m) of the host
+   graph.  The result obeys the same canonical invariants as {!of_edges}:
+   sorted neighbor arrays, lexicographically sorted edge array, dense edge
+   ids in that order, adjacency-aligned incident ids. *)
+let induced_ball g ws =
+  let count = Workspace.size ws in
+  let to_orig = Array.sub ws.Workspace.queue 0 count in
+  let deg = Array.make count 0 in
+  for i = 0 to count - 1 do
+    let nb = g.adj.(to_orig.(i)) in
+    let d = ref 0 in
+    for k = 0 to Array.length nb - 1 do
+      if Workspace.mem ws nb.(k) then incr d
+    done;
+    deg.(i) <- !d
+  done;
+  let adj = Array.init count (fun i -> Array.make deg.(i) 0) in
+  let sub_m = ref 0 in
+  for i = 0 to count - 1 do
+    let nb = g.adj.(to_orig.(i)) in
+    let fill = ref 0 in
+    for k = 0 to Array.length nb - 1 do
+      let u = nb.(k) in
+      if Workspace.mem ws u then begin
+        adj.(i).(!fill) <- ws.Workspace.sub.(u);
+        incr fill
+      end
+    done;
+    sub_m := !sub_m + !fill;
+    (* Neighbors arrive sorted by original id; sub ids are stamp-order, so
+       re-sort to restore the canonical ordering. *)
+    Array.sort compare adj.(i)
+  done;
+  let edges = Array.make (!sub_m / 2) (0, 0) in
+  let next = ref 0 in
+  for i = 0 to count - 1 do
+    let nb = adj.(i) in
+    for k = 0 to Array.length nb - 1 do
+      if i < nb.(k) then begin
+        edges.(!next) <- (i, nb.(k));
+        incr next
+      end
+    done
+  done;
+  ({ n = count; adj; edges; incident = incident_of_adj adj edges }, to_orig)
+
 let induced g nodes =
-  let to_sub = Array.make g.n (-1) in
-  let count = ref 0 in
-  List.iter
-    (fun v ->
-      if to_sub.(v) < 0 then begin
-        to_sub.(v) <- !count;
-        incr count
-      end)
+  let ws = Workspace.domain_local () in
+  Workspace.ensure ws g.n;
+  Workspace.reset ws;
+  List.iter (fun v -> if not (Workspace.mem ws v) then Workspace.add ws v ~dist:0)
     nodes;
-  let to_orig = Array.make !count 0 in
-  Array.iteri (fun v i -> if i >= 0 then to_orig.(i) <- v) to_sub;
-  let sub_edges =
-    fold_edges
-      (fun _ (u, v) acc ->
-        if to_sub.(u) >= 0 && to_sub.(v) >= 0 then (to_sub.(u), to_sub.(v)) :: acc
-        else acc)
-      g []
-  in
-  (of_edges ~n:!count sub_edges, to_sub, to_orig)
+  let sub, to_orig = induced_ball g ws in
+  let to_sub = Array.make g.n (-1) in
+  Array.iteri (fun i v -> to_sub.(v) <- i) to_orig;
+  (sub, to_sub, to_orig)
 
 let remove_nodes g removed =
   let kept = fold_nodes (fun v acc -> if Bitset.mem removed v then acc else v :: acc) g [] in

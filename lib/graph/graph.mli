@@ -54,7 +54,21 @@ val induced : t -> int list -> t * int array * int array
 (** [induced g nodes] is the subgraph induced by [nodes] (duplicates
     ignored): [(h, to_sub, to_orig)] where [to_sub.(v)] is the id of [v] in
     [h] (or [-1] if [v] was not selected) and [to_orig.(i)] is the original
-    id of subgraph node [i]. *)
+    id of subgraph node [i].  Cost is O(n) for the [to_sub] array plus the
+    selected nodes' own adjacency lists — the rest of the graph is never
+    scanned. *)
+
+val induced_ball : t -> Workspace.t -> t * int array
+(** [induced_ball g ws] is the subgraph induced by the node set currently
+    stamped in [ws] (typically filled by {!Traversal.bfs_limited_into}),
+    numbering sub nodes by stamp order: [(h, to_orig)] where [to_orig.(i)]
+    is the original id of subgraph node [i]; the inverse map is
+    [Workspace.sub_index ws].  Scans only the members' adjacency lists, so
+    the cost is O(ball nodes + ball edges) — independent of [Graph.n] and
+    [Graph.m].  The result satisfies the same canonical invariants as
+    {!of_edges} (sorted neighbors, lexicographically sorted dense edge
+    ids) and coincides with {!induced} applied to the stamped nodes in
+    stamp order. *)
 
 val remove_nodes : t -> Bitset.t -> t * int array * int array
 (** Subgraph induced by the complement of the given node set; same mapping

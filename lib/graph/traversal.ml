@@ -22,26 +22,28 @@ let bfs_distances_multi g sources =
 
 let bfs_distances g s = bfs_distances_multi g [ s ]
 
-let bfs_limited g s r =
-  let dist = Hashtbl.create 64 in
-  let queue = Queue.create () in
-  Hashtbl.replace dist s 0;
-  Queue.add s queue;
-  let order = ref [ (s, 0) ] in
-  while not (Queue.is_empty queue) do
-    let v = Queue.take queue in
-    let dv = Hashtbl.find dist v in
+let bfs_limited_into ws g s r =
+  Workspace.ensure ws (Graph.n g);
+  Workspace.reset ws;
+  Workspace.add ws s ~dist:0;
+  let head = ref 0 in
+  while !head < ws.Workspace.size do
+    let v = ws.Workspace.queue.(!head) in
+    incr head;
+    let dv = ws.Workspace.dist.(v) in
     if dv < r then
       Array.iter
-        (fun u ->
-          if not (Hashtbl.mem dist u) then begin
-            Hashtbl.replace dist u (dv + 1);
-            order := (u, dv + 1) :: !order;
-            Queue.add u queue
-          end)
+        (fun u -> if not (Workspace.mem ws u) then Workspace.add ws u ~dist:(dv + 1))
         (Graph.neighbors g v)
   done;
-  List.rev !order
+  ws.Workspace.size
+
+let bfs_limited g s r =
+  let ws = Workspace.domain_local () in
+  let count = bfs_limited_into ws g s r in
+  List.init count (fun i ->
+      let v = Workspace.node_at ws i in
+      (v, Workspace.dist ws v))
 
 let ball g s r = List.map fst (bfs_limited g s r)
 

@@ -14,7 +14,18 @@ val bfs_distances_multi : Graph.t -> int list -> int array
 val bfs_limited : Graph.t -> int -> int -> (int * int) list
 (** [bfs_limited g s r] lists [(node, dist)] for all nodes within distance
     [r] of [s], in BFS order (so distances are non-decreasing and ties are
-    broken by node id). *)
+    broken by node id).  Thin wrapper over {!bfs_limited_into} using the
+    domain-local workspace. *)
+
+val bfs_limited_into : Workspace.t -> Graph.t -> int -> int -> int
+(** [bfs_limited_into ws g s r] runs the same radius-limited BFS into the
+    workspace and returns the ball size [k]: afterwards
+    [Workspace.node_at ws i] for [i < k] lists the ball in BFS order,
+    [Workspace.dist ws v] is the distance of a member from [s], and
+    [Workspace.sub_index ws v] its BFS-order rank.  The workspace is reset
+    (O(1)) on entry and grown to [Graph.n g] if needed; apart from that
+    growth the call allocates nothing and costs O(ball nodes + ball
+    edges). *)
 
 val ball : Graph.t -> int -> int -> int list
 (** Nodes within distance [r] of [s], in BFS order. *)

@@ -1,0 +1,52 @@
+type t = {
+  mutable capacity : int;
+  mutable epoch : int;
+  mutable size : int;
+  mutable stamp : int array;
+  mutable dist : int array;
+  mutable sub : int array;
+  mutable queue : int array;
+}
+
+let create ?(capacity = 0) () =
+  {
+    capacity;
+    epoch = 0;
+    size = 0;
+    stamp = Array.make capacity (-1);
+    dist = Array.make capacity 0;
+    sub = Array.make capacity 0;
+    queue = Array.make capacity 0;
+  }
+
+let ensure ws n =
+  if n > ws.capacity then begin
+    let c = max n (2 * ws.capacity) in
+    ws.capacity <- c;
+    ws.stamp <- Array.make c (-1);
+    ws.dist <- Array.make c 0;
+    ws.sub <- Array.make c 0;
+    ws.queue <- Array.make c 0;
+    ws.size <- 0
+  end
+
+let reset ws =
+  ws.epoch <- ws.epoch + 1;
+  ws.size <- 0
+
+let mem ws v = ws.stamp.(v) = ws.epoch
+
+let add ws v ~dist =
+  ws.stamp.(v) <- ws.epoch;
+  ws.dist.(v) <- dist;
+  ws.sub.(v) <- ws.size;
+  ws.queue.(ws.size) <- v;
+  ws.size <- ws.size + 1
+
+let size ws = ws.size
+let dist ws v = ws.dist.(v)
+let sub_index ws v = ws.sub.(v)
+let node_at ws i = ws.queue.(i)
+
+let key = Domain.DLS.new_key (fun () -> create ())
+let domain_local () = Domain.DLS.get key

@@ -1,0 +1,63 @@
+(** Reusable scratch space for repeated ball extractions.
+
+    A workspace holds the per-node scratch arrays that BFS-style routines
+    need ([visited] stamps, distances, subgraph indices and a flat ring
+    queue), sized once to the host graph and then reused across calls.
+    Resetting is O(1): instead of clearing the arrays, the current
+    {!reset} bumps an epoch counter and a node counts as visited only when
+    its stamp equals the current epoch.  This is what makes per-ball work
+    proportional to the ball — not to [n] — in the LOCAL simulator's hot
+    path.
+
+    The record fields are exposed so that the traversal and extraction
+    routines inside [Netgraph] (and performance-sensitive callers) can
+    access them without function-call overhead.  Treat them as read-only
+    outside this library and mutate only through {!add}. *)
+
+type t = {
+  mutable capacity : int;  (** length of every scratch array *)
+  mutable epoch : int;  (** current stamp value *)
+  mutable size : int;  (** number of nodes stamped since the last reset *)
+  mutable stamp : int array;  (** [stamp.(v) = epoch] iff [v] is in the set *)
+  mutable dist : int array;  (** BFS distance; valid only when stamped *)
+  mutable sub : int array;  (** index in the extracted subgraph; valid only
+                                when stamped *)
+  mutable queue : int array;  (** stamped nodes in insertion (BFS) order;
+                                  the first [size] entries are valid *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** A fresh workspace; arrays grow on demand via {!ensure}. *)
+
+val ensure : t -> int -> unit
+(** [ensure ws n] grows the arrays to hold nodes [0..n-1] (geometric
+    doubling, so amortized O(1) per call). *)
+
+val reset : t -> unit
+(** Empty the stamped set in O(1) by bumping the epoch. *)
+
+val mem : t -> int -> bool
+(** Is the node stamped in the current epoch? *)
+
+val add : t -> int -> dist:int -> unit
+(** Stamp a node, record its distance, and append it to the queue; its
+    subgraph index is its position in insertion order. *)
+
+val size : t -> int
+(** Number of nodes stamped since the last {!reset}. *)
+
+val dist : t -> int -> int
+(** Recorded distance of a stamped node. *)
+
+val sub_index : t -> int -> int
+(** Subgraph (insertion-order) index of a stamped node. *)
+
+val node_at : t -> int -> int
+(** [node_at ws i] is the [i]-th stamped node in insertion order. *)
+
+val domain_local : unit -> t
+(** The calling domain's shared scratch workspace.  Each domain gets its
+    own, so parallel simulation over a read-only graph is safe.  Users must
+    not retain it across calls that themselves use the domain-local
+    workspace (every routine in this library copies its results out before
+    returning, so composing them is safe). *)

@@ -11,33 +11,76 @@ type t = {
   to_global : int array;
 }
 
-let make ?advice ?input g ~ids ~radius v =
-  let members = Traversal.bfs_limited g v radius in
-  let nodes = List.map fst members in
-  let sub, to_sub, to_global = Graph.induced g nodes in
-  let nv = Graph.n sub in
-  let dist = Array.make nv 0 in
-  List.iter (fun (u, d) -> dist.(to_sub.(u)) <- d) members;
+(* Gather one view using [ws] as scratch: a radius-limited BFS stamps the
+   ball into the workspace and the induced subgraph is extracted from the
+   members' own adjacency lists — O(ball) work, nothing proportional to
+   the host graph.  All results are copied out before returning, so the
+   workspace is immediately reusable. *)
+let make_with ws ?advice ?input g ~ids ~radius v =
+  let count = Traversal.bfs_limited_into ws g v radius in
+  let sub, to_global = Graph.induced_ball g ws in
+  let dist = Array.init count (fun i -> Workspace.dist ws to_global.(i)) in
   let pick default arr_opt =
     match arr_opt with
-    | None -> Array.make nv default
-    | Some arr -> Array.init nv (fun i -> arr.(to_global.(i)))
+    | None -> Array.make count default
+    | Some arr -> Array.init count (fun i -> arr.(to_global.(i)))
   in
   {
     radius;
-    center = to_sub.(v);
+    center = Workspace.sub_index ws v;
     graph = sub;
-    ids = Array.init nv (fun i -> ids.(to_global.(i)));
+    ids = Array.init count (fun i -> ids.(to_global.(i)));
     dist;
     advice = pick "" advice;
     input = pick 0 input;
     to_global;
   }
 
+let make ?advice ?input g ~ids ~radius v =
+  make_with (Workspace.domain_local ()) ?advice ?input g ~ids ~radius v
+
 let map_nodes ?advice ?input g ~ids ~radius f =
-  Array.init (Graph.n g) (fun v -> f (make ?advice ?input g ~ids ~radius v))
+  let ws = Workspace.domain_local () in
+  Array.init (Graph.n g) (fun v -> f (make_with ws ?advice ?input g ~ids ~radius v))
+
+let default_domains () =
+  match Sys.getenv_opt "LOCAL_ADVICE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+let map_nodes_par ?domains ?advice ?input g ~ids ~radius f =
+  let n = Graph.n g in
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  (* The OCaml runtime caps the number of simultaneous domains (128); stay
+     comfortably below it and never spawn more domains than nodes. *)
+  let d = min (min d 64) (max 1 n) in
+  if d <= 1 then map_nodes ?advice ?input g ~ids ~radius f
+  else begin
+    let chunk lo hi =
+      let ws = Workspace.domain_local () in
+      Array.init (hi - lo) (fun i ->
+          f (make_with ws ?advice ?input g ~ids ~radius (lo + i)))
+    in
+    let bound k = k * n / d in
+    let spawned =
+      Array.init (d - 1) (fun k ->
+          let lo = bound (k + 1) and hi = bound (k + 2) in
+          Domain.spawn (fun () -> chunk lo hi))
+    in
+    let first = chunk 0 (bound 1) in
+    let rest = Array.map Domain.join spawned in
+    Array.concat (first :: Array.to_list rest)
+  end
+
+let with_advice view advice =
+  { view with advice = Array.map (fun gv -> advice.(gv)) view.to_global }
 
 let find_by_id view id =
-  let found = ref None in
-  Array.iteri (fun i id' -> if id' = id && !found = None then found := Some i) view.ids;
-  !found
+  let n = Array.length view.ids in
+  let rec go i =
+    if i >= n then None else if view.ids.(i) = id then Some i else go (i + 1)
+  in
+  go 0

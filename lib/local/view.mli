@@ -37,7 +37,33 @@ val map_nodes :
   (t -> 'a) ->
   'a array
 (** Run a view-based algorithm at every node; the canonical way to execute
-    a [T]-round LOCAL algorithm. *)
+    a [T]-round LOCAL algorithm.  Ball extraction reuses one domain-local
+    scratch workspace, so the per-node cost is O(ball) — proportional to
+    Δ^radius on bounded-degree graphs, never to [n] or [m]. *)
+
+val map_nodes_par :
+  ?domains:int ->
+  ?advice:string array ->
+  ?input:int array ->
+  Netgraph.Graph.t ->
+  ids:Ids.t ->
+  radius:int ->
+  (t -> 'a) ->
+  'a array
+(** Like {!map_nodes}, fanning contiguous node ranges out over an OCaml 5
+    domain pool (one scratch workspace per domain; the graph, ids, advice
+    and input arrays are only read).  The result is identical to
+    {!map_nodes} provided [f] is pure; [f] must also be safe to call from
+    several domains at once.  The pool size is [?domains] when given, else
+    the [LOCAL_ADVICE_DOMAINS] environment variable, else
+    [Domain.recommended_domain_count ()]; with one domain this falls back
+    to the sequential path. *)
+
+val with_advice : t -> string array -> t
+(** [with_advice view advice] is the view re-projected onto a new global
+    advice assignment, without re-extracting the ball.  Equivalent to
+    re-running {!make} with [~advice] on the same node; the key to
+    enumerating many advice assignments over a fixed graph cheaply. *)
 
 val find_by_id : t -> int -> int option
 (** Locate a view node by its global identifier. *)

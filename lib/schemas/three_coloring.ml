@@ -134,12 +134,16 @@ let encode ?(params = default_params) ?witness g =
         if diam_lb > params.small_threshold then begin
           let rulers = Ruling.ruling_set sub ~alpha:params.group_spread in
           let placed = ref 0 in
+          (* One scratch workspace serves every per-ruler group scan; each
+             scan costs O(group ball), not O(component). *)
+          let ws = Workspace.create () in
+          let group_ball r =
+            let count = Traversal.bfs_limited_into ws sub r params.group_radius in
+            List.init count (fun i -> Workspace.node_at ws i)
+          in
           List.iter
             (fun r ->
-              let near =
-                Traversal.bfs_limited sub r params.group_radius
-                |> List.map (fun (v, _) -> global v)
-              in
+              let near = group_ball r |> List.map global in
               match find_anchor_set g phi ~marked ~saturated ~candidates:near with
               | None -> ()
               | Some s ->
@@ -153,8 +157,8 @@ let encode ?(params = default_params) ?witness g =
                   in
                   let dist_s = Traversal.bfs_distances_multi sub s_local in
                   let candidates' =
-                    Traversal.bfs_limited sub r params.group_radius
-                    |> List.filter_map (fun (v, _) ->
+                    group_ball r
+                    |> List.filter_map (fun v ->
                            if dist_s.(v) >= 3 then Some (global v) else None)
                   in
                   (match
