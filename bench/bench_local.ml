@@ -152,6 +152,28 @@ let json_of_row r =
     (r.par_rate /. r.seq_rate) r.legacy_rate r.legacy_sample
     (r.seq_rate /. r.legacy_rate)
 
+(* The static-analysis gate is part of every tracked build, so its cost
+   rides along in the report's env block.  Root discovery covers both a
+   repo-root invocation (dune exec) and the bench-smoke rule, whose cwd is
+   the build directory where the .cmt files live beside the sources. *)
+let lint_stats () =
+  match List.find_opt Sys.file_exists [ "lib"; "../lib" ] with
+  | None -> None
+  | Some root ->
+      let cmt_roots =
+        List.filter Sys.file_exists [ root; "_build/default/lib" ]
+      in
+      let cfg =
+        { Advicelint.Engine.default_config with roots = [ root ]; cmt_roots }
+      in
+      let t0 = Unix.gettimeofday () in
+      let result = Advicelint.Engine.run cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      Some
+        ( dt,
+          result.Advicelint.Engine.files_scanned,
+          List.length result.Advicelint.Engine.diagnostics )
+
 let run ~smoke ~out () =
   let families = [ "cycle"; "grid"; "random-regular-4" ] in
   let sizes = if smoke then [ 512 ] else [ 4096; 65536; 262144 ] in
@@ -191,6 +213,13 @@ let run ~smoke ~out () =
   Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
   Printf.fprintf oc "  \"par_domains\": %d,\n" (bench_domains ());
   Printf.fprintf oc "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  (match lint_stats () with
+  | Some (dt, files, diags) ->
+      Printf.fprintf oc
+        "  \"env\": {\"lint_seconds\": %.3f, \"lint_files\": %d, \
+         \"lint_diagnostics\": %d},\n"
+        dt files diags
+  | None -> Printf.fprintf oc "  \"env\": {\"lint_seconds\": null},\n");
   Printf.fprintf oc "  \"results\": [\n%s\n  ],\n"
     (String.concat ",\n" (List.map json_of_row rows));
   (match acceptance with

@@ -23,7 +23,7 @@ let search prob g ~ids ~radius ~beta ~decide =
   (* The graph is fixed across the 2^{βn} assignments: extract every ball
      once and only re-project the advice per assignment. *)
   let views = Localmodel.View.map_nodes g ~ids ~radius (fun view -> view) in
-  while !result = None && !counter < total do
+  while Option.is_none !result && !counter < total do
     let advice = assignment_of_counter ~n ~beta !counter in
     incr tried;
     let labels =

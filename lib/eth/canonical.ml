@@ -44,7 +44,7 @@ let build_table samples =
   let conflict = ref None in
   List.iter
     (fun (view, output) ->
-      if !conflict = None then begin
+      if Option.is_none !conflict then begin
         let sig_ = signature view in
         match Hashtbl.find_opt table sig_ with
         | None -> Hashtbl.replace table sig_ output
@@ -63,7 +63,7 @@ let run_with_table table ~default g ~ids ~advice ~radius =
       | Some output -> output
       | None -> default)
 
-let is_order_invariant ~decide ~graphs ~radius =
+let is_order_invariant ~(decide : Localmodel.View.t -> int) ~graphs ~radius =
   let table = Hashtbl.create 64 in
   let ok = ref true in
   List.iter

@@ -147,7 +147,10 @@ let random_regular rng n d =
   (* Configuration model: pair up stubs, restart on loop/multi-edge. *)
   let stubs = Array.make (n * d) 0 in
   let rec attempt tries =
-    if tries > 2000 then failwith "Builders.random_regular: too many restarts";
+    if tries > 2000 then
+      invalid_arg
+        (Printf.sprintf
+           "Builders.random_regular: too many restarts (n=%d, d=%d)" n d);
     for i = 0 to (n * d) - 1 do
       stubs.(i) <- i / d
     done;

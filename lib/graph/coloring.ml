@@ -6,7 +6,7 @@ let is_proper_partial g coloring =
 let is_proper g coloring =
   Array.for_all (fun c -> c > 0) coloring && is_proper_partial g coloring
 
-let num_colors coloring = Array.fold_left max 0 coloring
+let num_colors coloring = Array.fold_left Int.max 0 coloring
 
 let least_absent_color g coloring v =
   let used = Hashtbl.create 8 in
@@ -67,7 +67,7 @@ let backtracking g k =
   let coloring = Array.make n 0 in
   (* Order nodes by descending degree for better pruning. *)
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  Array.sort (fun a b -> Int.compare (Graph.degree g b) (Graph.degree g a)) order;
   let ok v c =
     Array.for_all (fun u -> coloring.(u) <> c) (Graph.neighbors g v)
   in

@@ -24,7 +24,7 @@ let order g =
   done;
   (pos, !degeneracy)
 
-let orient g pos =
+let orient g (pos : int array) =
   let o = Orientation.create g in
   Graph.iter_edges
     (fun _ (u, v) ->

@@ -5,10 +5,15 @@ type t = {
   incident : int array array;
 }
 
-let normalize u v = if u < v then (u, v) else (v, u)
+let normalize (u : int) v = if u < v then (u, v) else (v, u)
+
+(* Lexicographic edge order, monomorphic so sorts never hit caml_compare. *)
+let compare_edge (u1, v1) (u2, v2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c else Int.compare v1 v2
 
 (* Index of [x] in a sorted int array, or -1. *)
-let find_in_sorted arr x =
+let find_in_sorted (arr : int array) x =
   let lo = ref 0 and hi = ref (Array.length arr - 1) in
   let res = ref (-1) in
   while !res < 0 && !lo <= !hi do
@@ -31,7 +36,8 @@ let incident_of_adj adj edges =
 
 let of_edges ~n edge_list =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
-  let seen = Hashtbl.create (List.length edge_list) in
+  (* Construction-time dedup, not per-node work: exempt from hot-alloc. *)
+  let[@advicelint.allow "hot-alloc"] seen = Hashtbl.create (List.length edge_list) in
   let add_edge (u, v) =
     if u < 0 || u >= n || v < 0 || v >= n then
       invalid_arg "Graph.of_edges: endpoint out of range";
@@ -43,7 +49,7 @@ let of_edges ~n edge_list =
   let edges = Array.make (Hashtbl.length seen) (0, 0) in
   let i = ref 0 in
   Hashtbl.iter (fun e () -> edges.(!i) <- e; incr i) seen;
-  Array.sort compare edges;
+  Array.sort compare_edge edges;
   let deg = Array.make n 0 in
   Array.iter (fun (u, v) -> deg.(u) <- deg.(u) + 1; deg.(v) <- deg.(v) + 1) edges;
   let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
@@ -55,7 +61,7 @@ let of_edges ~n edge_list =
       adj.(v).(fill.(v)) <- u;
       fill.(v) <- fill.(v) + 1)
     edges;
-  Array.iter (fun nb -> Array.sort compare nb) adj;
+  Array.iter (fun nb -> Array.sort Int.compare nb) adj;
   { n; adj; edges; incident = incident_of_adj adj edges }
 
 let n g = g.n
@@ -146,7 +152,7 @@ let induced_ball g ws =
     sub_m := !sub_m + !fill;
     (* Neighbors arrive sorted by original id; sub ids are stamp-order, so
        re-sort to restore the canonical ordering. *)
-    Array.sort compare adj.(i)
+    Array.sort Int.compare adj.(i)
   done;
   let edges = Array.make (!sub_m / 2) (0, 0) in
   let next = ref 0 in
@@ -243,7 +249,18 @@ let is_connected g =
     !count = g.n
   end
 
-let equal a b = a.n = b.n && a.edges = b.edges
+let equal a b =
+  a.n = b.n
+  && Array.length a.edges = Array.length b.edges
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i (u, v) ->
+           let u', v' = b.edges.(i) in
+           if u <> u' || v <> v' then ok := false)
+         a.edges;
+       !ok
+     end
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>graph n=%d m=%d@," g.n (m g);

@@ -84,7 +84,7 @@ let walk g partner used v0 e0 =
   let closed = go v0 e0 in
   (Array.of_list (List.rev !nodes), Array.of_list (List.rev !edges), closed)
 
-let normalize_open nodes edges =
+let normalize_open (nodes : int array) edges =
   let last = Array.length nodes - 1 in
   if nodes.(0) <= nodes.(last) then (nodes, edges)
   else begin
@@ -95,7 +95,7 @@ let normalize_open nodes edges =
 
 (* Rotate a closed trail so it starts with its minimal edge id, traversed
    from that edge's lower-id endpoint on the trail. *)
-let normalize_closed nodes edges =
+let normalize_closed (nodes : int array) (edges : int array) =
   let len = Array.length edges in
   (* nodes.(len) = nodes.(0); index both cyclically modulo len. *)
   let node i = nodes.(((i mod len) + len) mod len) in
@@ -153,7 +153,12 @@ let trail_through g v e =
       (euler_partition g)
   with
   | Some t -> t
-  | None -> assert false
+  | None ->
+      (* euler_partition covers every edge, so this is unreachable for a
+         well-formed graph; give the caller context instead of aborting. *)
+      invalid_arg
+        (Printf.sprintf
+           "Orientation.trail_through: edge %d not on any Euler trail" e)
 
 let orient_trail o trail ~forward =
   let len = Array.length trail.edges in

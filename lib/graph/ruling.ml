@@ -49,9 +49,11 @@ let verify_ruling g nodes ~alpha ~beta =
   in
   let dist = Traversal.bfs_distances_multi g nodes in
   let dominated =
-    nodes <> []
-    && Graph.fold_nodes
-         (fun v acc -> acc && dist.(v) >= 0 && dist.(v) <= beta)
-         g true
+    match nodes with
+    | [] -> false
+    | _ :: _ ->
+        Graph.fold_nodes
+          (fun v acc -> acc && dist.(v) >= 0 && dist.(v) <= beta)
+          g true
   in
   pairwise_ok && (dominated || Graph.n g = 0)

@@ -99,7 +99,7 @@ let shortest_path g s t =
   walk s []
 
 let eccentricity g v =
-  Array.fold_left max 0 (bfs_distances g v)
+  Array.fold_left Int.max 0 (bfs_distances g v)
 
 let diameter g =
   if Graph.n g = 0 then -1
@@ -164,4 +164,4 @@ let bipartition g =
   done;
   if !ok then Some side else None
 
-let is_bipartite g = bipartition g <> None
+let is_bipartite g = Option.is_some (bipartition g)

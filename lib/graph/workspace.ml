@@ -31,7 +31,14 @@ let ensure ws n =
   end
 
 let reset ws =
-  ws.epoch <- ws.epoch + 1;
+  if ws.epoch = max_int then begin
+    (* Epoch wrap: stale stamps could equal a reused epoch value and make
+       ghost nodes count as visited.  Refill once and restart from 0 —
+       amortized over max_int resets, still O(1). *)
+    Array.fill ws.stamp 0 ws.capacity (-1);
+    ws.epoch <- 0
+  end
+  else ws.epoch <- ws.epoch + 1;
   ws.size <- 0
 
 let mem ws v = ws.stamp.(v) = ws.epoch

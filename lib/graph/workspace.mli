@@ -34,7 +34,10 @@ val ensure : t -> int -> unit
     doubling, so amortized O(1) per call). *)
 
 val reset : t -> unit
-(** Empty the stamped set in O(1) by bumping the epoch. *)
+(** Empty the stamped set in O(1) by bumping the epoch.  When the epoch
+    reaches [max_int] the stamp array is refilled with [-1] and the epoch
+    restarts from 0, so stale stamps can never alias a reused epoch;
+    amortized cost stays O(1). *)
 
 val mem : t -> int -> bool
 (** Is the node stamped in the current epoch? *)

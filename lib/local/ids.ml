@@ -40,7 +40,7 @@ let is_valid g ids =
 let rank ids =
   let n = Array.length ids in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare ids.(a) ids.(b)) order;
+  Array.sort (fun a b -> Int.compare ids.(a) ids.(b)) order;
   let r = Array.make n 0 in
   Array.iteri (fun pos v -> r.(v) <- pos) order;
   r

@@ -8,7 +8,7 @@ type 'out decoder =
    identifier order, so an order-scrambling renumbering would present the
    decoder with a different identifier assignment, not a smaller view. *)
 let induced_ordered g ball =
-  Graph.induced g (List.sort compare ball)
+  Graph.induced g (List.sort Int.compare ball)
 
 let stable_at g ~ids ~advice ~decode ~equal ~radius ~node =
   let full = decode g ~ids ~advice in

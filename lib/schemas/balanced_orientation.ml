@@ -63,7 +63,10 @@ let cover_of_positions (t : Orientation.trail) anchor_positions =
 let slot_of g v e =
   let inc = Graph.incident_edges g v in
   let rec find i =
-    if i >= Array.length inc then assert false
+    if i >= Array.length inc then
+      invalid_arg
+        (Printf.sprintf
+           "Balanced_orientation.slot_of: edge %d not incident to node %d" e v)
     else if inc.(i) = e then i
     else find (i + 1)
   in

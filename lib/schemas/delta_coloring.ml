@@ -374,7 +374,7 @@ let decode_path_advice ?(params = default_params) g psi advice =
                     (* hops ends at the next marker; the body between the
                        two markers joins the path now. *)
                     let rec split_last = function
-                      | [] -> assert false
+                      | [] -> fail "Delta_coloring.decode: empty hop list"
                       | [ last ] -> ([], last)
                       | x :: rest ->
                           let body, last = split_last rest in

@@ -32,7 +32,9 @@ let two_coloring g assignment =
       alg
   in
   if Array.exists (fun s -> s = 0) states then
-    failwith "Distributed.two_coloring: some node heard no beacon";
+    invalid_arg
+      "Distributed.two_coloring: some node heard no beacon (is the graph \
+       connected?)";
   (states, rounds)
 
 (* ------------------------------------------------------------------ *)
@@ -104,7 +106,9 @@ let orientation g assignment =
       alg
   in
   if not (Array.for_all all_known states) then
-    failwith "Distributed.orientation: some edge never learned a direction";
+    invalid_arg
+      "Distributed.orientation: some edge never learned a direction (is the \
+       graph connected?)";
   let o = Orientation.create g in
   Graph.iter_nodes
     (fun v ->

@@ -1,0 +1,71 @@
+(** Shared machinery of the Section-4 schemas ([Subexp_lcl] and
+    [Subexp_adaptive]): frontier computation, label (de)serialization for
+    frontier nodes, and cluster-by-cluster brute-force completion. *)
+
+exception Support_failure of string
+(** Raised by the decoding and completion helpers below when a frontier
+    string is malformed or a cluster admits no completion. *)
+
+val frontier : Netgraph.Graph.t -> int array -> int -> bool array
+(** [frontier g cluster radius] marks the nodes whose radius-[radius]
+    checkability ball meets another cluster: their labels must be pinned
+    in the advice so clusters complete independently. *)
+
+(** {1 Label serialization for pinned nodes} *)
+
+val node_width : Lcl.Problem.t -> int
+(** Bits needed for one node label, or [0] when the problem has no node
+    labels. *)
+
+val half_width : Lcl.Problem.t -> int
+(** Bits needed for one half-edge label, or [0] when the problem has no
+    half-edge labels. *)
+
+val labels_width : Lcl.Problem.t -> Netgraph.Graph.t -> int -> int
+(** [labels_width prob g v] is the width in bits of node [v]'s full label
+    block: node label plus one half-edge label per incident edge. *)
+
+val encode_labels : Lcl.Problem.t -> Lcl.Labeling.t -> int -> string
+(** [encode_labels prob l v] serializes node [v]'s labels as a bit string
+    of length [labels_width prob g v]. *)
+
+val decode_labels :
+  Lcl.Problem.t -> Netgraph.Graph.t -> Lcl.Labeling.t -> int -> string -> unit
+(** [decode_labels prob g l v s] writes the labels encoded in [s] back
+    into [l] at node [v].  Raises {!Support_failure} if [s] has the wrong
+    length. *)
+
+val cluster_frontier_nodes :
+  Netgraph.Graph.t -> int array -> bool array -> int -> int list
+(** [cluster_frontier_nodes g cluster is_frontier id] lists cluster
+    [id]'s frontier nodes in ascending node order. *)
+
+val frontier_string : Lcl.Problem.t -> Lcl.Labeling.t -> int list -> string
+(** Concatenated {!encode_labels} blocks for the given nodes, in order. *)
+
+val decode_frontier_string :
+  Lcl.Problem.t ->
+  Netgraph.Graph.t ->
+  Lcl.Labeling.t ->
+  int list ->
+  string ->
+  unit
+(** [decode_frontier_string prob g pinned nodes body] splits [body] into
+    per-node blocks and decodes each into [pinned].  Raises
+    {!Support_failure} when [body] does not exactly cover [nodes]. *)
+
+(** {1 Completion} *)
+
+val pinned_labeling : Lcl.Problem.t -> Netgraph.Graph.t -> Lcl.Labeling.t
+(** Fresh all-unlabeled labeling to receive pinned frontier labels. *)
+
+val complete_clusters :
+  Lcl.Problem.t ->
+  Netgraph.Graph.t ->
+  int array ->
+  int list ->
+  Lcl.Labeling.t ->
+  Lcl.Labeling.t
+(** [complete_clusters prob g cluster ids pinned] extends [pinned] over
+    the clusters in [ids], one at a time, by brute-force completion.
+    Raises {!Support_failure} if some cluster admits no completion. *)

@@ -310,7 +310,7 @@ let decode ?(params = default_params) g assignment =
               groups []
           in
           match verdicts with
-          | [] -> assert false
+          | [] -> fail "Three_coloring.decode: component with no groups"
           | (s_local, color_s) :: rest_verdicts ->
               let color_for v =
                 if side.(v) = side.(s_local) then color_s else 5 - color_s

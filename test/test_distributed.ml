@@ -27,7 +27,7 @@ let test_two_coloring_no_beacon_fails () =
   let g = Builders.cycle 10 in
   let advice = Advice.Assignment.empty g in
   match Distributed.two_coloring g advice with
-  | exception Failure _ -> ()
+  | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "must fail without beacons"
 
 let orientations_equal g a b =

@@ -1,0 +1,40 @@
+(* The lint gate as a test-suite entry: run advicelint in-process over
+   the library tree (with the typedtree refinement, whose .cmt files are
+   guaranteed by this binary linking every library) and fail on any
+   diagnostic.  `dune runtest` therefore enforces the same contract as
+   `dune build @lint`. *)
+
+(* Force the link (and hence the build, and hence the .cmt files) of
+   every library the lint scans. *)
+let _ = Netgraph.Graph.of_edges
+let _ = Localmodel.View.make
+let _ = Lcl.Instances.mis
+let _ = Advice.Bits.encode
+let _ = Schemas.Lcl_support.frontier
+let _ = Ethlink.Canonical.build_table
+let _ = Baselines.Trivial.coloring_encode
+
+let lib_root = "../lib"
+
+let test_lib_is_clean () =
+  let cfg =
+    {
+      Advicelint.Engine.default_config with
+      roots = [ lib_root ];
+      cmt_roots = [ lib_root ];
+    }
+  in
+  let result = Advicelint.Engine.run cfg in
+  List.iter
+    (fun d -> print_endline (Advicelint.Diag.to_text d))
+    result.Advicelint.Engine.diagnostics;
+  Alcotest.(check bool)
+    "scanned the real tree (> 40 modules)" true
+    (result.Advicelint.Engine.files_scanned > 40);
+  Alcotest.(check int)
+    "no advicelint diagnostics in lib/" 0
+    (List.length result.Advicelint.Engine.diagnostics)
+
+let () =
+  Alcotest.run "advicelint"
+    [ ("lint", [ Alcotest.test_case "lib/ is clean" `Quick test_lib_is_clean ]) ]

@@ -1,0 +1,115 @@
+(* Workspace reuse semantics: epoch rollover, interleaved BFS calls on a
+   shared workspace, and byte-equality of the parallel LOCAL simulator
+   against the sequential one under approved (pure) closures. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch rollover *)
+
+let test_rollover () =
+  let ws = Workspace.create ~capacity:8 () in
+  Workspace.reset ws;
+  Workspace.add ws 3 ~dist:0;
+  check "member before wrap" true (Workspace.mem ws 3);
+  (* Force the wrap: stamp a node at the maximal epoch, then reset.  If
+     reset only bumped the counter it would overflow to min_int and — on
+     a later lap — reuse stamp values, resurrecting ghost members. *)
+  ws.Workspace.epoch <- max_int;
+  Workspace.add ws 5 ~dist:1;
+  check "member at max epoch" true (Workspace.mem ws 5);
+  Workspace.reset ws;
+  check_int "epoch restarts at 0" 0 ws.Workspace.epoch;
+  check_int "set is empty" 0 (Workspace.size ws);
+  check "no ghost from epoch 0 stamp" false (Workspace.mem ws 3);
+  check "no ghost from max_int stamp" false (Workspace.mem ws 5);
+  Workspace.add ws 2 ~dist:0;
+  check "usable after wrap" true (Workspace.mem ws 2);
+  check_int "dist survives wrap" 0 (Workspace.dist ws 2)
+
+let test_reset_is_oblivious () =
+  (* A normal reset forgets everything but costs no array traffic: the
+     same cells answer differently across epochs. *)
+  let ws = Workspace.create ~capacity:4 () in
+  Workspace.reset ws;
+  Workspace.add ws 0 ~dist:7;
+  Workspace.add ws 1 ~dist:9;
+  check_int "two members" 2 (Workspace.size ws);
+  Workspace.reset ws;
+  check_int "empty again" 0 (Workspace.size ws);
+  check "first member gone" false (Workspace.mem ws 0);
+  check "second member gone" false (Workspace.mem ws 1)
+
+(* ------------------------------------------------------------------ *)
+(* Interleaved BFS runs sharing one workspace *)
+
+let collect ws g s r =
+  let k = Traversal.bfs_limited_into ws g s r in
+  List.init k (fun i ->
+      let v = Workspace.node_at ws i in
+      (v, Workspace.dist ws v))
+
+let test_interleaved_bfs () =
+  let g = Builders.grid 7 9 in
+  let ws = Workspace.create () in
+  let a1 = collect ws g 0 3 in
+  let b1 = collect ws g 37 2 in
+  let a2 = collect ws g 0 3 in
+  check "repeat run unchanged by interleaving" true (a1 = a2);
+  let fresh = Workspace.create () in
+  check "shared ws = fresh ws" true (b1 = collect fresh g 37 2);
+  check "matches wrapper from cold start" true
+    (a1 = Traversal.bfs_limited g 0 3);
+  check "second source matches wrapper" true
+    (b1 = Traversal.bfs_limited g 37 2)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel simulation is byte-equal to sequential *)
+
+let families =
+  [
+    ("cycle", fun _rng -> Builders.cycle 97);
+    ("grid", fun _rng -> Builders.grid 8 11);
+    ("random-regular", fun rng -> Builders.random_regular rng 120 3);
+  ]
+
+let digest_view (view : Localmodel.View.t) =
+  (* Touch every field so a divergence anywhere in the extracted ball
+     shows up in the marshaled bytes. *)
+  ( view.Localmodel.View.center,
+    Array.copy view.Localmodel.View.ids,
+    Array.copy view.Localmodel.View.dist,
+    Array.copy view.Localmodel.View.to_global )
+
+let par_equals_seq =
+  QCheck.Test.make ~count:30 ~name:"map_nodes_par byte-equal to map_nodes"
+    QCheck.(triple (int_bound 2) (int_bound 1_000_000) (int_bound 2))
+    (fun (family, seed, radius) ->
+      let _, build = List.nth families family in
+      let rng = Prng.create seed in
+      let g = build rng in
+      let ids = Localmodel.Ids.random_permutation rng g in
+      let seq = Localmodel.View.map_nodes g ~ids ~radius digest_view in
+      let par =
+        Localmodel.View.map_nodes_par ~domains:3 g ~ids ~radius digest_view
+      in
+      Marshal.to_string seq [] = Marshal.to_string par [])
+
+let () =
+  Alcotest.run "workspace"
+    [
+      ( "epochs",
+        [
+          Alcotest.test_case "rollover at max_int" `Quick test_rollover;
+          Alcotest.test_case "O(1) reset semantics" `Quick
+            test_reset_is_oblivious;
+        ] );
+      ( "interleaving",
+        [ Alcotest.test_case "shared workspace" `Quick test_interleaved_bfs ]
+      );
+      ( "parallel",
+        [ QCheck_alcotest.to_alcotest par_equals_seq ] );
+    ]

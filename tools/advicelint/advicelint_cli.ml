@@ -1,0 +1,66 @@
+(* advicelint — repo-specific static analysis for the local-advice codebase.
+
+   Usage: advicelint [options] ROOT...
+
+   Scans every .ml/.mli under the given roots, runs the rule set
+   described in DESIGN.md ("Static analysis & determinism contract") and
+   exits 1 if any error-severity diagnostic survives suppression. *)
+
+let usage = "advicelint [options] ROOT...\noptions:"
+
+let () =
+  let open Advicelint in
+  let roots = ref [] in
+  let cmt_roots = ref [] in
+  let rules = ref None in
+  let format = ref Engine.Text in
+  let exit_zero = ref false in
+  let warn_only = ref [] in
+  let split_commas s = String.split_on_char ',' s |> List.map String.trim in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol
+          ( [ "text"; "json" ],
+            fun s -> format := if s = "json" then Engine.Json else Engine.Text
+          ),
+        " output format (default text)" );
+      ( "--rules",
+        Arg.String (fun s -> rules := Some (split_commas s)),
+        "R1,R2 run only the named rules (comma-separated rule ids)" );
+      ( "--cmt-root",
+        Arg.String (fun s -> cmt_roots := s :: !cmt_roots),
+        "DIR also search DIR (recursively, including _build-style hidden \
+         dirs) for .cmt files to refine poly-compare; repeatable" );
+      ( "--warn-only",
+        Arg.String (fun s -> warn_only := split_commas s @ !warn_only),
+        "R1,R2 downgrade the named rules to warning severity" );
+      ( "--exit-zero",
+        Arg.Set exit_zero,
+        " report diagnostics but always exit 0 (for golden tests)" );
+      ( "--list-rules",
+        Arg.Unit
+          (fun () ->
+            List.iter print_endline Rules.all_rule_ids;
+            exit 0),
+        " print the rule ids and exit" );
+    ]
+  in
+  Arg.parse spec (fun r -> roots := r :: !roots) usage;
+  if !roots = [] then begin
+    prerr_endline "advicelint: no roots given";
+    Arg.usage spec usage;
+    exit 2
+  end;
+  let cfg =
+    {
+      Engine.default_config with
+      roots = List.rev !roots;
+      cmt_roots = List.rev !cmt_roots;
+      rules = !rules;
+      format = !format;
+      exit_zero = !exit_zero;
+      warn_only = !warn_only;
+    }
+  in
+  exit (Engine.report cfg (Engine.run cfg))

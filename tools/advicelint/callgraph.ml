@@ -1,0 +1,145 @@
+(* Intra-repo index for the domain-race audit: toplevel (and module-level)
+   value definitions, and the subset of them that is shared mutable state.
+
+   The index is built from parsetrees only, so resolution is syntactic:
+   a use [A.B.f] resolves to any definition named [f] whose innermost
+   enclosing module is [B]; an unqualified use resolves within its own
+   file.  That is precise enough for this codebase's style (library
+   wrapping means cross-file calls are always module-qualified) and errs
+   toward silence, never toward false alarms across unrelated modules. *)
+
+open Parsetree
+
+module SSet = Set.Make (String)
+
+type def = {
+  d_module : string;  (* innermost module name, e.g. "Graph" *)
+  d_name : string;
+  d_expr : expression;
+  d_file : string;  (* display path of the defining file *)
+}
+
+type global = {
+  g_module : string;
+  g_name : string;
+  g_kind : string;  (* "ref", "Hashtbl.create", ... *)
+  g_file : string;
+  g_line : int;
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;  (* keyed by unqualified name *)
+  globals : (string, global) Hashtbl.t;  (* keyed by unqualified name *)
+}
+
+let create () = { defs = Hashtbl.create 256; globals = Hashtbl.create 16 }
+
+let module_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let rec peel e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_newtype (_, e) ->
+      peel e
+  | _ -> e
+
+(* Module-level bindings whose value is shared mutable state when reached
+   from more than one domain. *)
+let classify_mutable e =
+  match (peel e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match Longident.flatten txt with
+      | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+      | [ m; "create" ]
+        when List.mem m [ "Hashtbl"; "Queue"; "Stack"; "Buffer"; "Workspace" ]
+        ->
+          Some (m ^ ".create")
+      | [ "Array"; ("make" | "init" | "create_float" | "copy") ] ->
+          Some "Array.make"
+      | [ "Bytes"; ("make" | "create" | "init") ] -> Some "Bytes.make"
+      | _ -> None)
+  | _ -> None
+
+let rec pattern_vars acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> SSet.add txt acc
+  | Ppat_alias (p, { txt; _ }) -> pattern_vars (SSet.add txt acc) p
+  | Ppat_tuple ps | Ppat_array ps -> List.fold_left pattern_vars acc ps
+  | Ppat_construct (_, Some (_, p))
+  | Ppat_variant (_, Some p)
+  | Ppat_constraint (p, _)
+  | Ppat_lazy p | Ppat_open (_, p) | Ppat_exception p ->
+      pattern_vars acc p
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pattern_vars acc p) acc fields
+  | Ppat_or (a, b) -> pattern_vars (pattern_vars acc a) b
+  | _ -> acc
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+let rec add_structure t ~file ~module_name (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match binding_name vb with
+              | None -> ()
+              | Some name ->
+                  Hashtbl.add t.defs name
+                    {
+                      d_module = module_name;
+                      d_name = name;
+                      d_expr = vb.pvb_expr;
+                      d_file = file;
+                    };
+                  (match classify_mutable vb.pvb_expr with
+                  | None -> ()
+                  | Some kind ->
+                      Hashtbl.add t.globals name
+                        {
+                          g_module = module_name;
+                          g_name = name;
+                          g_kind = kind;
+                          g_file = file;
+                          g_line = vb.pvb_loc.loc_start.pos_lnum;
+                        }))
+            vbs
+      | Pstr_module mb -> add_module_binding t ~file mb
+      | Pstr_recmodule mbs -> List.iter (add_module_binding t ~file) mbs
+      | _ -> ())
+    str
+
+and add_module_binding t ~file mb =
+  match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+  | Some name, Pmod_structure str -> add_structure t ~file ~module_name:name str
+  | _ -> ()
+
+let of_file t ~file str =
+  add_structure t ~file ~module_name:(module_name_of_file file) str
+
+(* Resolve a use of [lid] occurring in [file] against the index.
+   Unqualified names resolve only within their own file; qualified names
+   resolve by innermost module name. *)
+let resolve_defs t ~file lid =
+  match List.rev (Longident.flatten lid) with
+  | [] -> []
+  | name :: rev_quals -> (
+      let candidates = Hashtbl.find_all t.defs name in
+      match rev_quals with
+      | [] -> List.filter (fun d -> d.d_file = file) candidates
+      | q :: _ -> List.filter (fun d -> d.d_module = q) candidates)
+
+let resolve_globals t ~file lid =
+  match List.rev (Longident.flatten lid) with
+  | [] -> []
+  | name :: rev_quals -> (
+      let candidates = Hashtbl.find_all t.globals name in
+      match rev_quals with
+      | [] -> List.filter (fun g -> g.g_file = file) candidates
+      | q :: _ -> List.filter (fun g -> g.g_module = q) candidates)

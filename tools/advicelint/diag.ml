@@ -1,0 +1,72 @@
+(* Diagnostics: what every rule emits, and the two output formats. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;  (* display path, as scanned *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, like the compiler *)
+  message : string;
+}
+
+let severity_to_string (s : severity) =
+  match s with Error -> "error" | Warning -> "warning"
+
+let of_location ~rule ~severity ~file (loc : Location.t) message =
+  {
+    rule;
+    severity;
+    file;
+    (* Location.none (file-level diagnostics) carries line 0 / col -1;
+       clamp to the 1:0 convention editors expect. *)
+    line = Int.max 1 loc.loc_start.pos_lnum;
+    col = Int.max 0 (loc.loc_start.pos_cnum - loc.loc_start.pos_bol);
+    message;
+  }
+
+(* Sort key: file, then position, then rule — a stable order for golden
+   tests regardless of rule execution order. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+(* Two diagnostics at the same site for the same rule are duplicates even
+   when their messages differ (e.g. the syntactic and typed analyses both
+   firing on one call site). *)
+let dedup_key d = (d.rule, d.file, d.line, d.col)
+
+let to_text d =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" d.file d.line d.col d.rule
+    (severity_to_string d.severity)
+    d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"severity\": \"%s\", \"file\": \"%s\", \"line\": %d, \
+     \"col\": %d, \"message\": \"%s\"}"
+    (json_escape d.rule)
+    (severity_to_string d.severity)
+    (json_escape d.file) d.line d.col (json_escape d.message)

@@ -1,0 +1,346 @@
+(* Scanning, parsing, suppression and orchestration for advicelint.
+
+   The pass reads every .ml under the given roots, runs the parsetree
+   rules (Rules), overlays the typedtree refinement (Typed_rules) for any
+   hot file whose .cmt is found under the cmt roots, applies
+   [@advicelint.allow "<rule-id>"] suppressions, and returns a
+   deterministically ordered diagnostic list. *)
+
+type format = Text | Json
+
+type config = {
+  roots : string list;
+  cmt_roots : string list;
+  rules : string list option;  (* None = all *)
+  hot_dirs : string list;  (* substring match against display paths *)
+  per_node_basenames : string list;
+  warn_only : string list;  (* rules downgraded to Warning *)
+  format : format;
+  exit_zero : bool;
+}
+
+let default_config =
+  {
+    roots = [];
+    cmt_roots = [];
+    rules = None;
+    hot_dirs = [ "lib/graph"; "lib/local"; "lib/eth" ];
+    per_node_basenames =
+      [ "view.ml"; "traversal.ml"; "workspace.ml"; "graph.ml"; "rounds.ml" ];
+    warn_only = [];
+    format = Text;
+    exit_zero = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File discovery *)
+
+let is_hidden name =
+  String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+
+let rec scan_tree ~keep_hidden acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if (not keep_hidden) && is_hidden entry then acc
+        else scan_tree ~keep_hidden acc (Filename.concat path entry))
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else path :: acc
+
+let scan_sources root =
+  if not (Sys.file_exists root) then []
+  else
+    scan_tree ~keep_hidden:false [] root
+    |> List.filter (fun p -> Filename.check_suffix p ".ml")
+    |> List.sort String.compare
+
+let scan_interfaces root =
+  if not (Sys.file_exists root) then []
+  else
+    scan_tree ~keep_hidden:false [] root
+    |> List.filter (fun p -> Filename.check_suffix p ".mli")
+    |> List.sort String.compare
+
+let scan_cmts root =
+  if not (Sys.file_exists root) then []
+  else
+    scan_tree ~keep_hidden:true [] root
+    |> List.filter (fun p -> Filename.check_suffix p ".cmt")
+    |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let parse_impl path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Parse.implementation lexbuf)
+
+(* ------------------------------------------------------------------ *)
+(* Suppression: [@advicelint.allow "rule"] / [@@@advicelint.allow] *)
+
+type allow_span = {
+  a_base : string;  (* basename of the file the span lives in *)
+  a_start : int;  (* pos_cnum offsets *)
+  a_end : int;
+  a_rules : string list;  (* [] = all rules *)
+}
+
+let payload_strings (payload : Parsetree.payload) =
+  let acc = ref [] in
+  (match payload with
+  | PStr str ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun sub e ->
+              (match e.pexp_desc with
+              | Pexp_constant (Pconst_string (s, _, _)) -> acc := s :: !acc
+              | _ -> ());
+              Ast_iterator.default_iterator.expr sub e);
+        }
+      in
+      it.structure it str
+  | _ -> ());
+  List.rev !acc
+
+let allow_attr (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt = "advicelint.allow" then
+        Some (payload_strings a.attr_payload)
+      else None)
+    attrs
+
+let collect_allow_spans ~file str =
+  let base = Filename.basename file in
+  let spans = ref [] in
+  let record (loc : Location.t) rules =
+    spans :=
+      {
+        a_base = base;
+        a_start = loc.loc_start.pos_cnum;
+        a_end = loc.loc_end.pos_cnum;
+        a_rules = rules;
+      }
+      :: !spans
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      structure_item =
+        (fun sub item ->
+          (match item.pstr_desc with
+          | Pstr_attribute a when a.attr_name.txt = "advicelint.allow" ->
+              (* floating attribute: applies to the whole file *)
+              record
+                {
+                  item.pstr_loc with
+                  loc_start = { item.pstr_loc.loc_start with pos_cnum = 0 };
+                  loc_end = { item.pstr_loc.loc_end with pos_cnum = max_int };
+                }
+                (payload_strings a.attr_payload)
+          | Pstr_eval (_, attrs) -> (
+              match allow_attr attrs with
+              | Some rules -> record item.pstr_loc rules
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item sub item);
+      value_binding =
+        (fun sub vb ->
+          (match allow_attr vb.pvb_attributes with
+          | Some rules -> record vb.pvb_loc rules
+          | None -> ());
+          Ast_iterator.default_iterator.value_binding sub vb);
+      expr =
+        (fun sub e ->
+          (match allow_attr e.pexp_attributes with
+          | Some rules -> record e.pexp_loc rules
+          | None -> ());
+          Ast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.structure it str;
+  !spans
+
+let suppressed spans (d : Diag.t) ~offset =
+  List.exists
+    (fun s ->
+      s.a_base = Filename.basename d.Diag.file
+      && offset >= s.a_start && offset <= s.a_end
+      && (s.a_rules = [] || List.mem d.Diag.rule s.a_rules))
+    spans
+
+(* ------------------------------------------------------------------ *)
+
+let path_contains path fragment =
+  let plen = String.length path and flen = String.length fragment in
+  let rec go i =
+    i + flen <= plen && (String.sub path i flen = fragment || go (i + 1))
+  in
+  flen > 0 && go 0
+
+let classify cfg path =
+  let hot = List.exists (path_contains path) cfg.hot_dirs in
+  let per_node = hot && List.mem (Filename.basename path) cfg.per_node_basenames in
+  (hot, per_node)
+
+let rule_enabled cfg r =
+  match cfg.rules with None -> true | Some rs -> List.mem r rs
+
+let severity_of cfg rule =
+  if List.mem rule cfg.warn_only then Diag.Warning else Diag.Error
+
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  diagnostics : Diag.t list;
+  files_scanned : int;
+}
+
+let run cfg =
+  let sources = List.concat_map scan_sources cfg.roots in
+  let interfaces = List.concat_map scan_interfaces cfg.roots in
+  let raw = ref [] in
+  (* diag accumulated with its start offset for suppression matching *)
+  let emit_at ~rule ~file (loc : Location.t) msg =
+    let d = Diag.of_location ~rule ~severity:(severity_of cfg rule) ~file loc msg in
+    raw := (d, loc.loc_start.pos_cnum) :: !raw
+  in
+  (* Parse everything first: the domain-race audit needs a cross-file
+     index before any per-file rule runs. *)
+  let parsed =
+    List.filter_map
+      (fun path ->
+        match parse_impl path with
+        | str -> Some (path, str)
+        | exception e ->
+            let msg =
+              match e with
+              | Syntaxerr.Error _ -> "syntax error"
+              | e -> Printexc.to_string e
+            in
+            emit_at ~rule:"parse" ~file:path Location.none
+              (Printf.sprintf "cannot parse: %s" msg);
+            None)
+      sources
+  in
+  let index = Callgraph.create () in
+  List.iter (fun (path, str) -> Callgraph.of_file index ~file:path str) parsed;
+  let spans =
+    List.concat_map (fun (path, str) -> collect_allow_spans ~file:path str) parsed
+  in
+  (* Parsetree rules *)
+  List.iter
+    (fun (path, str) ->
+      let hot, per_node = classify cfg path in
+      let ctx =
+        {
+          Rules.file = path;
+          hot;
+          per_node;
+          index;
+          emit = (fun ~rule ~loc msg -> emit_at ~rule ~file:path loc msg);
+        }
+      in
+      Rules.run_all ctx ~rules:cfg.rules str)
+    parsed;
+  (* R4 — mli coverage *)
+  if rule_enabled cfg "mli-coverage" then begin
+    let have_mli =
+      List.fold_left
+        (fun acc p -> Callgraph.SSet.add (Filename.remove_extension p) acc)
+        Callgraph.SSet.empty interfaces
+    in
+    List.iter
+      (fun path ->
+        if not (Callgraph.SSet.mem (Filename.remove_extension path) have_mli)
+        then
+          emit_at ~rule:"mli-coverage" ~file:path Location.none
+            "module has no .mli; every library module must declare its \
+             interface (R4)")
+      sources
+  end;
+  (* Typed refinement of poly-compare over any .cmt we can pair with a
+     scanned hot file (matched by basename; all lib basenames are
+     unique). *)
+  if rule_enabled cfg "poly-compare" then begin
+    let hot_by_base = Hashtbl.create 32 in
+    List.iter
+      (fun (path, _) ->
+        let hot, _ = classify cfg path in
+        if hot then Hashtbl.replace hot_by_base (Filename.basename path) path)
+      parsed;
+    List.iter
+      (fun cmt_path ->
+        match Cmt_format.read_cmt cmt_path with
+        | { cmt_annots = Implementation tstr; cmt_sourcefile = Some src; _ } -> (
+            match Hashtbl.find_opt hot_by_base (Filename.basename src) with
+            | Some display ->
+                Typed_rules.run tstr ~emit:(fun ~loc msg ->
+                    emit_at ~rule:"poly-compare" ~file:display loc msg)
+            | None -> ())
+        | _ -> ()
+        | exception _ -> ())
+      (List.concat_map scan_cmts cfg.cmt_roots)
+  end;
+  (* Suppress, dedup, order. *)
+  let seen = Hashtbl.create 64 in
+  let diagnostics =
+    !raw
+    |> List.filter (fun (d, off) -> not (suppressed spans d ~offset:off))
+    |> List.map fst
+    |> List.sort Diag.compare
+    |> List.filter (fun d ->
+           let k = Diag.dedup_key d in
+           if Hashtbl.mem seen k then false
+           else begin
+             Hashtbl.replace seen k ();
+             true
+           end)
+  in
+  { diagnostics; files_scanned = List.length sources }
+
+(* ------------------------------------------------------------------ *)
+
+let print_text result =
+  List.iter (fun d -> print_endline (Diag.to_text d)) result.diagnostics;
+  let errors =
+    List.length
+      (List.filter (fun d -> d.Diag.severity = Diag.Error) result.diagnostics)
+  in
+  let warnings = List.length result.diagnostics - errors in
+  Printf.printf "advicelint: %d file%s, %d error%s, %d warning%s\n"
+    result.files_scanned
+    (if result.files_scanned = 1 then "" else "s")
+    errors
+    (if errors = 1 then "" else "s")
+    warnings
+    (if warnings = 1 then "" else "s")
+
+let print_json result =
+  print_endline "{";
+  Printf.printf "  \"files_scanned\": %d,\n" result.files_scanned;
+  Printf.printf "  \"rules\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun r -> "\"" ^ r ^ "\"") Rules.all_rule_ids));
+  Printf.printf "  \"diagnostics\": [\n%s\n  ]\n"
+    (String.concat ",\n"
+       (List.map (fun d -> "    " ^ Diag.to_json d) result.diagnostics));
+  print_endline "}"
+
+(* Exit status: 1 iff any error-severity diagnostic (unless exit_zero). *)
+let report cfg result =
+  (match cfg.format with Text -> print_text result | Json -> print_json result);
+  if cfg.exit_zero then 0
+  else if List.exists (fun d -> d.Diag.severity = Diag.Error) result.diagnostics
+  then 1
+  else 0

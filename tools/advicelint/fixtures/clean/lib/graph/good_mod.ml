@@ -1,0 +1,16 @@
+(* Fixture: a module the lint must stay silent on — sanctioned RNG,
+   monomorphic comparisons, contextual errors, interface present. *)
+
+let pick_sorted (rng : int) (xs : int list) =
+  let sorted = List.sort Int.compare xs in
+  match List.nth_opt sorted (rng mod Int.max 1 (List.length sorted)) with
+  | Some x -> x
+  | None -> invalid_arg "Good_mod.pick_sorted: empty list"
+
+let equal_arrays (a : int array) (b : int array) =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i x -> if x <> b.(i) then ok := false) a;
+       !ok
+     end

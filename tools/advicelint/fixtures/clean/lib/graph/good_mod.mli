@@ -1,0 +1,5 @@
+(** Clean fixture: the lint must report nothing here. *)
+
+val pick_sorted : int -> int list -> int
+
+val equal_arrays : int array -> int array -> bool

@@ -1,0 +1,32 @@
+(* Fixture: per-node allocation (hot-alloc) and genuine shared-state
+   races reachable from closures handed to map_nodes_par. *)
+
+let total = ref 0
+
+let memo = Hashtbl.create 64
+
+let pick xs i = List.nth xs i
+
+let join a b = a @ b
+
+let fresh_table () = Hashtbl.create 16
+
+let map_nodes_par g f = ignore g; ignore f; [||]
+
+(* Direct race: the parallel closure writes a toplevel ref. *)
+let count_nodes g =
+  map_nodes_par g (fun v ->
+      total := !total + 1;
+      v)
+
+(* Indirect race: the closure reaches the shared table through a helper. *)
+let record v = Hashtbl.replace memo v v
+
+let count_indirect g = map_nodes_par g (fun v -> record v; v)
+
+(* Captured-local race: closures on sibling domains share [acc]. *)
+let count_captured g =
+  let acc = ref 0 in
+  map_nodes_par g (fun v ->
+      incr acc;
+      v)

@@ -1,0 +1,6 @@
+(* Fixture: exception hygiene fires outside hot dirs; poly-compare does
+   not (lib/schemas is not on the hot list). *)
+
+let sort_generic xs = List.sort compare xs
+
+let broken () = failwith "helpers: broken"

@@ -1,0 +1,10 @@
+(* Fixture: a floating [@@@advicelint.allow "rule"] silences that rule
+   for the whole file; other rules still fire. *)
+
+[@@@advicelint.allow "exception-hygiene"]
+
+let a () = failwith "quiet"
+
+let b () = assert false
+
+let noisy () = Random.bool ()

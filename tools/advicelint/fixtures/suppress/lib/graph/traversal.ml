@@ -1,0 +1,10 @@
+(* Fixture: binding-level [@advicelint.allow] suppression.  Only the
+   [live] binding (and the missing .mli) may be reported. *)
+
+let[@advicelint.allow "hot-alloc"] pick xs i = List.nth xs i
+
+let[@advicelint.allow "determinism"] seed () = Random.int 10
+
+let[@advicelint.allow] anything () = failwith "suppressed: blanket allow"
+
+let live () = failwith "suppress fixture: still fires"
