@@ -7,9 +7,17 @@
 
    Rates are balls per second of [View.map_nodes]-style extraction with a
    trivial per-view function, i.e. they isolate the simulator overhead the
-   paper's decoders all pay. *)
+   paper's decoders all pay.
+
+   With [--metrics [FILE]] the run also records the obs instrumentation
+   (lib/obs): the report gains an "obs" block — merged metric snapshot,
+   derived figures (ball-size distribution, advice bits per node,
+   per-domain utilization) and the measured overhead of enabled
+   instrumentation — and FILE, when given, receives the standalone
+   {!Obs.Sink} snapshot. *)
 
 open Netgraph
+module J = Obs.Jsonout
 
 (* ------------------------------------------------------------------ *)
 (* The seed hot path, verbatim: Hashtbl-based limited BFS plus an
@@ -80,11 +88,7 @@ type row = {
   legacy_sample : int;
 }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  let t1 = Unix.gettimeofday () in
-  (x, t1 -. t0)
+let time = Bench_util.time_once
 
 let bench_domains () =
   match Sys.getenv_opt "LOCAL_ADVICE_DOMAINS" with
@@ -142,15 +146,19 @@ let bench_row ~family ~g ~radius =
   }
 
 let json_of_row r =
-  Printf.sprintf
-    "    {\"family\": %S, \"n\": %d, \"radius\": %d,\n\
-    \     \"seq_balls_per_sec\": %.1f, \"par_balls_per_sec\": %.1f,\n\
-    \     \"par_domains\": %d, \"par_speedup\": %.3f,\n\
-    \     \"legacy_balls_per_sec\": %.1f, \"legacy_sample\": %d,\n\
-    \     \"new_vs_seed_speedup\": %.3f}"
-    r.family r.n r.radius r.seq_rate r.par_rate r.par_domains
-    (r.par_rate /. r.seq_rate) r.legacy_rate r.legacy_sample
-    (r.seq_rate /. r.legacy_rate)
+  J.Obj
+    [
+      ("family", J.Str r.family);
+      ("n", J.Int r.n);
+      ("radius", J.Int r.radius);
+      ("seq_balls_per_sec", J.Float r.seq_rate);
+      ("par_balls_per_sec", J.Float r.par_rate);
+      ("par_domains", J.Int r.par_domains);
+      ("par_speedup", J.Float (r.par_rate /. r.seq_rate));
+      ("legacy_balls_per_sec", J.Float r.legacy_rate);
+      ("legacy_sample", J.Int r.legacy_sample);
+      ("new_vs_seed_speedup", J.Float (r.seq_rate /. r.legacy_rate));
+    ]
 
 (* The static-analysis gate is part of every tracked build, so its cost
    rides along in the report's env block.  Root discovery covers both a
@@ -174,10 +182,179 @@ let lint_stats () =
           result.Advicelint.Engine.files_scanned,
           List.length result.Advicelint.Engine.diagnostics )
 
-let run ~smoke ~out () =
+(* ------------------------------------------------------------------ *)
+(* Observability (--metrics).  The obs stack is compiled in either way;
+   this section measures what turning it on costs and summarizes what it
+   recorded. *)
+
+let install_wall_clock () =
+  Obs.Trace.set_clock (fun () ->
+      Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+(* Overhead of enabled instrumentation on the instrumented hot path
+   itself: the same [map_nodes] sweep timed with recording off and on.
+   Radius 3 on a 4-regular graph keeps balls large enough (~50 nodes)
+   that the measurement reflects steady-state extraction, not noise. *)
+let measure_overhead () =
+  let g = build "random-regular-4" 2048 in
+  let ids = Localmodel.Ids.identity g in
+  let sink (view : Localmodel.View.t) = Graph.n view.Localmodel.View.graph in
+  let sweep () = ignore (Localmodel.View.map_nodes g ~ids ~radius:3 sink) in
+  sweep ();
+  (* Interleave off/on sweeps so drift (GC, frequency scaling) hits both
+     sides equally, and compare the minima — the jitter-free estimate of
+     each configuration's cost. *)
+  let off = ref infinity and on = ref infinity in
+  for _ = 1 to 15 do
+    Obs.Sink.disable ();
+    let _, a = Bench_util.time_once sweep in
+    Obs.Sink.enable ();
+    let _, b = Bench_util.time_once sweep in
+    off := Float.min !off a;
+    on := Float.min !on b
+  done;
+  let t_off = !off and t_on = !on in
+  Obs.Sink.reset ();
+  if t_off <= 0.0 then 0.0 else 100.0 *. (t_on -. t_off) /. t_off
+
+(* Run each advice-schema family once at small size so the schema-level
+   counters (C1 one-bit, C5 shift paths, C6 parity groups, composable
+   pairing) carry real values in the snapshot. *)
+let populate_advice_metrics () =
+  let open Schemas in
+  let g = Builders.cycle 512 in
+  let prob = Lcl.Instances.mis in
+  let ones = Subexp_lcl.encode_onebit prob g in
+  ignore (Subexp_lcl.decode_onebit prob g ones);
+  (* Seed 6 reliably leaves ψ-(Δ+1) nodes, so recoloring waves and shift
+     paths actually run (cf. ablation A3). *)
+  let rng = Prng.create 6 in
+  let gd, _ = Builders.planted_max_degree_colorable rng ~n:200 ~delta:4 in
+  ignore (Delta_coloring.decode gd (Delta_coloring.encode gd));
+  (* Caterpillars force type-23 components, hence parity groups (cf.
+     ablation A1); planted graphs at this size usually have none. *)
+  let gc = Builders.caterpillar 200 in
+  let w = Builders.caterpillar_witness 200 in
+  ignore (Three_coloring.decode gc (Three_coloring.encode ~witness:w gc));
+  (* C2: an order-invariant rule compiled to a lookup table and replayed,
+     so the eth.table_* metrics carry values. *)
+  let g40 = Builders.cycle 40 in
+  let ids40 = Localmodel.Ids.identity g40 in
+  let advice40 = Array.make 40 "" in
+  let local_min (view : Localmodel.View.t) =
+    let c = view.Localmodel.View.center in
+    let mine = view.Localmodel.View.ids.(c) in
+    if
+      Array.for_all
+        (fun u -> view.Localmodel.View.ids.(u) > mine)
+        (Graph.neighbors view.Localmodel.View.graph c)
+    then 2
+    else 1
+  in
+  let samples =
+    Array.to_list
+      (Localmodel.View.map_nodes ~advice:advice40 g40 ~ids:ids40 ~radius:1
+         (fun view -> (view, local_min view)))
+  in
+  (match Ethlink.Canonical.build_table samples with
+  | Ethlink.Canonical.Table t ->
+      ignore
+        (Ethlink.Canonical.run_with_table t ~default:0 g40 ~ids:ids40
+           ~advice:advice40 ~radius:1)
+  | Ethlink.Canonical.Conflict _ -> ());
+  (* A round-counted message-passing decoder, for the rounds.* counters. *)
+  let gr = Builders.cycle 400 in
+  ignore
+    (Distributed.two_coloring gr
+       (Two_coloring.encode ~params:{ Two_coloring.spread = 16 } gr))
+
+let obs_derived () =
+  let entries = Obs.Metrics.snapshot () in
+  let find name =
+    List.find_opt (fun (e : Obs.Metrics.entry) -> e.name = name) entries
+  in
+  let counter name =
+    match find name with
+    | Some { value = Obs.Metrics.Counter_v { total; _ }; _ } -> Some total
+    | _ -> None
+  in
+  let opt f = function Some x -> f x | None -> J.Null in
+  let ball_size =
+    match find "view.ball_size" with
+    | Some { value = Obs.Metrics.Histogram_v h; _ } when h.count > 0 ->
+        J.Obj
+          [
+            ("mean", J.Float (float_of_int h.sum /. float_of_int h.count));
+            ("max", J.Int h.vmax);
+            ("count", J.Int h.count);
+          ]
+    | _ -> J.Null
+  in
+  (* Shares of all extracted balls per domain shard, descending: how
+     evenly map_nodes_par spread its work. *)
+  let utilization =
+    match find "view.balls_extracted" with
+    | Some { value = Obs.Metrics.Counter_v { total; per_domain }; _ }
+      when total > 0 ->
+        J.List
+          (List.map
+             (fun c -> J.Float (float_of_int c /. float_of_int total))
+             per_domain)
+    | _ -> J.Null
+  in
+  (* The one-bit schemas label every node with exactly one bit; the
+     interesting density is how many of those bits are 1s. *)
+  let nodes = counter "advice.onebit.nodes_labeled" in
+  let advice_bits_per_node =
+    match nodes with Some n when n > 0 -> J.Float 1.0 | _ -> J.Null
+  in
+  let ones_density =
+    match (counter "advice.onebit.ones_written", nodes) with
+    | Some ones, Some n when n > 0 ->
+        J.Float (float_of_int ones /. float_of_int n)
+    | _ -> J.Null
+  in
+  J.Obj
+    [
+      ("balls_extracted", opt (fun c -> J.Int c) (counter "view.balls_extracted"));
+      ("ball_size", ball_size);
+      ("per_domain_utilization", utilization);
+      ("advice_bits_per_node", advice_bits_per_node);
+      ("advice_ones_density", ones_density);
+    ]
+
+let overhead_budget_percent = 3.0
+
+let obs_block ~overhead_percent =
+  populate_advice_metrics ();
+  J.Obj
+    [
+      ("enabled", J.Bool true);
+      ("overhead_percent", J.Float overhead_percent);
+      ("overhead_budget_percent", J.Float overhead_budget_percent);
+      ("overhead_within_budget", J.Bool (overhead_percent < overhead_budget_percent));
+      ("derived", obs_derived ());
+      ("snapshot", Obs.Sink.json ~per_domain:true ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let run ~smoke ~out ?(metrics = false) ?metrics_out () =
   let families = [ "cycle"; "grid"; "random-regular-4" ] in
   let sizes = if smoke then [ 512 ] else [ 4096; 65536; 262144 ] in
   let radii = [ 1; 2; 3 ] in
+  (* Overhead is measured before the tracked rows; it leaves recording on
+     (and counters zeroed) so the rows below populate the snapshot. *)
+  let overhead_percent =
+    if metrics then begin
+      install_wall_clock ();
+      let o = measure_overhead () in
+      Printf.printf "obs: enabled-instrumentation overhead %+.2f%% (budget < %.0f%%)\n%!"
+        o overhead_budget_percent;
+      Some o
+    end
+    else None
+  in
   let rows =
     List.concat_map
       (fun family ->
@@ -207,33 +384,50 @@ let run ~smoke ~out () =
   let best_par =
     List.fold_left (fun acc r -> max acc (r.par_rate /. r.seq_rate)) 0.0 rows
   in
-  let oc = open_out out in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"bench\": \"local_view_extraction\",\n";
-  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
-  Printf.fprintf oc "  \"par_domains\": %d,\n" (bench_domains ());
-  Printf.fprintf oc "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
-  (match lint_stats () with
-  | Some (dt, files, diags) ->
-      Printf.fprintf oc
-        "  \"env\": {\"lint_seconds\": %.3f, \"lint_files\": %d, \
-         \"lint_diagnostics\": %d},\n"
-        dt files diags
-  | None -> Printf.fprintf oc "  \"env\": {\"lint_seconds\": null},\n");
-  Printf.fprintf oc "  \"results\": [\n%s\n  ],\n"
-    (String.concat ",\n" (List.map json_of_row rows));
-  (match acceptance with
-  | Some r ->
-      Printf.fprintf oc
-        "  \"acceptance\": {\"radius2_random_regular_64k_new_vs_seed\": %.3f, \
-         \"best_par_speedup\": %.3f}\n"
-        (r.seq_rate /. r.legacy_rate)
-        best_par
-  | None ->
-      Printf.fprintf oc
-        "  \"acceptance\": {\"radius2_random_regular_64k_new_vs_seed\": null, \
-         \"best_par_speedup\": %.3f}\n"
-        best_par);
-  Printf.fprintf oc "}\n";
-  close_out oc;
+  let env =
+    match lint_stats () with
+    | Some (dt, files, diags) ->
+        J.Obj
+          [
+            ("lint_seconds", J.Float dt);
+            ("lint_files", J.Int files);
+            ("lint_diagnostics", J.Int diags);
+          ]
+    | None -> J.Obj [ ("lint_seconds", J.Null) ]
+  in
+  let acceptance_json =
+    J.Obj
+      [
+        ( "radius2_random_regular_64k_new_vs_seed",
+          match acceptance with
+          | Some r -> J.Float (r.seq_rate /. r.legacy_rate)
+          | None -> J.Null );
+        ("best_par_speedup", J.Float best_par);
+      ]
+  in
+  let obs =
+    match overhead_percent with
+    | None -> []
+    | Some o ->
+        let block = obs_block ~overhead_percent:o in
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+            Obs.Sink.write_json ~events:32 path;
+            Printf.printf "wrote %s\n" path);
+        Obs.Sink.disable ();
+        [ ("obs", block) ]
+  in
+  J.write_file out
+    (J.Obj
+       ([
+          ("bench", J.Str "local_view_extraction");
+          ("smoke", J.Bool smoke);
+          ("par_domains", J.Int (bench_domains ()));
+          ("host_cores", J.Int (Domain.recommended_domain_count ()));
+          ("env", env);
+          ("results", J.List (List.map json_of_row rows));
+          ("acceptance", acceptance_json);
+        ]
+       @ obs));
   Printf.printf "wrote %s\n" out

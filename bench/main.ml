@@ -857,6 +857,15 @@ let () =
     let out =
       Option.value ~default:"BENCH_local.json" (arg_value "--out" argv)
     in
-    Bench_local.run ~smoke ~out ()
+    (* --metrics [FILE]: record obs instrumentation during the bench (the
+       report gains an "obs" block); FILE, when given, also receives the
+       standalone Obs.Sink snapshot. *)
+    let metrics = List.mem "--metrics" argv in
+    let metrics_out =
+      match arg_value "--metrics" argv with
+      | Some v when String.length v > 0 && v.[0] <> '-' -> Some v
+      | _ -> None
+    in
+    Bench_local.run ~smoke ~out ~metrics ?metrics_out ()
   end
   else run_experiments ()

@@ -36,6 +36,34 @@ let input_term =
         ~doc:"Load the graph from an edge-list file ('n <count>' header, one \
               'u v' pair per line) instead of generating one.")
 
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Record obs metrics and trace spans during the run and write \
+              the JSON snapshot to $(docv) ('-' for stdout).")
+
+(* Wrap a subcommand body in the observability stack: wall-clock spans,
+   recording on for the duration, snapshot exported at the end. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Obs.Trace.set_clock (fun () ->
+          Int64.of_float (Unix.gettimeofday () *. 1e9));
+      Obs.Sink.enable ();
+      Fun.protect
+        ~finally:(fun () -> Obs.Sink.disable ())
+        (fun () ->
+          f ();
+          if path = "-" then
+            Obs.Jsonout.to_channel stdout (Obs.Sink.json ~events:32 ())
+          else begin
+            Obs.Sink.write_json ~events:32 path;
+            Format.printf "wrote %s (obs metrics snapshot)@." path
+          end)
+
 let build ?input kind n =
   match input with
   | Some path -> Graphio.load path
@@ -60,7 +88,8 @@ let report g assignment =
 (* Subcommands *)
 
 let orientation_cmd =
-  let run kind n input =
+  let run kind n input metrics =
+    with_metrics metrics @@ fun () ->
     let g = build ?input kind n in
     let enc = Balanced_orientation.encode g in
     let o = Balanced_orientation.decode g enc.Balanced_orientation.assignment in
@@ -71,7 +100,7 @@ let orientation_cmd =
       enc.Balanced_orientation.realized_cover
   in
   Cmd.v (Cmd.info "orientation" ~doc:"Almost-balanced orientation schema (C3).")
-    Term.(const run $ graph_term $ n_term $ input_term)
+    Term.(const run $ graph_term $ n_term $ input_term $ metrics_term)
 
 let problem_term =
   Arg.(
@@ -97,7 +126,8 @@ let dot_term =
               highlighted.")
 
 let lcl_cmd =
-  let run kind n which input dot =
+  let run kind n which input dot metrics =
+    with_metrics metrics @@ fun () ->
     let g = build ?input kind n in
     let prob =
       match which with
@@ -123,10 +153,13 @@ let lcl_cmd =
   in
   Cmd.v
     (Cmd.info "lcl" ~doc:"Any-LCL schema on bounded-growth graphs (C1).")
-    Term.(const run $ graph_term $ n_term $ problem_term $ input_term $ dot_term)
+    Term.(
+      const run $ graph_term $ n_term $ problem_term $ input_term $ dot_term
+      $ metrics_term)
 
 let three_cmd =
-  let run n seed =
+  let run n seed metrics =
+    with_metrics metrics @@ fun () ->
     let rng = Prng.create seed in
     let g, witness = Builders.planted_colorable rng n 3 (4.0 /. float_of_int n) in
     let advice = Three_coloring.encode ~witness g in
@@ -138,13 +171,14 @@ let three_cmd =
   in
   Cmd.v
     (Cmd.info "three-coloring" ~doc:"1-bit 3-coloring of 3-colorable graphs (C6).")
-    Term.(const run $ n_term $ seed_term)
+    Term.(const run $ n_term $ seed_term $ metrics_term)
 
 let delta_term =
   Arg.(value & opt int 5 & info [ "delta" ] ~docv:"D" ~doc:"Maximum degree.")
 
 let delta_cmd =
-  let run n seed delta =
+  let run n seed delta metrics =
+    with_metrics metrics @@ fun () ->
     let rng = Prng.create seed in
     let g, _ = Builders.planted_max_degree_colorable rng ~n ~delta in
     let advice = Delta_coloring.encode g in
@@ -157,10 +191,11 @@ let delta_cmd =
   in
   Cmd.v
     (Cmd.info "delta-coloring" ~doc:"1-bit Δ-coloring of Δ-colorable graphs (C5).")
-    Term.(const run $ n_term $ seed_term $ delta_term)
+    Term.(const run $ n_term $ seed_term $ delta_term $ metrics_term)
 
 let compression_cmd =
-  let run kind n seed input =
+  let run kind n seed input metrics =
+    with_metrics metrics @@ fun () ->
     let g = build ?input kind n in
     let rng = Prng.create seed in
     let x = Bitset.create (Graph.m g) in
@@ -177,10 +212,11 @@ let compression_cmd =
   in
   Cmd.v
     (Cmd.info "compression" ~doc:"Edge-subset compression and local decompression (C4).")
-    Term.(const run $ graph_term $ n_term $ seed_term $ input_term)
+    Term.(const run $ graph_term $ n_term $ seed_term $ input_term $ metrics_term)
 
 let proof_cmd =
-  let run n seed =
+  let run n seed metrics =
+    with_metrics metrics @@ fun () ->
     let g = build `Cycle n in
     let system = Proofs.of_lcl (Lcl.Instances.coloring 3) in
     let honest = Proofs.completeness system g in
@@ -196,10 +232,11 @@ let proof_cmd =
   in
   Cmd.v
     (Cmd.info "proof" ~doc:"Locally checkable proofs from advice (Sec. 1.2).")
-    Term.(const run $ n_term $ seed_term)
+    Term.(const run $ n_term $ seed_term $ metrics_term)
 
 let cubic_cmd =
-  let run n seed =
+  let run n seed metrics =
+    with_metrics metrics @@ fun () ->
     let g = Builders.double_cycle (max 3 (n / 2)) in
     let rng = Prng.create seed in
     let x = Bitset.create (Graph.m g) in
@@ -216,7 +253,7 @@ let cubic_cmd =
   Cmd.v
     (Cmd.info "cubic-compression"
        ~doc:"2-bit edge-subset encoding on 3-regular graphs (open q. 4).")
-    Term.(const run $ n_term $ seed_term)
+    Term.(const run $ n_term $ seed_term $ metrics_term)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

@@ -9,8 +9,10 @@
     Definition 3). *)
 
 type t = string array
+(** Index [v] holds node [v]'s advice bits, "" when it has none. *)
 
 val empty : Netgraph.Graph.t -> t
+(** The all-empty assignment for the graph's node count. *)
 
 val is_wellformed : t -> bool
 (** Only '0'/'1' characters. *)
@@ -19,11 +21,13 @@ val max_bits : t -> int
 (** β: the longest bit string assigned. *)
 
 val total_bits : t -> int
+(** Sum of all string lengths: the advice volume of the whole graph. *)
 
 val holders : t -> int list
 (** Nodes holding at least one bit. *)
 
 val num_holders : t -> int
+(** [List.length (holders a)]. *)
 
 val holders_in_ball : Netgraph.Graph.t -> t -> center:int -> radius:int -> int
 (** Bit-holding nodes within the given radius of the center. *)
@@ -48,5 +52,8 @@ val to_bitset : t -> Netgraph.Bitset.t
 (** Inverse of {!of_bitset}; requires a uniform 1-bit assignment. *)
 
 val concat_map2 : t -> t -> (string -> string -> string) -> t
+(** [concat_map2 a b f] combines the two assignments pointwise with [f];
+    raises [Invalid_argument] on a length mismatch. *)
 
 val pp : Format.formatter -> t -> unit
+(** Print the non-empty entries, one [node: bits] line each. *)

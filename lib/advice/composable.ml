@@ -16,9 +16,22 @@ let split_string s =
     (String.sub s body len1, String.sub s (body + len1) (len - body - len1))
   end
 
-let pair a b = Assignment.concat_map2 a b pair_strings
+let m_pairs = Obs.Metrics.counter "advice.composable.pairs"
+let m_splits = Obs.Metrics.counter "advice.composable.splits"
+let m_overhead = Obs.Metrics.counter "advice.composable.overhead_bits"
+
+let pair a b =
+  let paired = Assignment.concat_map2 a b pair_strings in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_pairs;
+    Obs.Metrics.add m_overhead
+      (Assignment.total_bits paired - Assignment.total_bits a
+      - Assignment.total_bits b)
+  end;
+  paired
 
 let split a =
+  Obs.Metrics.incr m_splits;
   let firsts = Array.map (fun s -> fst (split_string s)) a in
   let seconds = Array.map (fun s -> snd (split_string s)) a in
   (firsts, seconds)

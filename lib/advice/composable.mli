@@ -18,7 +18,10 @@ val split_string : string -> string * string
     input. *)
 
 val pair : Assignment.t -> Assignment.t -> Assignment.t
+(** Pointwise {!pair_strings} over two whole assignments. *)
+
 val split : Assignment.t -> Assignment.t * Assignment.t
+(** Pointwise {!split_string}; inverse of {!pair}. *)
 
 val pair_list : Assignment.t list -> Assignment.t
 (** Right fold of {!pair}; at least one assignment required. *)

@@ -29,9 +29,11 @@ type compliance = {
   beta_allowed : float;  (** cα/γ³ *)
   ok : bool;
 }
+(** One row of a Definition-4 compliance report. *)
 
 val composability :
   Netgraph.Graph.t -> Assignment.t -> c:float -> gamma:int -> alpha:int -> compliance
 (** Measure Definition 4 compliance at one parameter choice. *)
 
 val pp_compliance : Format.formatter -> compliance -> unit
+(** Print one {!compliance} record as a single aligned line. *)

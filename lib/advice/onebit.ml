@@ -4,6 +4,12 @@ exception Conversion_failure of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Conversion_failure s)) fmt
 
+let m_encodes = Obs.Metrics.counter "advice.onebit.encodes"
+let m_decodes = Obs.Metrics.counter "advice.onebit.decodes"
+let m_ones = Obs.Metrics.counter "advice.onebit.ones_written"
+let m_nodes = Obs.Metrics.counter "advice.onebit.nodes_labeled"
+let m_holders = Obs.Metrics.counter "advice.onebit.holders"
+
 let header = "11110110"
 
 let message_of s =
@@ -131,6 +137,7 @@ let parse_layers layer =
   end
 
 let decode g ones =
+  Obs.Metrics.incr m_decodes;
   let result = Array.make (Graph.n g) "" in
   List.iter
     (fun endpoints ->
@@ -192,4 +199,10 @@ let encode g assignment =
   if recovered <> assignment then
     fail "one-bit conversion failed certification (holders %d)"
       (List.length holders);
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_encodes;
+    Obs.Metrics.add m_nodes (Graph.n g);
+    Obs.Metrics.add m_ones (Bitset.cardinal ones);
+    Obs.Metrics.add m_holders (List.length holders)
+  end;
   ones

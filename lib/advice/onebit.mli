@@ -24,11 +24,13 @@
     produce an undecodable assignment. *)
 
 exception Conversion_failure of string
+(** Raised (with context) when an assignment cannot be made 1-bit. *)
 
 val message_of : string -> string
 (** The symbol sequence laid out for one holder string. *)
 
 val message_length : string -> int
+(** [String.length (message_of s)]: layers one holder occupies. *)
 
 val encode : Netgraph.Graph.t -> Assignment.t -> Netgraph.Bitset.t
 (** Convert a variable-length assignment into a 1-bit-per-node assignment

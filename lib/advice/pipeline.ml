@@ -3,6 +3,9 @@ type 'sol t = {
   decode : Netgraph.Graph.t -> Assignment.t -> 'sol;
 }
 
+let m_encoded_bits = Obs.Metrics.counter "advice.pipeline.encoded_bits"
+let m_encoded_nodes = Obs.Metrics.counter "advice.pipeline.encoded_nodes"
+
 let compose s1 ~with_oracle =
   {
     encode =
@@ -12,7 +15,12 @@ let compose s1 ~with_oracle =
            will: by decoding its own stage-1 advice. *)
         let oracle = s1.decode g a1 in
         let a2 = (with_oracle oracle).encode g in
-        Composable.pair a1 a2);
+        let paired = Composable.pair a1 a2 in
+        if Obs.Metrics.enabled () then begin
+          Obs.Metrics.add m_encoded_bits (Assignment.total_bits paired);
+          Obs.Metrics.add m_encoded_nodes (Array.length paired)
+        end;
+        paired);
     decode =
       (fun g a ->
         let a1, a2 = Composable.split a in

@@ -13,6 +13,7 @@ type 'sol t = {
   encode : Netgraph.Graph.t -> Assignment.t;
   decode : Netgraph.Graph.t -> Assignment.t -> 'sol;
 }
+(** A schema as a value: the prover side and the distributed side. *)
 
 val compose : 'a t -> with_oracle:('a -> 'b t) -> 'b t
 (** Lemma 1.  [with_oracle] receives the Π₁ solution and returns the

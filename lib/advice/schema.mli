@@ -12,7 +12,10 @@ type stats = {
   sparsity : float option;  (** n1/(n0+n1) for uniform 1-bit assignments *)
   max_holders_ball : int option;  (** γ measured at the given radius *)
 }
+(** One assignment's measured quantities. *)
 
 val measure : ?ball_radius:int -> Netgraph.Graph.t -> Assignment.t -> stats
+(** Collect every statistic; [ball_radius] enables the γ measurement. *)
 
 val pp : Format.formatter -> stats -> unit
+(** Print a {!stats} record as one aligned line. *)

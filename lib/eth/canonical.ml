@@ -35,6 +35,10 @@ let signature (view : Localmodel.View.t) =
 
 type table = (string, int) Hashtbl.t
 
+let m_table_size = Obs.Metrics.gauge "eth.table_size"
+let m_hits = Obs.Metrics.counter "eth.table.hits"
+let m_misses = Obs.Metrics.counter "eth.table.misses"
+
 type build_result =
   | Table of table
   | Conflict of string * int * int
@@ -54,14 +58,20 @@ let build_table samples =
     samples;
   match !conflict with
   | Some (s, a, b) -> Conflict (s, a, b)
-  | None -> Table table
+  | None ->
+      Obs.Metrics.gauge_max m_table_size (Hashtbl.length table);
+      Table table
 
 let run_with_table table ~default g ~ids ~advice ~radius =
   (* Pure per-node lookups against a frozen table: safe to fan out. *)
   Localmodel.View.map_nodes_par ~advice g ~ids ~radius (fun view ->
       match Hashtbl.find_opt table (signature view) with
-      | Some output -> output
-      | None -> default)
+      | Some output ->
+          Obs.Metrics.incr m_hits;
+          output
+      | None ->
+          Obs.Metrics.incr m_misses;
+          default)
 
 let is_order_invariant ~(decide : Localmodel.View.t -> int) ~graphs ~radius =
   let table = Hashtbl.create 64 in

@@ -18,10 +18,12 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+(** [int t bound] is uniform on [0 .. bound - 1]; [bound] must be
+    positive. *)
 
 val float : t -> float -> float
-(** [float t bound] is uniform in [0, bound). *)
+(** [float t bound] is uniform on the half-open interval from [0.] up to
+    (excluding) [bound]. *)
 
 val bool : t -> bool
 (** Fair coin. *)

@@ -36,6 +36,7 @@ val stable_for_all :
   radius:int ->
   samples:int list ->
   bool
+(** {!stable_at} over every sampled node. *)
 
 val measured_radius :
   Netgraph.Graph.t ->

@@ -5,6 +5,10 @@ type ('state, 'msg) algorithm = {
   step : round:int -> node:int -> 'state -> 'msg array -> 'state * 'msg;
 }
 
+let m_runs = Obs.Metrics.counter "rounds.runs"
+let m_rounds = Obs.Metrics.counter "rounds.executed"
+let m_steps = Obs.Metrics.counter "rounds.node_steps"
+
 let run_rounds ?msg_bits g ~max_rounds ~halted alg =
   let n = Graph.n g in
   if n = 0 then ([||], 0, 0)
@@ -38,6 +42,11 @@ let run_rounds ?msg_bits g ~max_rounds ~halted alg =
         account m
       done
     done;
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.incr m_runs;
+      Obs.Metrics.add m_rounds !round;
+      Obs.Metrics.add m_steps (n * !round)
+    end;
     (states, !round, !max_msg)
   end
 

@@ -13,6 +13,8 @@ type ('state, 'msg) algorithm = {
       (** Receives the messages of the node's neighbors (sorted-neighbor
           order) and produces the next state and broadcast. *)
 }
+(** A synchronous algorithm: what every node does at start and in each
+    round. *)
 
 val run :
   Netgraph.Graph.t -> rounds:int -> ('state, 'msg) algorithm -> 'state array

@@ -11,6 +11,16 @@ type t = {
   to_global : int array;
 }
 
+(* Obs handles.  Counters shard per domain, so "view.balls_extracted"
+   doubles as the per-domain utilization signal under map_nodes_par. *)
+let m_balls = Obs.Metrics.counter "view.balls_extracted"
+
+let m_ball_size =
+  Obs.Metrics.histogram "view.ball_size"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
+
+let m_frontier = Obs.Metrics.gauge "view.frontier_peak"
+
 (* Gather one view using [ws] as scratch: a radius-limited BFS stamps the
    ball into the workspace and the induced subgraph is extracted from the
    members' own adjacency lists — O(ball) work, nothing proportional to
@@ -20,6 +30,18 @@ let make_with ws ?advice ?input g ~ids ~radius v =
   let count = Traversal.bfs_limited_into ws g v radius in
   let sub, to_global = Graph.induced_ball g ws in
   let dist = Array.init count (fun i -> Workspace.dist ws to_global.(i)) in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_balls;
+    Obs.Metrics.observe m_ball_size count;
+    (* BFS stamp order makes [dist] non-decreasing, so the frontier (nodes
+       at exactly [radius]) is a tail slice; binary-search its start. *)
+    let lo = ref 0 and hi = ref count in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if dist.(mid) < radius then lo := mid + 1 else hi := mid
+    done;
+    Obs.Metrics.gauge_max m_frontier (count - !lo)
+  end;
   let pick default arr_opt =
     match arr_opt with
     | None -> Array.make count default
@@ -40,8 +62,10 @@ let make ?advice ?input g ~ids ~radius v =
   make_with (Workspace.domain_local ()) ?advice ?input g ~ids ~radius v
 
 let map_nodes ?advice ?input g ~ids ~radius f =
-  let ws = Workspace.domain_local () in
-  Array.init (Graph.n g) (fun v -> f (make_with ws ?advice ?input g ~ids ~radius v))
+  Obs.Trace.span "view.map_nodes" (fun () ->
+      let ws = Workspace.domain_local () in
+      Array.init (Graph.n g) (fun v ->
+          f (make_with ws ?advice ?input g ~ids ~radius v)))
 
 let default_domains () =
   match Sys.getenv_opt "LOCAL_ADVICE_DOMAINS" with
@@ -58,22 +82,22 @@ let map_nodes_par ?domains ?advice ?input g ~ids ~radius f =
      comfortably below it and never spawn more domains than nodes. *)
   let d = min (min d 64) (max 1 n) in
   if d <= 1 then map_nodes ?advice ?input g ~ids ~radius f
-  else begin
-    let chunk lo hi =
-      let ws = Workspace.domain_local () in
-      Array.init (hi - lo) (fun i ->
-          f (make_with ws ?advice ?input g ~ids ~radius (lo + i)))
-    in
-    let bound k = k * n / d in
-    let spawned =
-      Array.init (d - 1) (fun k ->
-          let lo = bound (k + 1) and hi = bound (k + 2) in
-          Domain.spawn (fun () -> chunk lo hi))
-    in
-    let first = chunk 0 (bound 1) in
-    let rest = Array.map Domain.join spawned in
-    Array.concat (first :: Array.to_list rest)
-  end
+  else
+    Obs.Trace.span "view.map_nodes_par" (fun () ->
+        let chunk lo hi =
+          let ws = Workspace.domain_local () in
+          Array.init (hi - lo) (fun i ->
+              f (make_with ws ?advice ?input g ~ids ~radius (lo + i)))
+        in
+        let bound k = k * n / d in
+        let spawned =
+          Array.init (d - 1) (fun k ->
+              let lo = bound (k + 1) and hi = bound (k + 2) in
+              Domain.spawn (fun () -> chunk lo hi))
+        in
+        let first = chunk 0 (bound 1) in
+        let rest = Array.map Domain.join spawned in
+        Array.concat (first :: Array.to_list rest))
 
 let with_advice view advice =
   { view with advice = Array.map (fun gv -> advice.(gv)) view.to_global }

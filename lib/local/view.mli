@@ -17,6 +17,7 @@ type t = {
       (** view node -> underlying node; for bookkeeping and verification
           only — a faithful LOCAL algorithm must not inspect it. *)
 }
+(** One node's radius-[radius] view, re-indexed from [0]. *)
 
 val make :
   ?advice:string array ->

@@ -1,0 +1,178 @@
+(* Export of merged Metrics / Trace state as JSON (via Jsonout, the
+   repo-wide emitter) and as an aligned text table. *)
+
+let enable () =
+  Metrics.set_enabled true;
+  Trace.set_enabled true
+
+let disable () =
+  Metrics.set_enabled false;
+  Trace.set_enabled false
+
+let reset () =
+  Metrics.reset ();
+  Trace.reset ()
+
+let json ?(per_domain = true) ?(events = 0) () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (e : Metrics.entry) ->
+      match e.value with
+      | Metrics.Counter_v { total; per_domain = shards } ->
+          let fields =
+            [ ("name", Jsonout.Str e.name); ("total", Jsonout.Int total) ]
+          in
+          let fields =
+            if per_domain then
+              fields
+              @ [
+                  ( "per_domain",
+                    Jsonout.List (List.map (fun n -> Jsonout.Int n) shards) );
+                ]
+            else fields
+          in
+          counters := Jsonout.Obj fields :: !counters
+      | Metrics.Gauge_v { peak } ->
+          gauges :=
+            Jsonout.Obj
+              [ ("name", Jsonout.Str e.name); ("peak", Jsonout.Int peak) ]
+            :: !gauges
+      | Metrics.Histogram_v h ->
+          let ints a =
+            Jsonout.List (Array.to_list (Array.map (fun n -> Jsonout.Int n) a))
+          in
+          let mean =
+            if h.count = 0 then Jsonout.Null
+            else Jsonout.Float (float_of_int h.sum /. float_of_int h.count)
+          in
+          histograms :=
+            Jsonout.Obj
+              [
+                ("name", Jsonout.Str e.name);
+                ("le", ints h.bounds);
+                ("counts", ints h.counts);
+                ("overflow", Jsonout.Int h.overflow);
+                ("count", Jsonout.Int h.count);
+                ("sum", Jsonout.Int h.sum);
+                ("max", Jsonout.Int h.vmax);
+                ("mean", mean);
+              ]
+            :: !histograms)
+    (Metrics.snapshot ());
+  let s = Trace.summary () in
+  let spans =
+    List.map
+      (fun (st : Trace.span_stat) ->
+        Jsonout.Obj
+          [
+            ("name", Jsonout.Str st.span_name);
+            ("calls", Jsonout.Int st.calls);
+            ("total", Jsonout.Int (Int64.to_int st.total));
+          ])
+      s.spans
+  in
+  let trace_fields =
+    [
+      ("spans", Jsonout.List spans);
+      ("recorded", Jsonout.Int s.recorded);
+      ("dropped", Jsonout.Int s.dropped);
+      ("unbalanced", Jsonout.Int s.unbalanced);
+    ]
+  in
+  let trace_fields =
+    if events <= 0 then trace_fields
+    else begin
+      let evs = s.events in
+      let n = List.length evs in
+      let tail =
+        if n <= events then evs
+        else List.filteri (fun i _ -> i >= n - events) evs
+      in
+      trace_fields
+      @ [
+          ( "events",
+            Jsonout.List
+              (List.map
+                 (fun (e : Trace.event) ->
+                   Jsonout.Obj
+                     [
+                       ("name", Jsonout.Str e.ev_name);
+                       ("at", Jsonout.Int (Int64.to_int e.ev_at));
+                       ("enter", Jsonout.Bool e.ev_enter);
+                     ])
+                 tail) );
+        ]
+    end
+  in
+  Jsonout.Obj
+    [
+      ("counters", Jsonout.List (List.rev !counters));
+      ("gauges", Jsonout.List (List.rev !gauges));
+      ("histograms", Jsonout.List (List.rev !histograms));
+      ("trace", Jsonout.Obj trace_fields);
+    ]
+
+let write_json ?per_domain ?events path =
+  Jsonout.write_file path (json ?per_domain ?events ())
+
+let table () =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (* The table is for humans: registered-but-untouched metrics (all the
+     instrumentation handles exist from program start) would drown the
+     ones that recorded something, so they are skipped — which also makes
+     the promised "empty when nothing was recorded" literal. *)
+  let touched (e : Metrics.entry) =
+    match e.value with
+    | Metrics.Counter_v { total; _ } -> total <> 0
+    | Metrics.Gauge_v { peak } -> peak <> 0
+    | Metrics.Histogram_v h -> h.count <> 0
+  in
+  let entries = List.filter touched (Metrics.snapshot ()) in
+  let counters =
+    List.filter_map
+      (fun (e : Metrics.entry) ->
+        match e.value with
+        | Metrics.Counter_v { total; per_domain } ->
+            Some (e.name, total, per_domain)
+        | Metrics.Gauge_v _ | Metrics.Histogram_v _ -> None)
+      entries
+  in
+  if counters <> [] then begin
+    line "counters";
+    List.iter
+      (fun (name, total, shards) ->
+        let shard_s =
+          String.concat "+" (List.map string_of_int shards)
+        in
+        line "  %-36s %12d  [%s]" name total shard_s)
+      counters
+  end;
+  List.iter
+    (fun (e : Metrics.entry) ->
+      match e.value with
+      | Metrics.Gauge_v { peak } -> line "gauge  %-30s peak=%d" e.name peak
+      | Metrics.Counter_v _ | Metrics.Histogram_v _ -> ())
+    entries;
+  List.iter
+    (fun (e : Metrics.entry) ->
+      match e.value with
+      | Metrics.Histogram_v h ->
+          line "histogram %s  count=%d sum=%d max=%d" e.name h.count h.sum
+            h.vmax;
+          Array.iteri
+            (fun i b -> line "  <= %-10d %d" b h.counts.(i))
+            h.bounds;
+          if h.overflow > 0 then line "  >  %-10d %d" h.bounds.(Array.length h.bounds - 1) h.overflow
+      | Metrics.Counter_v _ | Metrics.Gauge_v _ -> ())
+    entries;
+  let s = Trace.summary () in
+  if s.spans <> [] || s.unbalanced > 0 then begin
+    line "spans";
+    List.iter
+      (fun (st : Trace.span_stat) ->
+        line "  %-36s calls=%-8d total=%Ld" st.span_name st.calls st.total)
+      s.spans;
+    if s.unbalanced > 0 then line "  UNBALANCED span_end calls: %d" s.unbalanced
+  end;
+  Buffer.contents buf

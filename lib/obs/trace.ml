@@ -1,0 +1,195 @@
+(* Nestable spans over an injected clock.
+
+   The clock is a functor argument so that nothing in lib/ ever touches
+   Unix or Sys time directly (the determinism lint forbids it); the
+   default instance reads whatever clock the *binary* installs with
+   [set_clock], and falls back to the deterministic [Tick] counter, which
+   also gives tests reproducible timestamps.  All per-domain state lives
+   behind Domain.DLS, mirroring the Metrics sharding contract. *)
+
+module type CLOCK = sig
+  val now : unit -> int64
+end
+
+module Tick : CLOCK = struct
+  let counter = Atomic.make 0
+  let now () = Int64.of_int (Atomic.fetch_and_add counter 1)
+end
+
+type event = { ev_name : string; ev_at : int64; ev_enter : bool }
+
+type span_stat = { span_name : string; calls : int; total : int64 }
+
+type summary = {
+  spans : span_stat list;
+  events : event list;
+  recorded : int;
+  dropped : int;
+  unbalanced : int;
+}
+
+module type S = sig
+  val set_enabled : bool -> unit
+  val enabled : unit -> bool
+  val span_begin : string -> unit
+  val span_end : unit -> unit
+  val span : string -> (unit -> 'a) -> 'a
+  val depth : unit -> int
+  val summary : unit -> summary
+  val reset : unit -> unit
+end
+
+let ring_capacity = 256
+
+module Make (Clock : CLOCK) : S = struct
+  let enabled_flag = Atomic.make false
+
+  let enabled () = Atomic.get enabled_flag
+  let set_enabled b = Atomic.set enabled_flag b
+
+  type stat = { st_name : string; mutable st_calls : int; mutable st_total : int64 }
+
+  type cell = {
+    mutable stack : (string * int64) list;
+    mutable stats : stat list;
+    ring : event array;
+    mutable seq : int;  (* events ever recorded by this domain *)
+    mutable unbalanced : int;
+  }
+
+  let cells : cell list Atomic.t = Atomic.make []
+
+  let rec atomic_push cell =
+    let old = Atomic.get cells in
+    if not (Atomic.compare_and_set cells old (cell :: old)) then
+      atomic_push cell
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let cell =
+          {
+            stack = [];
+            stats = [];
+            ring =
+              Array.make ring_capacity
+                { ev_name = ""; ev_at = 0L; ev_enter = true };
+            seq = 0;
+            unbalanced = 0;
+          }
+        in
+        atomic_push cell;
+        cell)
+
+  let record cell name at enter =
+    cell.ring.(cell.seq mod ring_capacity) <-
+      { ev_name = name; ev_at = at; ev_enter = enter };
+    cell.seq <- cell.seq + 1
+
+  let span_begin name =
+    if Atomic.get enabled_flag then begin
+      let cell = Domain.DLS.get key in
+      let t0 = Clock.now () in
+      cell.stack <- (name, t0) :: cell.stack;
+      record cell name t0 true
+    end
+
+  let rec bump stats name elapsed =
+    match stats with
+    | [] -> None
+    | st :: rest ->
+        if String.equal st.st_name name then begin
+          st.st_calls <- st.st_calls + 1;
+          st.st_total <- Int64.add st.st_total elapsed;
+          Some ()
+        end
+        else bump rest name elapsed
+
+  let span_end () =
+    if Atomic.get enabled_flag then begin
+      let cell = Domain.DLS.get key in
+      match cell.stack with
+      | [] -> cell.unbalanced <- cell.unbalanced + 1
+      | (name, t0) :: rest ->
+          cell.stack <- rest;
+          let t1 = Clock.now () in
+          let elapsed = Int64.sub t1 t0 in
+          (match bump cell.stats name elapsed with
+          | Some () -> ()
+          | None ->
+              cell.stats <-
+                { st_name = name; st_calls = 1; st_total = elapsed }
+                :: cell.stats);
+          record cell name t1 false
+    end
+
+  let span name f =
+    span_begin name;
+    Fun.protect ~finally:span_end f
+
+  let depth () =
+    let cell = Domain.DLS.get key in
+    List.length cell.stack
+
+  let summary () =
+    let all = Atomic.get cells in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun cell ->
+        List.iter
+          (fun st ->
+            match Hashtbl.find_opt tbl st.st_name with
+            | Some (calls, total) ->
+                Hashtbl.replace tbl st.st_name
+                  (calls + st.st_calls, Int64.add total st.st_total)
+            | None -> Hashtbl.add tbl st.st_name (st.st_calls, st.st_total))
+          cell.stats)
+      all;
+    let spans =
+      Hashtbl.fold
+        (fun span_name (calls, total) acc ->
+          { span_name; calls; total } :: acc)
+        tbl []
+      |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+    in
+    let recorded = List.fold_left (fun acc c -> acc + c.seq) 0 all in
+    let kept = ref [] in
+    List.iter
+      (fun cell ->
+        let n = if cell.seq < ring_capacity then cell.seq else ring_capacity in
+        for i = 0 to n - 1 do
+          (* oldest-first within the ring window *)
+          let idx = (cell.seq - n + i) mod ring_capacity in
+          kept := cell.ring.(idx) :: !kept
+        done)
+      all;
+    let events =
+      List.sort
+        (fun a b ->
+          let c = Int64.compare a.ev_at b.ev_at in
+          if c <> 0 then c else String.compare a.ev_name b.ev_name)
+        !kept
+    in
+    let unbalanced =
+      List.fold_left (fun acc (c : cell) -> acc + c.unbalanced) 0 all
+    in
+    { spans; events; recorded; dropped = recorded - List.length events; unbalanced }
+
+  let reset () =
+    List.iter
+      (fun cell ->
+        cell.stack <- [];
+        cell.stats <- [];
+        cell.seq <- 0;
+        cell.unbalanced <- 0)
+      (Atomic.get cells)
+end
+
+(* Default instance over an installable clock. *)
+
+let clock_source : (unit -> int64) Atomic.t = Atomic.make Tick.now
+
+let set_clock f = Atomic.set clock_source f
+
+include Make (struct
+  let now () = (Atomic.get clock_source) ()
+end)

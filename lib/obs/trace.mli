@@ -1,0 +1,100 @@
+(** Nestable spans with per-domain stacks, aggregated timings and a
+    bounded event log.
+
+    The clock is injected: {!Make} builds a tracer over any {!CLOCK}, so
+    library code never reads ambient time (keeping the [determinism] lint
+    clean in [lib/]).  The default instance — included at the bottom of
+    this interface — starts on the deterministic {!Tick} counter;
+    binaries that want wall-clock spans install one with {!set_clock}
+    (e.g. [bench/main.ml] installs a nanosecond monotonic clock at
+    startup).
+
+    Tracing is off by default; every operation is a single atomic load
+    until [set_enabled true]. *)
+
+(** {1 Clocks} *)
+
+(** A monotonic time source.  Units are whatever the clock chooses
+    (nanoseconds for the bench clock, abstract ticks for {!Tick}); spans
+    only ever subtract two readings. *)
+module type CLOCK = sig
+  val now : unit -> int64
+  (** Current reading; must not decrease within a domain. *)
+end
+
+(** Deterministic clock: a global atomic counter, one tick per reading.
+    Timestamps are then unique across domains, which makes merged event
+    logs reproducible in tests. *)
+module Tick : CLOCK
+
+(** {1 Tracer instances} *)
+
+type event = {
+  ev_name : string;  (** span name *)
+  ev_at : int64;  (** clock reading when recorded *)
+  ev_enter : bool;  (** [true] for span entry, [false] for exit *)
+}
+(** One ring-buffer record. *)
+
+type span_stat = {
+  span_name : string;
+  calls : int;  (** completed spans with this name *)
+  total : int64;  (** summed durations, in clock units *)
+}
+(** Aggregated timing for one span name, merged across domains. *)
+
+type summary = {
+  spans : span_stat list;  (** sorted by name *)
+  events : event list;  (** surviving ring entries, ordered by time *)
+  recorded : int;  (** events ever recorded *)
+  dropped : int;  (** events evicted from the rings *)
+  unbalanced : int;  (** [span_end] calls with no matching begin *)
+}
+(** Merged view of the tracer state. *)
+
+(** Operations of one tracer instance. *)
+module type S = sig
+  val set_enabled : bool -> unit
+  (** Turn tracing on or off for this instance. *)
+
+  val enabled : unit -> bool
+  (** Whether tracing is currently on. *)
+
+  val span_begin : string -> unit
+  (** Open a span on the calling domain's stack.  Every [span_begin]
+      must be paired with a {!span_end} on all paths — the [obs-hygiene]
+      lint checks this; prefer {!span} which is exception-safe. *)
+
+  val span_end : unit -> unit
+  (** Close the innermost open span, crediting its duration.  With no
+      open span, increments the [unbalanced] count instead of raising. *)
+
+  val span : string -> (unit -> 'a) -> 'a
+  (** [span name f] runs [f] inside a span, closing it even if [f]
+      raises. *)
+
+  val depth : unit -> int
+  (** Number of spans currently open on the calling domain. *)
+
+  val summary : unit -> summary
+  (** Merge all domains' stats and ring buffers.  Exact when no other
+      domain is concurrently tracing. *)
+
+  val reset : unit -> unit
+  (** Drop all stacks, stats and events.  Call only while no other
+      domain is tracing. *)
+end
+
+module Make (_ : CLOCK) : S
+(** Build an independent tracer over the given clock. *)
+
+(** {1 The default instance} *)
+
+val set_clock : (unit -> int64) -> unit
+(** Replace the default instance's time source.  Intended for binaries
+    (which may read monotonic wall time); the initial source is
+    {!Tick.now}. *)
+
+include S
+(** The default tracer, used by all instrumentation in this
+    repository. *)

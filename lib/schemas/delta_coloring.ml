@@ -254,6 +254,13 @@ let write_markers ~params ~wave g advice path =
   in
   mark 0
 
+let m_path_len =
+  Obs.Metrics.histogram "c5.shift_path_len"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64 |]
+
+let m_waves = Obs.Metrics.counter "c5.waves"
+let m_path_encodes = Obs.Metrics.counter "c5.path_encodes"
+
 let encode_path_advice ?(params = default_params) g psi =
   let n = Graph.n g in
   let delta = Graph.max_degree g in
@@ -288,6 +295,7 @@ let encode_path_advice ?(params = default_params) g psi =
               Bitset.add blocked u;
               unresolved := u :: !unresolved
           | Some (path, changed) ->
+              Obs.Metrics.observe m_path_len (Array.length path);
               wave_changes := changed :: !wave_changes;
               write_markers ~params ~wave:!wave g advice path;
               (* Paths of one wave must be non-adjacent: block the path and
@@ -314,6 +322,10 @@ let encode_path_advice ?(params = default_params) g psi =
     pending := List.rev !unresolved;
     incr wave
   done;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_path_encodes;
+    Obs.Metrics.add m_waves !wave
+  end;
   (advice, final)
 
 let decode_path_advice ?(params = default_params) g psi advice =

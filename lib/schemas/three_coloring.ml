@@ -12,6 +12,12 @@ exception Encoding_failure of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Encoding_failure s)) fmt
 
+let m_group_size =
+  Obs.Metrics.histogram "c6.parity_group_size"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128 |]
+
+let m_groups = Obs.Metrics.counter "c6.parity_groups"
+
 (* Decoder-side merge radius for 1-components of one group: both sets sit
    within group_radius of the ruling node (plus one hop for a pair
    partner), so members are at most 2 * (group_radius + 1) apart inside the
@@ -299,6 +305,10 @@ let decode ?(params = default_params) g assignment =
             Hashtbl.fold
               (fun _ comps acc ->
                 let members = List.concat comps in
+                if Obs.Metrics.enabled () then begin
+                  Obs.Metrics.incr m_groups;
+                  Obs.Metrics.observe m_group_size (List.length members)
+                end;
                 let s_local =
                   List.fold_left
                     (fun acc v ->

@@ -1,0 +1,13 @@
+(* Fixture: well-formed obs usage the lint must stay silent on — static
+   series names, and every span_begin paired with a span_end. *)
+
+let m_ops = Obs.Metrics.counter "good.ops"
+
+let traced f =
+  Obs.Trace.span_begin "good.traced";
+  let r = f () in
+  Obs.Trace.span_end ();
+  Obs.Metrics.incr m_ops;
+  r
+
+let combinator f = Obs.Trace.span "good.combinator" f

@@ -1,0 +1,5 @@
+(** Clean obs fixture: the lint must report nothing here. *)
+
+val traced : (unit -> 'a) -> 'a
+
+val combinator : (unit -> 'a) -> 'a

@@ -1,0 +1,12 @@
+(* Fixture: obs-hygiene violations — a span opened and never closed, a
+   metric created with a computed name, and a stray span_end. *)
+
+let leak_span x =
+  Obs.Trace.span_begin "leaky";
+  x + 1
+
+let dynamic_name v =
+  let c = Obs.Metrics.counter ("view." ^ string_of_int v) in
+  Obs.Metrics.incr c
+
+let stray_end () = Obs.Trace.span_end ()

@@ -1,0 +1,7 @@
+(* Fixture: binding-level suppression of obs-hygiene.  Only the missing
+   .mli and the [live] binding may be reported. *)
+
+let[@advicelint.allow "obs-hygiene"] manual_phase () =
+  Obs.Trace.span_begin "manual.phase"
+
+let live () = Obs.Trace.span_begin "still.fires"

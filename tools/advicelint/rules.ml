@@ -1,4 +1,4 @@
-(* The six advicelint rules, run over parsetrees.
+(* The seven advicelint rules, run over parsetrees.
 
    Rule ids (stable; used by --rules, --warn-only and the
    [@advicelint.allow "<id>"] suppression attribute):
@@ -13,7 +13,10 @@
      mli-coverage       R4  every lib module ships an interface
      exception-hygiene  R5  failwith / assert false in library code
      hot-alloc          R6  List.nth, @, Hashtbl.create in the per-node
-                            simulation-path modules *)
+                            simulation-path modules
+     obs-hygiene        R7  Trace.span_begin not paired with span_end in
+                            the same toplevel binding; Obs metric/span
+                            names that are not string literals *)
 
 open Parsetree
 module SSet = Callgraph.SSet
@@ -34,6 +37,7 @@ let all_rule_ids =
     "mli-coverage";
     "exception-hygiene";
     "hot-alloc";
+    "obs-hygiene";
   ]
 
 (* Walk every expression of a structure with a plain iterator. *)
@@ -533,6 +537,88 @@ let run_domain_race ctx str =
     str
 
 (* ------------------------------------------------------------------ *)
+(* R7 — obs hygiene *)
+
+(* [span_begin] / [span_end] references, qualified through Trace (any
+   prefix: Trace.span_begin, Obs.Trace.span_begin) or unqualified (the
+   intra-module uses inside lib/obs itself). *)
+let is_trace_ref last lid =
+  match List.rev (Longident.flatten lid) with
+  | l :: rest when String.equal l last -> (
+      match rest with [] -> true | m :: _ -> String.equal m "Trace")
+  | _ -> false
+
+(* Obs entry points whose first argument names a series; the name must be
+   a string literal so the set of series is statically enumerable. *)
+let obs_named_entry lid =
+  match List.rev (Longident.flatten lid) with
+  | ("counter" | "gauge" | "histogram") as f :: "Metrics" :: _ ->
+      Some ("Metrics." ^ f)
+  | ("span" | "span_begin") as f :: "Trace" :: _ -> Some ("Trace." ^ f)
+  | _ -> None
+
+let is_string_literal e =
+  match (Callgraph.peel e).pexp_desc with
+  | Pexp_constant (Pconst_string _) -> true
+  | _ -> false
+
+let run_obs_hygiene ctx str =
+  List.iter
+    (fun item ->
+      let begins = ref [] (* locs, reverse traversal order *)
+      and end_count = ref 0 in
+      let on_expr e =
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } ->
+            if is_trace_ref "span_begin" txt then begins := loc :: !begins
+            else if is_trace_ref "span_end" txt then incr end_count
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+            match obs_named_entry txt with
+            | None -> ()
+            | Some entry -> (
+                match
+                  List.find_opt (fun (lbl, _) -> lbl = Asttypes.Nolabel) args
+                with
+                | Some (_, name_arg) when not (is_string_literal name_arg) ->
+                    ctx.emit ~rule:"obs-hygiene" ~loc
+                      (Printf.sprintf
+                         "%s called with a computed name; metric and span \
+                          names must be string literals so the series set is \
+                          statically enumerable — hoist the name into a \
+                          static handle"
+                         entry)
+                | _ -> ()))
+        | _ -> ()
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun sub e ->
+              on_expr e;
+              Ast_iterator.default_iterator.expr sub e);
+        }
+      in
+      it.structure_item it item;
+      let n_begin = List.length !begins in
+      if n_begin > !end_count then
+        let loc = List.nth !begins (n_begin - 1) (* first in traversal *) in
+        ctx.emit ~rule:"obs-hygiene" ~loc
+          (Printf.sprintf
+             "Trace.span_begin without a matching Trace.span_end in this \
+              toplevel binding (%d begin(s), %d end(s)); close the span on \
+              every path, or use Trace.span which is exception-safe"
+             n_begin !end_count)
+      else if !end_count > n_begin then
+        ctx.emit ~rule:"obs-hygiene" ~loc:item.pstr_loc
+          (Printf.sprintf
+             "Trace.span_end without a matching Trace.span_begin in this \
+              toplevel binding (%d begin(s), %d end(s)); a stray span_end \
+              pops the caller's span stack"
+             n_begin !end_count))
+    str
+
+(* ------------------------------------------------------------------ *)
 
 let run_all ctx ~rules str =
   let enabled r = match rules with None -> true | Some rs -> List.mem r rs in
@@ -540,4 +626,5 @@ let run_all ctx ~rules str =
   if enabled "determinism" then run_determinism ctx str;
   if enabled "poly-compare" then run_poly_compare_syntactic ctx str;
   if enabled "exception-hygiene" then run_exception_hygiene ctx str;
-  if enabled "hot-alloc" then run_hot_alloc ctx str
+  if enabled "hot-alloc" then run_hot_alloc ctx str;
+  if enabled "obs-hygiene" then run_obs_hygiene ctx str

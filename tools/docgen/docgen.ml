@@ -1,0 +1,417 @@
+(* docgen — the repository's documentation gate and API-reference
+   renderer.
+
+   The opam switch this repo pins has no odoc (and ocamldoc cannot
+   resolve dune's wrapped-library module aliases), so the `@doc` alias is
+   implemented in-repo, the same way advicelint implements `@lint`: parse
+   every `.mli` with compiler-libs, validate the `(** ... *)` comments
+   (balanced markup, known tags, non-empty references), enforce doc
+   coverage where the repo promises it (lib/obs, lib/local, lib/advice),
+   and render the whole API surface as markdown on stdout.  Any finding
+   is printed to stderr and fails the build. *)
+
+let usage = "docgen [--check-only] DIR...\n"
+
+(* Directories whose interfaces must document every exported item and
+   open with a module preamble. *)
+let strict_dirs = [ "lib/obs"; "lib/local"; "lib/advice" ]
+
+(* dune wraps each library; the user-facing path of lib/<dir>/<m>.mli is
+   <Library>.<M>. *)
+let library_of_dir =
+  [
+    ("graph", "Netgraph");
+    ("local", "Localmodel");
+    ("lcl", "Lcl");
+    ("advice", "Advice");
+    ("schemas", "Schemas");
+    ("eth", "Ethlink");
+    ("baselines", "Baselines");
+    ("obs", "Obs");
+  ]
+
+let errors = ref 0
+
+let err ~file ~line msg =
+  incr errors;
+  Printf.eprintf "%s:%d: [doc] %s\n" file line msg
+
+(* ------------------------------------------------------------------ *)
+(* Doc-comment text validation *)
+
+let known_tags =
+  [
+    "param"; "raise"; "raises"; "return"; "returns"; "see"; "since";
+    "before"; "deprecated"; "version"; "author"; "canonical"; "inline";
+    "closed"; "open";
+  ]
+
+let is_tag_char c = (c >= 'a' && c <= 'z') || c = '_'
+
+let check_text ~file ~line text =
+  let n = String.length text in
+  let brace = ref 0 and brack = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | '\\' -> incr i (* skip the escaped character *)
+    | '{' ->
+        incr brace;
+        if !i + 1 < n && text.[!i + 1] = '!' then begin
+          let j = ref (!i + 2) in
+          while !j < n && text.[!j] <> '}' && text.[!j] <> ' ' do incr j done;
+          if !j = !i + 2 then
+            err ~file ~line "empty {!} cross-reference in doc comment"
+        end
+    | '}' ->
+        if !brace = 0 then
+          err ~file ~line "unmatched '}' in doc comment (no opening '{')"
+        else decr brace
+    | '[' -> incr brack
+    | ']' ->
+        if !brack = 0 then
+          err ~file ~line "unmatched ']' in doc comment (no opening '[')"
+        else decr brack
+    | '@' ->
+        let at_word_start = !i = 0 || text.[!i - 1] = '\n' || text.[!i - 1] = ' ' in
+        if at_word_start && !brack = 0 && !i + 1 < n && is_tag_char text.[!i + 1]
+        then begin
+          let j = ref (!i + 1) in
+          while !j < n && is_tag_char text.[!j] do incr j done;
+          let tag = String.sub text (!i + 1) (!j - !i - 1) in
+          if not (List.mem tag known_tags) then
+            err ~file ~line
+              (Printf.sprintf "unknown ocamldoc tag '@%s' in doc comment" tag)
+        end
+    | _ -> ());
+    incr i
+  done;
+  if !brace <> 0 then
+    err ~file ~line "unbalanced '{ }' markup in doc comment";
+  if !brack <> 0 then
+    err ~file ~line "unbalanced '[ ]' code span in doc comment"
+
+(* ------------------------------------------------------------------ *)
+(* Attribute plumbing *)
+
+let payload_string (p : Parsetree.payload) =
+  match p with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let doc_of_attrs (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      match a.attr_name.txt with
+      | "ocaml.doc" | "doc" ->
+          Option.map
+            (fun s -> (a.attr_loc.loc_start.pos_lnum, s))
+            (payload_string a.attr_payload)
+      | _ -> None)
+    attrs
+
+let floating_text (item : Parsetree.signature_item) =
+  match item.psig_desc with
+  | Psig_attribute a when a.attr_name.txt = "ocaml.text" || a.attr_name.txt = "text"
+    ->
+      Option.map
+        (fun s -> (a.attr_loc.loc_start.pos_lnum, s))
+        (payload_string a.attr_payload)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Coverage walk *)
+
+let item_line (item : Parsetree.signature_item) =
+  item.psig_loc.loc_start.pos_lnum
+
+let require ~strict ~file ~line what attrs =
+  let docs = doc_of_attrs attrs in
+  List.iter (fun (l, text) -> check_text ~file ~line:l text) docs;
+  if strict && docs = [] then
+    err ~file ~line (Printf.sprintf "%s has no doc comment" what)
+
+let rec check_signature ~strict ~file (sg : Parsetree.signature) =
+  List.iter
+    (fun (item : Parsetree.signature_item) ->
+      let line = item_line item in
+      match item.psig_desc with
+      | Psig_attribute _ -> (
+          match floating_text item with
+          | Some (l, text) -> check_text ~file ~line:l text
+          | None -> ())
+      | Psig_value vd ->
+          require ~strict ~file ~line
+            (Printf.sprintf "val %s" vd.pval_name.txt)
+            vd.pval_attributes
+      | Psig_type (_, decls) | Psig_typesubst decls ->
+          List.iter
+            (fun (d : Parsetree.type_declaration) ->
+              require ~strict ~file ~line:d.ptype_loc.loc_start.pos_lnum
+                (Printf.sprintf "type %s" d.ptype_name.txt)
+                d.ptype_attributes)
+            decls
+      | Psig_exception te ->
+          (* the comment may attach to the exception item or to its
+             extension constructor, depending on layout *)
+          require ~strict ~file ~line
+            (Printf.sprintf "exception %s" te.ptyexn_constructor.pext_name.txt)
+            (te.ptyexn_attributes @ te.ptyexn_constructor.pext_attributes)
+      | Psig_modtype mtd | Psig_modtypesubst mtd ->
+          require ~strict ~file ~line
+            (Printf.sprintf "module type %s" mtd.pmtd_name.txt)
+            mtd.pmtd_attributes;
+          Option.iter (check_module_type ~strict ~file) mtd.pmtd_type
+      | Psig_module md ->
+          require ~strict ~file ~line
+            (Printf.sprintf "module %s"
+               (Option.value ~default:"_" md.pmd_name.txt))
+            md.pmd_attributes;
+          check_module_type ~strict ~file md.pmd_type
+      | Psig_recmodule mds ->
+          List.iter
+            (fun (md : Parsetree.module_declaration) ->
+              require ~strict ~file ~line
+                (Printf.sprintf "module %s"
+                   (Option.value ~default:"_" md.pmd_name.txt))
+                md.pmd_attributes;
+              check_module_type ~strict ~file md.pmd_type)
+            mds
+      | Psig_include id ->
+          (* documenting an include is optional; still validate markup *)
+          List.iter
+            (fun (l, text) -> check_text ~file ~line:l text)
+            (doc_of_attrs id.pincl_attributes)
+      | _ -> ())
+    sg
+
+and check_module_type ~strict ~file (mt : Parsetree.module_type) =
+  match mt.pmty_desc with
+  | Pmty_signature sg -> check_signature ~strict ~file sg
+  | Pmty_functor (_, body) -> check_module_type ~strict ~file body
+  | _ -> ()
+
+let check_preamble ~file (sg : Parsetree.signature) =
+  match sg with
+  | [] -> err ~file ~line:1 "empty interface (no module preamble)"
+  | first :: _ -> (
+      match floating_text first with
+      | Some _ -> ()
+      | None ->
+          err ~file ~line:1
+            "interface must open with a module preamble: a (** ... *) \
+             comment followed by a blank line")
+
+(* ------------------------------------------------------------------ *)
+(* Markdown rendering *)
+
+(* Strip doc attributes so Pprintast output shows the bare signature. *)
+let strip_docs_mapper =
+  let open Ast_mapper in
+  {
+    default_mapper with
+    attributes =
+      (fun m attrs ->
+        default_mapper.attributes m
+          (List.filter
+             (fun (a : Parsetree.attribute) ->
+               not
+                 (List.mem a.attr_name.txt
+                    [ "ocaml.doc"; "ocaml.text"; "doc"; "text" ]))
+             attrs));
+  }
+
+let print_item item =
+  let item = strip_docs_mapper.signature_item strip_docs_mapper item in
+  let s = Format.asprintf "%a" Pprintast.signature [ item ] in
+  String.trim s
+
+(* Doc markup -> markdown-ish prose: [code] -> `code`, {!X} -> `X`,
+   drop {v v} fences and heading braces. *)
+let prose text =
+  let n = String.length text in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | '[' -> Buffer.add_char buf '`'
+    | ']' -> Buffer.add_char buf '`'
+    | '{' ->
+        if !i + 1 < n && text.[!i + 1] = '!' then begin
+          Buffer.add_char buf '`';
+          i := !i + 1
+        end
+        else begin
+          (* skip heading/verbatim markers like {1 , {v *)
+          let j = ref (!i + 1) in
+          while
+            !j < n && text.[!j] <> ' ' && text.[!j] <> '}' && !j - !i < 4
+          do
+            incr j
+          done;
+          if !j < n && text.[!j] = ' ' then i := !j
+        end
+    | '}' -> Buffer.add_char buf '`'
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  (* collapse runs of whitespace *)
+  let s = Buffer.contents buf in
+  let out = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\n' || c = '\t' then pending_space := true
+      else begin
+        if !pending_space && Buffer.length out > 0 then
+          Buffer.add_char out ' ';
+        pending_space := false;
+        Buffer.add_char out c
+      end)
+    s;
+  Buffer.contents out
+
+let heading_of text =
+  let t = String.trim text in
+  if String.length t > 3 && t.[0] = '{' && (t.[1] = '1' || t.[1] = '2') then
+    let body = String.sub t 2 (String.length t - 2) in
+    let body = String.trim body in
+    let body =
+      if String.length body > 0 && body.[String.length body - 1] = '}' then
+        String.sub body 0 (String.length body - 1)
+      else body
+    in
+    Some (String.trim body)
+  else None
+
+let render_item buf (item : Parsetree.signature_item) =
+  let emit_doc attrs =
+    match doc_of_attrs attrs with
+    | (_, text) :: _ -> Printf.bprintf buf "%s\n\n" (prose text)
+    | [] -> ()
+  in
+  match item.psig_desc with
+  | Psig_attribute _ -> (
+      match floating_text item with
+      | Some (_, text) -> (
+          match heading_of text with
+          | Some h -> Printf.bprintf buf "#### %s\n\n" h
+          | None -> Printf.bprintf buf "%s\n\n" (prose text))
+      | None -> ())
+  | Psig_value vd ->
+      Printf.bprintf buf "```ocaml\n%s\n```\n\n" (print_item item);
+      emit_doc vd.pval_attributes
+  | Psig_type (_, decls) ->
+      Printf.bprintf buf "```ocaml\n%s\n```\n\n" (print_item item);
+      List.iter
+        (fun (d : Parsetree.type_declaration) -> emit_doc d.ptype_attributes)
+        decls
+  | Psig_exception te ->
+      Printf.bprintf buf "```ocaml\n%s\n```\n\n" (print_item item);
+      emit_doc te.ptyexn_attributes
+  | Psig_modtype mtd ->
+      Printf.bprintf buf "```ocaml\n%s\n```\n\n" (print_item item);
+      emit_doc mtd.pmtd_attributes
+  | Psig_module md ->
+      Printf.bprintf buf "```ocaml\n%s\n```\n\n" (print_item item);
+      emit_doc md.pmd_attributes
+  | Psig_include id ->
+      Printf.bprintf buf "```ocaml\n%s\n```\n\n" (print_item item);
+      emit_doc id.pincl_attributes
+  | _ -> Printf.bprintf buf "```ocaml\n%s\n```\n\n" (print_item item)
+
+let module_path file =
+  (* lib/<dir>/<m>.mli -> (<Library>.<M>, dir) *)
+  let parts = String.split_on_char '/' file in
+  let base = Filename.remove_extension (Filename.basename file) in
+  let m = String.capitalize_ascii base in
+  match List.rev parts with
+  | _ :: dir :: _ -> (
+      match List.assoc_opt dir library_of_dir with
+      | Some lib -> Printf.sprintf "%s.%s" lib m
+      | None -> m)
+  | _ -> m
+
+let render_file buf file (sg : Parsetree.signature) =
+  Printf.bprintf buf "## %s — `%s`\n\n" (module_path file) file;
+  List.iter (render_item buf) sg
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let rec mli_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then mli_files path
+         else if Filename.check_suffix entry ".mli" then [ path ]
+         else [])
+
+let parse_interface file =
+  let ic = open_in_bin file in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  try Some (Parse.interface lexbuf)
+  with exn ->
+    err ~file ~line:1
+      (Printf.sprintf "cannot parse interface: %s" (Printexc.to_string exn));
+    None
+
+let () =
+  let check_only = ref false in
+  let dirs = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--check-only" -> check_only := true
+        | "--help" | "-help" ->
+            print_string usage;
+            exit 0
+        | d -> dirs := d :: !dirs)
+    Sys.argv;
+  let dirs = match List.rev !dirs with [] -> [ "lib" ] | ds -> ds in
+  let files = List.concat_map mli_files dirs in
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf
+    "# API reference\n\n\
+     Generated by `tools/docgen` from the `.mli` interfaces under `lib/` \
+     — the repo's odoc stand-in (the pinned switch has no odoc).  \
+     Regenerate with `dune build @doc` and `dune promote` after an \
+     interface change; a stale file fails the build.\n\n";
+  List.iter
+    (fun file ->
+      match parse_interface file with
+      | None -> ()
+      | Some sg ->
+          let strict =
+            List.exists
+              (fun d -> String.length file >= String.length d
+                        && String.sub file 0 (String.length d) = d)
+              strict_dirs
+          in
+          if strict then check_preamble ~file sg;
+          check_signature ~strict ~file sg;
+          render_file buf file sg)
+    files;
+  if not !check_only then print_string (Buffer.contents buf);
+  if !errors > 0 then begin
+    Printf.eprintf "docgen: %d error(s) across %d interface(s)\n" !errors
+      (List.length files);
+    exit 1
+  end
+  else Printf.eprintf "docgen: %d interfaces, 0 errors\n" (List.length files)
