@@ -428,6 +428,7 @@ let run ~smoke ~out ?(metrics = false) ?metrics_out () =
           ("env", env);
           ("results", J.List (List.map json_of_row rows));
           ("acceptance", acceptance_json);
+          ("store", Bench_store.block ~smoke ~domains:(bench_domains ()));
         ]
        @ obs));
   Printf.printf "wrote %s\n" out

@@ -1,0 +1,149 @@
+(* Snapshot-store throughput: pack (encode + certify + serialize), load,
+   and serve rates for the binary advice store, recorded as the "store"
+   block of BENCH_local.json.
+
+   Three figures per size: single-query rates cold (every query decodes
+   its ball) vs. warm (every query is an LRU cache hit, so the run
+   measures the engine's fixed per-query cost), and batch rates with the
+   fan-out pinned to one domain vs. spread over several.  The acceptance
+   check of ISSUE 4 — a warm cache must beat cold decoding — is derived
+   from this block. *)
+
+open Netgraph
+module J = Obs.Jsonout
+
+type row = {
+  n : int;
+  radius : int;
+  pack_seconds : float;
+  snapshot_bytes : int;
+  advice_bits : int;
+  bits_budget : int;  (* paper bound: sum over v of ceil(d(v)/2)+1 *)
+  load_seconds : float;
+  queries : int;
+  cold_qps : float;
+  warm_qps : float;
+  batch_seq_qps : float;
+  batch_par_qps : float;
+  batch_domains : int;
+}
+
+let rate count t = if t <= 0.0 then infinity else float_of_int count /. t
+
+(* A reproducible mixed workload over distinct nodes, so a second pass is
+   pure cache hits: labels, memberships of the node's first incident
+   edge, and raw advice reads. *)
+let workload g rng count =
+  let n = Graph.n g in
+  let nodes = Array.init n (fun v -> v) in
+  for i = n - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = nodes.(i) in
+    nodes.(i) <- nodes.(j);
+    nodes.(j) <- t
+  done;
+  Array.init (min count n) (fun i ->
+      let v = nodes.(i) in
+      match i mod 3 with
+      | 0 -> Serve.Engine.Output_label v
+      | 1 -> Serve.Engine.Edge_member (v, (Graph.incident_edges g v).(0))
+      | _ -> Serve.Engine.Advice_bits v)
+
+let bench_row ~domains n =
+  let g = Builders.cycle n in
+  let rng = Prng.create (n + 17) in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let (snapshot, cert), pack_t =
+    Bench_util.time_once (fun () ->
+        Serve.Pack.edge_compression ~sample:64 g x)
+  in
+  let bytes = Store.Snapshot.write snapshot in
+  let _, load_t =
+    Bench_util.time_once (fun () -> ignore (Store.Snapshot.read bytes))
+  in
+  let loaded = Store.Snapshot.read bytes in
+  let queries = workload g rng 1_000 in
+  let k = Array.length queries in
+  (* Cold: a cache large enough that nothing is evicted, but empty. *)
+  let engine = Serve.Engine.create ~cache_capacity:k loaded in
+  let single () = Array.iter (fun q -> ignore (Serve.Engine.query engine q)) queries in
+  let (), cold_t = Bench_util.time_once single in
+  (* Warm: same workload again; every ball is now resident. *)
+  let (), warm_t = Bench_util.time_once single in
+  (* Batch fan-out with caching off, so seq vs. par measures ball work. *)
+  let batch domains =
+    let e = Serve.Engine.create ~cache_capacity:0 loaded in
+    Bench_util.time_once (fun () ->
+        ignore (Serve.Engine.batch ~domains e queries))
+  in
+  let _, seq_t = batch 1 in
+  let _, par_t = batch domains in
+  let budget =
+    Graph.fold_nodes
+      (fun v acc -> acc + Schemas.Edge_compression.bits_bound (Graph.degree g v))
+      g 0
+  in
+  {
+    n;
+    radius = cert.Serve.Pack.radius;
+    pack_seconds = pack_t;
+    snapshot_bytes = String.length bytes;
+    advice_bits = Store.Snapshot.advice_payload_bits snapshot ~name:"c4";
+    bits_budget = budget;
+    load_seconds = load_t;
+    queries = k;
+    cold_qps = rate k cold_t;
+    warm_qps = rate k warm_t;
+    batch_seq_qps = rate k seq_t;
+    batch_par_qps = rate k par_t;
+    batch_domains = domains;
+  }
+
+let json_of_row r =
+  J.Obj
+    [
+      ("family", J.Str "cycle");
+      ("n", J.Int r.n);
+      ("serve_radius", J.Int r.radius);
+      ("pack_seconds", J.Float r.pack_seconds);
+      ("snapshot_bytes", J.Int r.snapshot_bytes);
+      ("advice_bits", J.Int r.advice_bits);
+      ("advice_bits_budget", J.Int r.bits_budget);
+      ("load_seconds", J.Float r.load_seconds);
+      ("queries", J.Int r.queries);
+      ("cold_queries_per_sec", J.Float r.cold_qps);
+      ("warm_queries_per_sec", J.Float r.warm_qps);
+      ("warm_over_cold", J.Float (r.warm_qps /. r.cold_qps));
+      ("batch_seq_queries_per_sec", J.Float r.batch_seq_qps);
+      ("batch_par_queries_per_sec", J.Float r.batch_par_qps);
+      ("batch_par_domains", J.Int r.batch_domains);
+      ("batch_par_speedup", J.Float (r.batch_par_qps /. r.batch_seq_qps));
+    ]
+
+let block ~smoke ~domains =
+  let sizes = if smoke then [ 2_000 ] else [ 20_000; 100_000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let r = bench_row ~domains n in
+        Printf.printf
+          "store  cycle n=%-7d r=%-3d pack %6.1f ms  %7d B  cold %8.0f q/s  \
+           warm %9.0f q/s (%5.1fx)  par/seq %4.2fx\n\
+           %!"
+          r.n r.radius
+          (Bench_util.ms r.pack_seconds)
+          r.snapshot_bytes r.cold_qps r.warm_qps (r.warm_qps /. r.cold_qps)
+          (r.batch_par_qps /. r.batch_seq_qps);
+        r)
+      sizes
+  in
+  let warm_beats_cold =
+    List.for_all (fun r -> r.warm_qps > r.cold_qps) rows
+  in
+  J.Obj
+    [
+      ("results", J.List (List.map json_of_row rows));
+      ( "acceptance",
+        J.Obj [ ("warm_cache_beats_cold", J.Bool warm_beats_cold) ] );
+    ]

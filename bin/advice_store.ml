@@ -1,0 +1,286 @@
+(* advice_store: pack a graph + C4 advice into a binary snapshot, dump a
+   snapshot's framing, and serve per-node queries from it by ball-local
+   decompression.
+
+   Examples:
+     dune exec bin/advice_store.exe -- pack --graph cycle --n 400 --out g.ladv
+     dune exec bin/advice_store.exe -- inspect g.ladv
+     dune exec bin/advice_store.exe -- serve g.ladv --batch queries.txt
+*)
+
+open Netgraph
+open Cmdliner
+
+let n_term =
+  Arg.(value & opt int 400 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the stored edge subset.")
+
+let graph_term =
+  Arg.(
+    value
+    & opt (enum [ ("cycle", `Cycle); ("circulant", `Circulant) ]) `Cycle
+    & info [ "graph" ] ~docv:"KIND"
+        ~doc:"Graph family: cycle or circulant (the C4 one-bit schema \
+              needs long geodesics, so serving sticks to sparse families \
+              whose balls stay small).")
+
+let input_term =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "input" ] ~docv:"FILE"
+        ~doc:"Load the graph from an edge-list file instead of generating \
+              one (strict parse: self-loops and duplicate edges are \
+              rejected with their line number).")
+
+let metrics_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Record obs metrics and trace spans during the run and write \
+              the JSON snapshot to $(docv) ('-' for stdout).")
+
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+      Obs.Trace.set_clock (fun () ->
+          Int64.of_float (Unix.gettimeofday () *. 1e9));
+      Obs.Sink.enable ();
+      Fun.protect
+        ~finally:(fun () -> Obs.Sink.disable ())
+        (fun () ->
+          f ();
+          if path = "-" then
+            Obs.Jsonout.to_channel stdout (Obs.Sink.json ~events:32 ())
+          else begin
+            Obs.Sink.write_json ~events:32 path;
+            Format.printf "wrote %s (obs metrics snapshot)@." path
+          end)
+
+(* Snapshot damage is an expected condition for this tool, not a crash:
+   report the codec's diagnostic and exit non-zero. *)
+let or_corrupt f =
+  match f () with
+  | () -> ()
+  | exception Store.Codec.Corrupt msg ->
+      Format.eprintf "corrupt snapshot: %s@." msg;
+      exit 2
+
+let build ?input kind n =
+  match input with
+  | Some path -> Graphio.load path
+  | None -> (
+      match kind with
+      | `Cycle -> Builders.cycle (max 3 n)
+      | `Circulant -> Builders.circulant (max 5 n) [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* pack *)
+
+let out_term =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Snapshot file to write.")
+
+let sample_term =
+  Arg.(
+    value & opt int 0
+    & info [ "sample" ] ~docv:"K"
+        ~doc:"Certify the serve radius on $(docv) evenly spaced nodes \
+              instead of every node (0 = exhaustive).")
+
+let pack_cmd =
+  let run kind n seed input out sample metrics =
+    with_metrics metrics @@ fun () ->
+    let g = build ?input kind n in
+    let rng = Prng.create seed in
+    let x = Bitset.create (Graph.m g) in
+    Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+    let snapshot, cert = Serve.Pack.edge_compression ~sample g x in
+    Store.Snapshot.to_file out snapshot;
+    let bytes = Store.Snapshot.write snapshot in
+    let budget =
+      Graph.fold_nodes
+        (fun v acc -> acc + Schemas.Edge_compression.bits_bound (Graph.degree g v))
+        g 0
+    in
+    Format.printf "packed: n=%d m=%d subset=%d edges@." (Graph.n g) (Graph.m g)
+      (Bitset.cardinal x);
+    Format.printf "advice: %d bits on the wire (paper budget Σ⌈d/2⌉+1 = %d)@."
+      (Store.Snapshot.advice_payload_bits snapshot ~name:"c4")
+      budget;
+    Format.printf "certified: serve radius %d (%s of %d nodes checked)@."
+      cert.Serve.Pack.radius
+      (if cert.Serve.Pack.exhaustive then "all" else "sample")
+      cert.Serve.Pack.checked;
+    Format.printf "wrote %s (%d bytes)@." out (String.length bytes)
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:"Compress a seeded random edge subset of a graph into a \
+             snapshot with a certified serve radius (C4).")
+    Term.(
+      const run $ graph_term $ n_term $ seed_term $ input_term $ out_term
+      $ sample_term $ metrics_term)
+
+(* ------------------------------------------------------------------ *)
+(* inspect *)
+
+let snapshot_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file to read.")
+
+let tag_name tag =
+  if tag = Store.Snapshot.tag_graph then "graph"
+  else if tag = Store.Snapshot.tag_advice then "advice"
+  else if tag = Store.Snapshot.tag_meta then "meta"
+  else Printf.sprintf "unknown(%d)" tag
+
+let inspect_cmd =
+  let run path =
+    or_corrupt @@ fun () ->
+    let ic = open_in_bin path in
+    let raw = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let snapshot = Store.Snapshot.read raw in
+    let sections = Store.Snapshot.sections raw in
+    Format.printf "snapshot: %d bytes, version %d, %d sections@."
+      (String.length raw) Store.Snapshot.version (List.length sections);
+    List.iter
+      (fun s ->
+        Format.printf "  section %-6s offset=%-6d length=%-6d crc=%08x@."
+          (tag_name s.Store.Codec.tag) s.Store.Codec.offset
+          s.Store.Codec.length s.Store.Codec.crc)
+      sections;
+    let g = snapshot.Store.Snapshot.graph in
+    Format.printf "graph: n=%d m=%d Δ=%d@." (Graph.n g) (Graph.m g)
+      (Graph.max_degree g);
+    List.iter
+      (fun (name, a) ->
+        let bits = Advice.Assignment.total_bits a in
+        let budget =
+          Graph.fold_nodes
+            (fun v acc ->
+              acc + Schemas.Edge_compression.bits_bound (Graph.degree g v))
+            g 0
+        in
+        Format.printf
+          "advice %S: %d bits total, max %d bits/node, %.3f bits/edge-slot \
+           (paper budget Σ⌈d/2⌉+1 = %d, used %.1f%%)@."
+          name bits
+          (Advice.Assignment.max_bits a)
+          (if Graph.m g = 0 then 0.0 else float_of_int bits /. float_of_int (2 * Graph.m g))
+          budget
+          (100.0 *. float_of_int bits /. float_of_int (max 1 budget)))
+      snapshot.Store.Snapshot.advice;
+    List.iter
+      (fun (k, v) -> Format.printf "meta %s = %s@." k v)
+      snapshot.Store.Snapshot.meta
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Dump a snapshot's framing (sections, lengths, checksums) and \
+             its bits-per-node statistics against the paper's bound.")
+    Term.(const run $ snapshot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let batch_term =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "batch" ] ~docv:"FILE"
+        ~doc:"Query list: one of 'label V', 'member V E', 'bits V' per \
+              line; '#' starts a comment.")
+
+let domains_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D" ~doc:"Domains for the parallel ball fan-out.")
+
+let cache_term =
+  Arg.(
+    value & opt int 1024
+    & info [ "cache" ] ~docv:"ENTRIES"
+        ~doc:"Ball-cache capacity (0 disables caching).")
+
+let parse_queries text =
+  let fail line fmt =
+    Format.kasprintf
+      (fun s ->
+        Format.eprintf "bad query on line %d: %s@." line s;
+        exit 2)
+      fmt
+  in
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  |> List.map (fun (line, l) ->
+         let int_at what s =
+           match int_of_string_opt s with
+           | Some v -> v
+           | None -> fail line "%s is not an integer: %S" what s
+         in
+         match String.split_on_char ' ' l |> List.filter (fun s -> s <> "") with
+         | [ "label"; v ] -> Serve.Engine.Output_label (int_at "node" v)
+         | [ "member"; v; e ] ->
+             Serve.Engine.Edge_member (int_at "node" v, int_at "edge" e)
+         | [ "bits"; v ] -> Serve.Engine.Advice_bits (int_at "node" v)
+         | _ -> fail line "expected 'label V', 'member V E' or 'bits V': %S" l)
+
+let serve_cmd =
+  let run path batch domains cache metrics =
+    or_corrupt @@ fun () ->
+    with_metrics metrics @@ fun () ->
+    let snapshot = Store.Snapshot.of_file path in
+    let engine = Serve.Engine.create ~cache_capacity:cache snapshot in
+    let ic = open_in batch in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let queries = Array.of_list (parse_queries text) in
+    let answers =
+      try Serve.Engine.batch ?domains engine queries
+      with Invalid_argument msg ->
+        Format.eprintf "rejected batch: %s@." msg;
+        exit 2
+    in
+    Array.iteri
+      (fun i answer ->
+        (match queries.(i) with
+        | Serve.Engine.Output_label v -> Format.printf "label %d" v
+        | Serve.Engine.Edge_member (v, e) -> Format.printf "member %d %d" v e
+        | Serve.Engine.Advice_bits v -> Format.printf "bits %d" v);
+        match answer with
+        | Serve.Engine.Label s -> Format.printf " -> %s@." s
+        | Serve.Engine.Member b -> Format.printf " -> %b@." b
+        | Serve.Engine.Bits s -> Format.printf " -> %s@." s)
+      answers;
+    Format.printf "served %d queries at radius %d (advice %S)@."
+      (Array.length queries) (Serve.Engine.radius engine)
+      (Serve.Engine.advice_name engine)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Answer a batch of per-node queries from a snapshot by \
+             decoding only each node's certified-radius ball.")
+    Term.(
+      const run $ snapshot_arg $ batch_term $ domains_term $ cache_term
+      $ metrics_term)
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "advice_store" ~version:"1.0"
+      ~doc:"Binary advice snapshots and ball-local query serving (C4)."
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ pack_cmd; inspect_cmd; serve_cmd ]))

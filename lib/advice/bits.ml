@@ -21,3 +21,25 @@ let decode s =
 let encode_int value =
   if value < 0 then invalid_arg "Bits.encode_int";
   encode ~width:(width_for (value + 1)) value
+
+let pack s =
+  let nbits = String.length s in
+  let out = Bytes.make ((nbits + 7) / 8) '\000' in
+  for i = 0 to nbits - 1 do
+    match String.unsafe_get s i with
+    | '0' -> ()
+    | '1' ->
+        let j = i lsr 3 in
+        Bytes.unsafe_set out j
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get out j) lor (1 lsl (i land 7))))
+    | _ -> invalid_arg "Bits.pack: not a bit string"
+  done;
+  (out, nbits)
+
+let unpack b nbits =
+  if nbits < 0 || (nbits + 7) / 8 > Bytes.length b then
+    invalid_arg "Bits.unpack: bit count exceeds buffer";
+  String.init nbits (fun i ->
+      if Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+      then '1'
+      else '0')

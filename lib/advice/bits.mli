@@ -13,3 +13,19 @@ val decode : string -> int
 
 val encode_int : int -> string
 (** Minimal-width encoding of a non-negative integer. *)
+
+val pack : string -> bytes * int
+(** [pack s] packs a ['0']/['1'] bit string into bytes, LSB-first within
+    each byte (bit [i] of [s] lands in byte [i/8] at position [i mod 8]),
+    returning the buffer and the bit count.  Unused high bits of the last
+    byte are zero, so packing is canonical: equal bit strings pack to
+    equal buffers.  This is the packed representation used by the snapshot
+    store ({!Store.Snapshot}), where a node's advice occupies its actual
+    bit budget rather than a byte per bit.
+    @raise Invalid_argument on non-bit characters. *)
+
+val unpack : bytes -> int -> string
+(** [unpack b nbits] inverts {!pack}: the first [nbits] bits of [b],
+    LSB-first, as a ['0']/['1'] string.  [unpack (fst (pack s))
+    (snd (pack s)) = s] for every well-formed bit string.
+    @raise Invalid_argument when [nbits] exceeds the buffer. *)

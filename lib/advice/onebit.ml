@@ -34,15 +34,19 @@ let required_spacing assignment = (2 * decode_radius assignment) + 2
 
 (* Lexicographically-least geodesic of the given length from [v]:
    repeatedly step to the smallest-id neighbor strictly farther from [v].
-   Distances from v are fixed, so every prefix is a geodesic. *)
+   Distances from v are fixed, so every prefix is a geodesic.  Only
+   distances up to [len] are ever consulted, so a radius-limited BFS into
+   the shared workspace suffices — O(ball) per holder, not O(n). *)
 let geodesic g v len =
-  let dist = Traversal.bfs_distances g v in
+  let ws = Workspace.domain_local () in
+  ignore (Traversal.bfs_limited_into ws g v len);
+  let dist u = if Workspace.mem ws u then Workspace.dist ws u else -1 in
   let rec extend node acc j =
     if j = len then Some (List.rev acc)
     else begin
       let next = ref (-1) in
       Array.iter
-        (fun u -> if !next < 0 && dist.(u) = j + 1 then next := u)
+        (fun u -> if !next < 0 && dist u = j + 1 then next := u)
         (Graph.neighbors g node);
       if !next < 0 then None else extend !next (!next :: acc) (j + 1)
     end
@@ -94,16 +98,48 @@ let header_candidates g ones =
 
 (* Layer symbols around a candidate center: [Some true] = exactly one
    1-node at this distance, [Some false] = none, [None] = ambiguous
-   (several 1-nodes), which rejects the candidate wherever it is read. *)
+   (several 1-nodes), which rejects the candidate wherever it is read.
+   The BFS from [c] grows lazily into the shared workspace, one layer at
+   a time as the parser asks for it: a candidate costs O(ball(c, p)) for
+   the deepest layer p actually read — about the message length in honest
+   runs — instead of a full O(n) sweep per candidate. *)
 let layer_reader g ones c =
-  let dist = Traversal.bfs_distances g c in
-  let max_layer = Array.fold_left max 0 dist in
-  let counts = Array.make (max_layer + 1) 0 in
-  Bitset.iter (fun v -> if dist.(v) >= 0 then counts.(dist.(v)) <- counts.(dist.(v)) + 1) ones;
+  let ws = Workspace.domain_local () in
+  Workspace.ensure ws (Graph.n g);
+  Workspace.reset ws;
+  Workspace.add ws c ~dist:0;
+  let counts = Hashtbl.create 32 in
+  let bump j =
+    Hashtbl.replace counts j
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts j))
+  in
+  if Bitset.mem ones c then bump 0;
+  let head = ref 0 in
+  (* Layer [j] is final once the BFS head reaches distance [j] (every
+     layer-(j-1) node has been expanded) or the queue is exhausted. *)
+  let rec expand_to j =
+    if !head < ws.Workspace.size then begin
+      let v = ws.Workspace.queue.(!head) in
+      let dv = ws.Workspace.dist.(v) in
+      if dv < j then begin
+        incr head;
+        Array.iter
+          (fun u ->
+            if not (Workspace.mem ws u) then begin
+              Workspace.add ws u ~dist:(dv + 1);
+              if Bitset.mem ones u then bump (dv + 1)
+            end)
+          (Graph.neighbors g v);
+        expand_to j
+      end
+    end
+  in
   fun j ->
-    if j > max_layer then Some false
-    else
-      match counts.(j) with 0 -> Some false | 1 -> Some true | _ -> None
+    expand_to j;
+    match Hashtbl.find_opt counts j with
+    | None -> Some false
+    | Some 1 -> Some true
+    | Some _ -> None
 
 (* Parse the layer pattern around a candidate center; [Some s] when the
    full message structure is present. *)
@@ -165,22 +201,31 @@ let encode g assignment =
   let holders = Assignment.holders assignment in
   let radius = decode_radius assignment in
   (* Spacing check: layers read around one center must not contain another
-     message's 1-nodes. *)
-  let rec check_spacing = function
-    | [] -> ()
-    | v :: rest ->
-        List.iter
-          (fun u ->
-            let d = Traversal.distance g v u in
-            if d >= 0 && d <= 2 * radius then
-              fail
-                "holders %d and %d are at distance %d; one-bit conversion \
-                 needs > %d (decode radius %d)"
-                v u d (2 * radius) radius)
-          rest;
-        check_spacing rest
-  in
-  check_spacing holders;
+     message's 1-nodes.  Each holder scans only its radius-2r ball via the
+     shared workspace — O(Σ|ball(v, 2r)|) total instead of the pairwise
+     O(holders² · n) of one early-exit BFS per holder pair.  The first
+     offending pair in holder order is reported, as before. *)
+  let holder_index = Hashtbl.create ((2 * List.length holders) + 1) in
+  List.iteri (fun i v -> Hashtbl.replace holder_index v i) holders;
+  let holder_arr = Array.of_list holders in
+  let ws = Workspace.domain_local () in
+  List.iteri
+    (fun i v ->
+      ignore (Traversal.bfs_limited_into ws g v (2 * radius));
+      let best = ref max_int in
+      for k = 0 to ws.Workspace.size - 1 do
+        match Hashtbl.find_opt holder_index (Workspace.node_at ws k) with
+        | Some j when j > i && j < !best -> best := j
+        | _ -> ()
+      done;
+      if !best < max_int then begin
+        let u = holder_arr.(!best) in
+        fail
+          "holders %d and %d are at distance %d; one-bit conversion \
+           needs > %d (decode radius %d)"
+          v u (Workspace.dist ws u) (2 * radius) radius
+      end)
+    holders;
   let ones = Bitset.create (Graph.n g) in
   List.iter
     (fun v ->

@@ -7,33 +7,61 @@ let to_edge_list g =
   Buffer.contents buf
 
 let of_edge_list text =
+  let fail fmt = Format.kasprintf invalid_arg ("Graphio.of_edge_list: " ^^ fmt) in
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
   in
   match lines with
-  | [] -> invalid_arg "Graphio.of_edge_list: empty input"
-  | header :: rest ->
+  | [] -> fail "empty input"
+  | (header_line, header) :: rest ->
       let n =
         match String.split_on_char ' ' header with
         | [ "n"; count ] -> (
             match int_of_string_opt count with
             | Some n when n >= 0 -> n
-            | _ -> invalid_arg "Graphio.of_edge_list: bad node count")
-        | _ -> invalid_arg "Graphio.of_edge_list: missing 'n <count>' header"
+            | _ -> fail "line %d: bad node count in %S" header_line header)
+        | _ ->
+            fail "line %d: missing 'n <count>' header, got %S" header_line
+              header
       in
-      let parse_edge line =
+      let parse_edge (line_no, line) =
         match
           String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
         with
         | [ a; b ] -> (
             match (int_of_string_opt a, int_of_string_opt b) with
-            | Some u, Some v -> (u, v)
-            | _ -> invalid_arg ("Graphio.of_edge_list: bad edge line " ^ line))
-        | _ -> invalid_arg ("Graphio.of_edge_list: bad edge line " ^ line)
+            | Some u, Some v ->
+                if u < 0 || u >= n || v < 0 || v >= n then
+                  fail "line %d: endpoint out of range 0..%d in %S" line_no
+                    (n - 1) line
+                else if u = v then
+                  fail "line %d: self-loop %d-%d" line_no u v
+                else (line_no, (min u v, max u v))
+            | _ -> fail "line %d: bad edge line %S" line_no line)
+        | _ -> fail "line %d: bad edge line %S" line_no line
       in
-      Graph.of_edges ~n (List.map parse_edge rest)
+      let edges = List.map parse_edge rest |> Array.of_list in
+      (* Duplicate detection on normalized endpoints: sort int keys and
+         compare adjacent entries, reporting both source lines. *)
+      let keyed =
+        Array.map (fun (line_no, (u, v)) -> ((u * n) + v, line_no)) edges
+      in
+      Array.sort
+        (fun (a, la) (b, lb) ->
+          let c = Int.compare a b in
+          if c <> 0 then c else Int.compare la lb)
+        keyed;
+      Array.iteri
+        (fun i (key, line_no) ->
+          if i > 0 then
+            let prev_key, prev_line = keyed.(i - 1) in
+            if key = prev_key then
+              fail "line %d: duplicate edge %d-%d (first listed on line %d)"
+                line_no (key / n) (key mod n) prev_line)
+        keyed;
+      Graph.of_edges ~n (Array.to_list (Array.map snd edges))
 
 let load path =
   let ic = open_in path in

@@ -8,7 +8,11 @@
 val to_edge_list : Graph.t -> string
 
 val of_edge_list : string -> Graph.t
-(** @raise Invalid_argument on malformed input. *)
+(** @raise Invalid_argument on malformed input — a missing or bad header,
+    an unparsable edge line, an out-of-range endpoint, a self-loop, or a
+    duplicate edge (in either orientation).  The message names the
+    offending 1-based source line, so a bad instance file can be fixed by
+    eye; nothing is silently collapsed or dropped. *)
 
 val load : string -> Graph.t
 (** Read a graph from a file path. *)

@@ -99,6 +99,33 @@ let map_nodes_par ?domains ?advice ?input g ~ids ~radius f =
         let rest = Array.map Domain.join spawned in
         Array.concat (first :: Array.to_list rest))
 
+let map_subset ?advice ?input g ~ids ~radius ~nodes f =
+  Obs.Trace.span "view.map_subset" (fun () ->
+      let ws = Workspace.domain_local () in
+      Array.map (fun v -> f (make_with ws ?advice ?input g ~ids ~radius v)) nodes)
+
+let map_subset_par ?domains ?advice ?input g ~ids ~radius ~nodes f =
+  let k = Array.length nodes in
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  let d = min (min d 64) (max 1 k) in
+  if d <= 1 then map_subset ?advice ?input g ~ids ~radius ~nodes f
+  else
+    Obs.Trace.span "view.map_subset_par" (fun () ->
+        let chunk lo hi =
+          let ws = Workspace.domain_local () in
+          Array.init (hi - lo) (fun i ->
+              f (make_with ws ?advice ?input g ~ids ~radius nodes.(lo + i)))
+        in
+        let bound j = j * k / d in
+        let spawned =
+          Array.init (d - 1) (fun j ->
+              let lo = bound (j + 1) and hi = bound (j + 2) in
+              Domain.spawn (fun () -> chunk lo hi))
+        in
+        let first = chunk 0 (bound 1) in
+        let rest = Array.map Domain.join spawned in
+        Array.concat (first :: Array.to_list rest))
+
 let with_advice view advice =
   { view with advice = Array.map (fun gv -> advice.(gv)) view.to_global }
 

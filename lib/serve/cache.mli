@@ -1,0 +1,39 @@
+(** Fixed-capacity LRU cache from node ids to decoded ball results.
+
+    The per-query path must stay allocation-light (the repo's hot-alloc
+    lint forbids [Hashtbl] there), so the cache is four flat int arrays:
+    a node-indexed slot map plus an intrusive doubly-linked recency list
+    over the slots.  [find] and [insert] are O(1); a full cache evicts
+    the least-recently-used entry.  Not domain-safe: the serving engine
+    touches it only from the calling domain — parallel ball extraction
+    happens in pure closures and results are inserted after the join. *)
+
+type t
+(** One cache instance, bound to a fixed node-id universe. *)
+
+val create : capacity:int -> n:int -> t
+(** [create ~capacity ~n] caches up to [capacity] of the nodes
+    [0..n-1].  Capacity 0 disables caching (every lookup misses, inserts
+    are dropped).  @raise Invalid_argument on negative arguments. *)
+
+val capacity : t -> int
+(** The configured capacity. *)
+
+val length : t -> int
+(** Entries currently held. *)
+
+val mem : t -> int -> bool
+(** Presence test that does {e not} touch recency — used by the batch
+    planner to classify hits without reordering the eviction queue. *)
+
+val find : t -> int -> string option
+(** [find c v] returns the cached value and promotes [v] to
+    most-recently-used. *)
+
+val insert : t -> int -> string -> unit
+(** [insert c v s] binds [v] to [s] as most-recently-used, replacing any
+    previous binding and evicting the least-recently-used entry when the
+    cache is full. *)
+
+val clear : t -> unit
+(** Drop every entry, keeping the arrays. *)

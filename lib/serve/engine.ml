@@ -1,0 +1,257 @@
+open Netgraph
+module View = Localmodel.View
+module Balanced_orientation = Schemas.Balanced_orientation
+
+let m_queries = Obs.Metrics.counter "serve.queries"
+let m_batches = Obs.Metrics.counter "serve.batches"
+let m_hits = Obs.Metrics.counter "serve.cache.hits"
+let m_misses = Obs.Metrics.counter "serve.cache.misses"
+
+let m_ball =
+  Obs.Metrics.histogram "serve.ball_size"
+    ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
+
+type t = {
+  graph : Graph.t;
+  name : string;
+  advice : string array;
+  params : Balanced_orientation.params;
+  radius : int;
+  ids : Localmodel.Ids.t;
+  cache : Cache.t;
+}
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+(* The canonical trail structure (Orientation.euler_partition) pairs
+   edges in sorted-neighbor order, i.e. in identifier order.  A view's
+   fragment is numbered by BFS stamp order instead, so feeding it to the
+   decoder directly would present a different identifier assignment.
+   Relabel the fragment so sub ids are sorted by the view's global
+   identifiers: [perm.(r)] is the view node of ordered rank [r] and
+   [rank] its inverse. *)
+let ordered_fragment (view : View.t) =
+  let k = Graph.n view.View.graph in
+  let perm = Array.init k (fun i -> i) in
+  let ids = view.View.ids in
+  Array.sort (fun a b -> Int.compare ids.(a) ids.(b)) perm;
+  let rank = Array.make k 0 in
+  Array.iteri (fun r i -> rank.(i) <- r) perm;
+  let edges =
+    Graph.fold_edges
+      (fun _ (u, v) acc -> (rank.(u), rank.(v)) :: acc)
+      view.View.graph []
+  in
+  (Graph.of_edges ~n:k edges, perm, rank)
+
+let label_of_view ~params (view : View.t) =
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe m_ball (Graph.n view.View.graph);
+  let h, perm, rank = ordered_fragment view in
+  let k = Graph.n h in
+  let advice = Array.init k (fun r -> view.View.advice.(perm.(r))) in
+  let ones = Bitset.create k in
+  Array.iteri
+    (fun r s -> if String.length s > 0 && s.[0] = '1' then Bitset.add ones r)
+    advice;
+  (* Fragment-safe C4 split: the first advice char is the one-bit
+     orientation marker; truncated marker messages near the boundary are
+     ignored by [Onebit.decode] and missing anchors fall back to the
+     canonical trail direction. *)
+  let varlen = Advice.Onebit.decode h ones in
+  let o = Balanced_orientation.decode_tolerant ~params h varlen in
+  let c = rank.(view.View.center) in
+  let nbrs = Graph.neighbors h c in
+  String.init (Array.length nbrs) (fun i ->
+      let u = nbrs.(i) in
+      let tail, head = if Orientation.points_from o c u then (c, u) else (u, c) in
+      let out = Orientation.out_neighbors o tail in
+      let idx = ref 0 in
+      Array.iter (fun w -> if w < head then incr idx) out;
+      let s = advice.(tail) in
+      (* Position 0 is the orientation bit; membership bits follow in
+         out-neighbor (= identifier) order.  A fragment whose boundary
+         truncates the tail's adjacency can run past the string — the
+         certified radius rules that out, and below it we stay total. *)
+      if 1 + !idx < String.length s then s.[1 + !idx] else '0')
+
+(* Metadata access *)
+
+let meta_find snapshot key =
+  List.find_opt (fun (k, _) -> String.equal k key) snapshot.Store.Snapshot.meta
+  |> Option.map snd
+
+let meta_int snapshot key =
+  match meta_find snapshot key with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> Some v
+      | None -> fail "Engine.create: metadata %s is not an integer: %S" key s)
+
+let params_of_meta snapshot =
+  match
+    ( meta_int snapshot "params.short_threshold",
+      meta_int snapshot "params.cover",
+      meta_int snapshot "params.spacing" )
+  with
+  | Some short_threshold, Some cover, Some spacing ->
+      { Balanced_orientation.short_threshold; cover; spacing }
+  | _ -> Balanced_orientation.onebit_params
+
+let create ?(cache_capacity = 1024) ?radius ?name snapshot =
+  let graph = snapshot.Store.Snapshot.graph in
+  let name, advice =
+    match (name, snapshot.Store.Snapshot.advice) with
+    | None, (n, a) :: _ -> (n, a)
+    | None, [] -> fail "Engine.create: snapshot has no advice section"
+    | Some n, sections -> (
+        match List.find_opt (fun (k, _) -> String.equal k n) sections with
+        | Some (k, a) -> (k, a)
+        | None -> fail "Engine.create: snapshot has no advice section %S" n)
+  in
+  let radius =
+    match (radius, meta_int snapshot "serve.radius") with
+    | Some r, _ | None, Some r ->
+        if r < 0 then fail "Engine.create: negative serve radius %d" r else r
+    | None, None ->
+        fail
+          "Engine.create: snapshot metadata has no serve.radius and no \
+           ~radius override was given"
+  in
+  {
+    graph;
+    name;
+    advice;
+    params = params_of_meta snapshot;
+    radius;
+    ids = Localmodel.Ids.identity graph;
+    cache = Cache.create ~capacity:cache_capacity ~n:(Graph.n graph);
+  }
+
+let graph t = t.graph
+let radius t = t.radius
+let advice_name t = t.name
+
+type query = Output_label of int | Edge_member of int * int | Advice_bits of int
+type answer = Label of string | Member of bool | Bits of string
+
+let check_node t what v =
+  if v < 0 || v >= Graph.n t.graph then
+    fail "Engine: %s names node %d outside 0..%d" what v (Graph.n t.graph - 1)
+
+let validate t = function
+  | Output_label v -> check_node t "Output_label" v
+  | Advice_bits v -> check_node t "Advice_bits" v
+  | Edge_member (v, e) ->
+      check_node t "Edge_member" v;
+      if e < 0 || e >= Graph.m t.graph then
+        fail "Engine: Edge_member names edge %d outside 0..%d" e
+          (Graph.m t.graph - 1);
+      let a, b = Graph.edge_endpoints t.graph e in
+      if v <> a && v <> b then
+        fail "Engine: Edge_member node %d is not an endpoint of edge %d (%d-%d)"
+          v e a b
+
+(* Index of incident edge [e] within [v]'s label string: the rank of the
+   other endpoint in [v]'s sorted neighbor array. *)
+let incident_index t v e =
+  let u = Graph.edge_other_endpoint t.graph e v in
+  let nbrs = Graph.neighbors t.graph v in
+  let lo = ref 0 and hi = ref (Array.length nbrs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if nbrs.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let compute_label t v =
+  label_of_view ~params:t.params
+    (View.make ~advice:t.advice t.graph ~ids:t.ids ~radius:t.radius v)
+
+let label_for t v =
+  match Cache.find t.cache v with
+  | Some s ->
+      Obs.Metrics.incr m_hits;
+      s
+  | None ->
+      Obs.Metrics.incr m_misses;
+      let s = compute_label t v in
+      Cache.insert t.cache v s;
+      s
+
+let answer_with t label_of = function
+  | Output_label v -> Label (label_of v)
+  | Edge_member (v, e) -> Member ((label_of v).[incident_index t v e] = '1')
+  | Advice_bits v -> Bits t.advice.(v)
+
+let query t q =
+  validate t q;
+  Obs.Metrics.incr m_queries;
+  answer_with t (label_for t) q
+
+let ball_node = function
+  | Output_label v | Edge_member (v, _) -> Some v
+  | Advice_bits _ -> None
+
+let batch ?domains t qs =
+  Array.iter (validate t) qs;
+  Obs.Trace.span "serve.batch" (fun () ->
+      Obs.Metrics.incr m_batches;
+      Obs.Metrics.add m_queries (Array.length qs);
+      (* Plan: the sorted, deduplicated set of nodes whose ball we need. *)
+      let wanted =
+        Array.of_seq
+          (Seq.filter_map ball_node (Array.to_seq qs))
+      in
+      Array.sort Int.compare wanted;
+      let nodes = Array.make (Array.length wanted) 0 in
+      let count = ref 0 in
+      Array.iter
+        (fun v ->
+          if !count = 0 || nodes.(!count - 1) <> v then begin
+            nodes.(!count) <- v;
+            incr count
+          end)
+        wanted;
+      let nodes = Array.sub nodes 0 !count in
+      (* Serve hits now (copying the strings out keeps us correct even if
+         this batch's own inserts later evict them), then fan the misses
+         out in parallel and fill the cache after the join. *)
+      let labels = Array.make (Array.length nodes) None in
+      let miss = ref [] in
+      Array.iteri
+        (fun i v ->
+          match Cache.find t.cache v with
+          | Some s ->
+              Obs.Metrics.incr m_hits;
+              labels.(i) <- Some s
+          | None ->
+              Obs.Metrics.incr m_misses;
+              miss := i :: !miss)
+        nodes;
+      let miss = Array.of_list (List.rev !miss) in
+      let miss_nodes = Array.map (fun i -> nodes.(i)) miss in
+      let params = t.params in
+      let computed =
+        View.map_subset_par ?domains ~advice:t.advice t.graph ~ids:t.ids
+          ~radius:t.radius ~nodes:miss_nodes
+          (fun view -> label_of_view ~params view)
+      in
+      Array.iteri
+        (fun j i ->
+          labels.(i) <- Some computed.(j);
+          Cache.insert t.cache nodes.(i) computed.(j))
+        miss;
+      let label_of v =
+        (* binary search in the planned node array *)
+        let lo = ref 0 and hi = ref (Array.length nodes - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if nodes.(mid) < v then lo := mid + 1 else hi := mid
+        done;
+        match labels.(!lo) with
+        | Some s -> s
+        | None -> fail "Engine.batch: internal planner gap at node %d" v
+      in
+      Array.map (answer_with t label_of) qs)

@@ -1,0 +1,86 @@
+(** Query engine: answer per-node questions from a loaded snapshot by
+    decoding only the node's radius-r ball (the paper's C4 workload).
+
+    The engine loads a {!Store.Snapshot} once and serves three request
+    kinds: [Output_label v] (the membership bits of [v]'s incident
+    edges, in sorted-neighbor order), [Edge_member (v, e)] (is incident
+    edge [e] in the compressed set — C4 decompression), and
+    [Advice_bits v] (the raw advice string).  A ball query materializes
+    the radius-r view through the {!Localmodel.View} machinery, relabels
+    the fragment order-preservingly (the canonical trail structure is
+    identifier-ordered, and BFS stamp order is not), runs the tolerant
+    orientation decoder on the fragment, and reads the membership bits —
+    O(ball) work per miss, independent of the graph size.  Results are
+    kept in an LRU ball {!Cache}; batches dedup and sort their request
+    nodes and fan misses out through {!Localmodel.View.map_subset_par}.
+
+    The serve radius is the one certified at pack time
+    ({!Pack.edge_compression} stores it in the snapshot metadata):
+    answers at that radius equal the direct decoder
+    ({!Schemas.Edge_compression.decode}) run on the full graph.  At an
+    uncertified smaller radius answers may differ — the engine is total
+    but only the certified radius carries the equivalence guarantee.
+
+    Obs: [serve.queries], [serve.batches], [serve.cache.hits],
+    [serve.cache.misses] counters, [serve.ball_size] histogram, and the
+    [serve.batch] trace span (plus everything {!Localmodel.View}
+    records). *)
+
+type t
+(** A loaded engine: snapshot, decode parameters, serve radius, cache. *)
+
+val create : ?cache_capacity:int -> ?radius:int -> ?name:string -> Store.Snapshot.t -> t
+(** [create snapshot] builds an engine over the snapshot's graph and the
+    advice section called [name] (default: the snapshot's first advice
+    section).  The serve radius and orientation parameters are read from
+    the snapshot metadata ([serve.radius], [params.*]) as written by
+    {!Pack.edge_compression}; [?radius] overrides the stored value.
+    [cache_capacity] bounds the ball cache (default 1024 entries; 0
+    disables caching).  @raise Invalid_argument when the snapshot has no
+    usable advice section or no radius is available. *)
+
+val graph : t -> Netgraph.Graph.t
+(** The snapshot's graph. *)
+
+val radius : t -> int
+(** The serve radius in use. *)
+
+val advice_name : t -> string
+(** Name of the advice section being served. *)
+
+(** One request.  Nodes are the snapshot graph's node ids, edges its
+    dense edge ids; [Edge_member (v, e)] requires [v] to be an endpoint
+    of [e] — the LOCAL reading of C4, where a node asks about its own
+    incident edges. *)
+type query =
+  | Output_label of int
+  | Edge_member of int * int
+  | Advice_bits of int
+
+(** One answer, positionally matching the query list. *)
+type answer =
+  | Label of string  (** incident-edge membership bits, sorted-neighbor order *)
+  | Member of bool
+  | Bits of string
+
+val query : t -> query -> answer
+(** Answer a single request, consulting and filling the ball cache.
+    @raise Invalid_argument on an out-of-range node or edge id, or an
+    [Edge_member] whose node is not an endpoint of its edge. *)
+
+val batch : ?domains:int -> t -> query array -> answer array
+(** Answer a request list: validates every query, dedups and sorts the
+    ball nodes it needs, serves what the cache holds, extracts the
+    missing balls through {!Localmodel.View.map_subset_par} (pure
+    closures; the cache is filled after the domains join), and assembles
+    answers in request order.  [?domains] is forwarded to the fan-out.
+    @raise Invalid_argument as {!query}, before any ball work. *)
+
+val label_of_view : params:Schemas.Balanced_orientation.params -> Localmodel.View.t -> string
+(** The per-ball decode underneath both entry points, exposed for
+    pack-time certification and tests: relabel the view fragment in
+    identifier order, recover the orientation with the tolerant
+    fragment decoder, and read the center's incident membership bits.
+    Total for any view of radius ≥ 0 (unresolvable bits read as '0');
+    equals the direct decoder's bits exactly when the view radius is
+    certified. *)

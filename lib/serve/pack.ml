@@ -1,0 +1,72 @@
+open Netgraph
+module View = Localmodel.View
+module Balanced_orientation = Schemas.Balanced_orientation
+module Edge_compression = Schemas.Edge_compression
+
+type certification = { radius : int; checked : int; exhaustive : bool }
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let expected_labels g decoded =
+  Array.init (Graph.n g) (fun v ->
+      let nbrs = Graph.neighbors g v in
+      String.init (Array.length nbrs) (fun i ->
+          if Bitset.mem decoded (Graph.edge_id g v nbrs.(i)) then '1' else '0'))
+
+let check_nodes g sample =
+  let n = Graph.n g in
+  if sample <= 0 || sample >= n then Array.init n (fun v -> v)
+  else Array.init sample (fun i -> i * n / sample)
+
+let edge_compression ?(params = Balanced_orientation.onebit_params)
+    ?(name = "c4") ?max_radius ?(sample = 0) g x =
+  if Bitset.length x <> Graph.m g then
+    fail "Pack.edge_compression: edge set is over %d edges, graph has %d"
+      (Bitset.length x) (Graph.m g);
+  let max_radius = match max_radius with Some r -> r | None -> Graph.n g in
+  let assignment = Edge_compression.encode ~params g x in
+  let expected = expected_labels g (Edge_compression.decode ~params g assignment) in
+  let nodes = check_nodes g sample in
+  let ids = Localmodel.Ids.identity g in
+  let passes r =
+    let got =
+      View.map_subset ~advice:assignment g ~ids ~radius:r ~nodes (fun view ->
+          Engine.label_of_view ~params view)
+    in
+    Array.for_all2 (fun v s -> String.equal expected.(v) s) nodes got
+  in
+  (* Geometric probe up, then binary search down; the returned radius is
+     always one that was verified directly. *)
+  let rec up r = if passes r then r else if r >= max_radius then -1 else up (min (2 * r) max_radius) in
+  let hi = up (min 2 max_radius) in
+  if hi < 0 then
+    fail
+      "Pack.edge_compression: no radius up to %d serves all %d checked \
+       nodes correctly"
+      max_radius (Array.length nodes);
+  let rec tighten lo hi =
+    (* invariant: [passes hi] holds, [lo < hi] candidates remain *)
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if passes mid then tighten lo mid else tighten (mid + 1) hi
+  in
+  let radius = tighten (max 2 ((hi / 2) + 1)) hi in
+  let meta =
+    [
+      ("schema", "edge_compression");
+      ("params.short_threshold", string_of_int params.Balanced_orientation.short_threshold);
+      ("params.cover", string_of_int params.Balanced_orientation.cover);
+      ("params.spacing", string_of_int params.Balanced_orientation.spacing);
+      ("serve.radius", string_of_int radius);
+      ( "serve.certified",
+        if Array.length nodes = Graph.n g then "all"
+        else Printf.sprintf "sample=%d" (Array.length nodes) );
+    ]
+  in
+  ( { Store.Snapshot.graph = g; advice = [ (name, assignment) ]; meta },
+    {
+      radius;
+      checked = Array.length nodes;
+      exhaustive = Array.length nodes = Graph.n g;
+    } )

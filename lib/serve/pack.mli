@@ -1,0 +1,46 @@
+(** Pack-time encoding and certification: graph + edge subset → snapshot
+    whose metadata carries a serve radius the engine is proven to honor.
+
+    The repo's schema encoders certify their decoders (an encoder that
+    cannot be decoded raises rather than producing garbage); packing
+    extends the same contract to serving.  {!edge_compression} encodes
+    the C4 advice, then searches for a radius at which
+    {!Engine.label_of_view} — the ball-local decoder — reproduces the
+    direct decoder {!Schemas.Edge_compression.decode} on every checked
+    node, and records that radius in the snapshot metadata
+    ([serve.radius]) together with the orientation parameters
+    ([params.*]) and how much was checked ([serve.certified]).  A
+    snapshot produced here therefore ships with a machine-checked
+    locality claim, mirroring the paper's: decompression is a radius-r
+    local map. *)
+
+type certification = {
+  radius : int;  (** smallest radius found at which all checks pass *)
+  checked : int;  (** number of nodes compared against the direct decoder *)
+  exhaustive : bool;  (** whether every node was checked (vs. a sample) *)
+}
+(** What the pack-time search established. *)
+
+val edge_compression :
+  ?params:Schemas.Balanced_orientation.params ->
+  ?name:string ->
+  ?max_radius:int ->
+  ?sample:int ->
+  Netgraph.Graph.t ->
+  Netgraph.Bitset.t ->
+  Store.Snapshot.t * certification
+(** [edge_compression g x] compresses the edge subset [x] with
+    {!Schemas.Edge_compression.encode} (so each node stores at most
+    ⌈d/2⌉+1 bits) and certifies a serve radius: probe radii grow
+    geometrically from 2 and a binary search then tightens to the
+    smallest passing value.  [sample] (default 0 = every node) checks an
+    evenly spaced node sample instead — exhaustive on small instances,
+    sampled when packing benchmark-sized ones; [max_radius] (default
+    [Graph.n g]) bounds the search.  [name] is the advice section name
+    (default ["c4"]); [params] the orientation parameters (default
+    {!Schemas.Balanced_orientation.onebit_params}), stored in the
+    metadata for {!Engine.create} to read back.
+    @raise Schemas.Balanced_orientation.Encoding_failure when the
+    underlying schema cannot encode the graph.
+    @raise Invalid_argument when no radius up to [max_radius] passes, or
+    [x] is not an edge set of [g]. *)

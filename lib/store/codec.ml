@@ -1,0 +1,142 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Writer *)
+
+type writer = { buf : Buffer.t }
+
+let writer ?(capacity = 256) () = { buf = Buffer.create capacity }
+let contents w = Buffer.contents w.buf
+let written w = Buffer.length w.buf
+
+let u8 w v =
+  if v < 0 || v > 0xFF then invalid_arg "Codec.u8: value outside 0..255";
+  Buffer.add_char w.buf (Char.unsafe_chr v)
+
+let u16 w v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Codec.u16: value outside 0..65535";
+  Buffer.add_char w.buf (Char.unsafe_chr (v land 0xFF));
+  Buffer.add_char w.buf (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+let u32 w v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg "Codec.u32: value outside unsigned 32-bit range";
+  Buffer.add_char w.buf (Char.unsafe_chr (v land 0xFF));
+  Buffer.add_char w.buf (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Buffer.add_char w.buf (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Buffer.add_char w.buf (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let varint w v =
+  if v < 0 then invalid_arg "Codec.varint: negative value";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char w.buf (Char.unsafe_chr v)
+    else begin
+      Buffer.add_char w.buf (Char.unsafe_chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let raw w s = Buffer.add_string w.buf s
+
+let str w s =
+  varint w (String.length s);
+  raw w s
+
+let section w ~tag payload =
+  u8 w tag;
+  u32 w (String.length payload);
+  raw w payload;
+  u32 w (Crc32.of_string payload)
+
+(* Reader *)
+
+type reader = { data : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len data =
+  let limit =
+    match len with None -> String.length data | Some l -> pos + l
+  in
+  if pos < 0 || limit > String.length data || pos > limit then
+    invalid_arg "Codec.reader: range out of bounds";
+  { data; pos; limit }
+
+let pos r = r.pos
+let remaining r = r.limit - r.pos
+let at_end r = r.pos >= r.limit
+
+let need r k what =
+  if remaining r < k then
+    corrupt "truncated input at offset %d: need %d byte(s) for %s, have %d"
+      r.pos k what (remaining r)
+
+let read_u8 r =
+  need r 1 "u8";
+  let v = Char.code (String.unsafe_get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u16 r =
+  need r 2 "u16";
+  let b i = Char.code (String.unsafe_get r.data (r.pos + i)) in
+  let v = b 0 lor (b 1 lsl 8) in
+  r.pos <- r.pos + 2;
+  v
+
+let read_u32 r =
+  need r 4 "u32";
+  let b i = Char.code (String.unsafe_get r.data (r.pos + i)) in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  r.pos <- r.pos + 4;
+  v
+
+let read_varint r =
+  let start = r.pos in
+  let rec go acc shift =
+    need r 1 "varint";
+    let b = Char.code (String.unsafe_get r.data r.pos) in
+    r.pos <- r.pos + 1;
+    let payload = b land 0x7F in
+    if shift > 56 || (shift = 56 && payload > 0x3F) then
+      corrupt "varint at offset %d overflows the int range" start;
+    let acc = acc lor (payload lsl shift) in
+    if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let read_raw r k =
+  if k < 0 then corrupt "negative length %d at offset %d" k r.pos;
+  need r k "raw bytes";
+  let s = String.sub r.data r.pos k in
+  r.pos <- r.pos + k;
+  s
+
+let read_str r =
+  let len = read_varint r in
+  read_raw r len
+
+let expect_end r ~what =
+  if not (at_end r) then
+    corrupt "%s: %d trailing byte(s) at offset %d" what (remaining r) r.pos
+
+let read_section r =
+  let offset = r.pos in
+  let tag = read_u8 r in
+  let len = read_u32 r in
+  if remaining r < len + 4 then
+    corrupt
+      "truncated section (tag %d) at offset %d: header announces %d payload \
+       byte(s) but only %d byte(s) remain"
+      tag offset len (remaining r);
+  let payload = read_raw r len in
+  let stored = read_u32 r in
+  let actual = Crc32.of_string payload in
+  if stored <> actual then
+    corrupt
+      "checksum mismatch in section (tag %d) at offset %d: stored %08x, \
+       computed %08x"
+      tag offset stored actual;
+  (tag, payload)
+
+type section_info = { tag : int; offset : int; length : int; crc : int }

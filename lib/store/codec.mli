@@ -1,0 +1,105 @@
+(** Low-level wire codec for snapshot files.
+
+    All multi-byte integers are little-endian; unbounded non-negative
+    integers use LEB128 varints (7 payload bits per byte, high bit is the
+    continuation flag).  Strings are varint-length-prefixed.  Sections are
+    framed as [tag:u8, length:u32, payload, crc32:u32] where the checksum
+    covers the payload bytes only — see {!Snapshot} for the file layout
+    built on top.
+
+    Readers never trust lengths: every access is bounds-checked against
+    the enclosing buffer and failures raise {!Corrupt} with a diagnostic
+    naming the offset and the field being parsed. *)
+
+exception Corrupt of string
+(** Raised by all reader functions on malformed input: truncation, varint
+    overflow, checksum mismatch, or trailing garbage.  The payload is a
+    human-readable diagnostic including the byte offset. *)
+
+(** {1 Writer} *)
+
+type writer
+(** Append-only output buffer. *)
+
+val writer : ?capacity:int -> unit -> writer
+(** A fresh empty writer ([capacity] is the initial buffer hint). *)
+
+val contents : writer -> string
+(** Everything appended so far, as one string. *)
+
+val written : writer -> int
+(** Bytes appended so far. *)
+
+val u8 : writer -> int -> unit
+(** @raise Invalid_argument when the value is outside [0..255]. *)
+
+val u16 : writer -> int -> unit
+(** Little-endian u16.  @raise Invalid_argument outside [0..0xFFFF]. *)
+
+val u32 : writer -> int -> unit
+(** @raise Invalid_argument when the value is outside the unsigned range. *)
+
+val varint : writer -> int -> unit
+(** LEB128.  @raise Invalid_argument on negative values. *)
+
+val str : writer -> string -> unit
+(** Varint length followed by the raw bytes. *)
+
+val raw : writer -> string -> unit
+(** Raw bytes, no framing. *)
+
+val section : writer -> tag:int -> string -> unit
+(** [section w ~tag payload] frames and appends one section:
+    [tag:u8, length:u32, payload, crc32(payload):u32]. *)
+
+(** {1 Reader} *)
+
+type reader
+(** Cursor over an immutable input string. *)
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+(** A cursor over [len] bytes of the string starting at [pos] (defaults:
+    the whole string).  @raise Invalid_argument on an impossible window. *)
+
+val pos : reader -> int
+(** Current absolute byte offset. *)
+
+val remaining : reader -> int
+(** Bytes left before the window's limit. *)
+
+val at_end : reader -> bool
+(** Whether the cursor has consumed its whole window. *)
+
+val read_u8 : reader -> int
+(** One byte.  @raise Corrupt on truncation (as all readers below). *)
+
+val read_u16 : reader -> int
+(** Little-endian u16. *)
+
+val read_u32 : reader -> int
+(** Little-endian u32. *)
+
+val read_varint : reader -> int
+(** @raise Corrupt on truncation or when the value exceeds [max_int]. *)
+
+val read_str : reader -> string
+(** A varint-length-prefixed string. *)
+
+val read_raw : reader -> int -> string
+(** [read_raw r n] consumes exactly [n] raw bytes. *)
+
+val expect_end : reader -> what:string -> unit
+(** @raise Corrupt when bytes remain after a complete parse. *)
+
+val read_section : reader -> int * string
+(** Reads one framed section, verifies its checksum and returns
+    [(tag, payload)].  @raise Corrupt on truncation or CRC mismatch. *)
+
+type section_info = {
+  tag : int;
+  offset : int;  (** Byte offset of the section's tag byte. *)
+  length : int;  (** Payload length in bytes. *)
+  crc : int;  (** Stored checksum (already verified against the payload). *)
+}
+(** Shallow description of a framed section, as reported by
+    {!Snapshot.sections} for [inspect]-style tooling. *)

@@ -1,0 +1,35 @@
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask = 0xFFFFFFFF
+
+let update_char crc c =
+  let t = Lazy.force table in
+  t.((crc lxor Char.code c) land 0xFF) lxor (crc lsr 8)
+
+let finish crc = crc lxor mask land mask
+
+let start init =
+  match init with None -> mask | Some c -> c lxor mask land mask
+
+let of_substring ?init s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.of_substring: range out of bounds";
+  let crc = ref (start init) in
+  for i = pos to pos + len - 1 do
+    crc := update_char !crc (String.unsafe_get s i)
+  done;
+  finish !crc
+
+let of_string ?init s = of_substring ?init s ~pos:0 ~len:(String.length s)
+
+let of_bytes ?init b =
+  of_string ?init (Bytes.unsafe_to_string b)

@@ -1,0 +1,228 @@
+module Graph = Netgraph.Graph
+
+let magic = "LADV"
+let version = 1
+let tag_graph = 1
+let tag_advice = 2
+let tag_meta = 3
+
+type t = {
+  graph : Graph.t;
+  advice : (string * Advice.Assignment.t) list;
+  meta : (string * string) list;
+}
+
+let bytes_written = Obs.Metrics.counter "store.bytes_written"
+let bytes_read = Obs.Metrics.counter "store.bytes_read"
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Codec.Corrupt s)) fmt
+
+(* Graph section *)
+
+let graph_payload g =
+  let w = Codec.writer ~capacity:(16 + (4 * Graph.n g)) () in
+  Codec.varint w (Graph.n g);
+  Codec.varint w (Graph.m g);
+  Graph.iter_nodes (fun v -> Codec.varint w (Graph.degree g v)) g;
+  Graph.iter_nodes
+    (fun v ->
+      let nbrs = Graph.neighbors g v in
+      let prev = ref 0 in
+      Array.iteri
+        (fun i u ->
+          if i = 0 then Codec.varint w u else Codec.varint w (u - !prev);
+          prev := u)
+        nbrs)
+    g;
+  Codec.contents w
+
+let read_graph payload =
+  let r = Codec.reader payload in
+  let n = Codec.read_varint r in
+  let m = Codec.read_varint r in
+  let degrees = Array.init n (fun _ -> Codec.read_varint r) in
+  let edges = ref [] in
+  let total_deg = ref 0 in
+  for v = 0 to n - 1 do
+    let d = degrees.(v) in
+    total_deg := !total_deg + d;
+    let prev = ref 0 in
+    for i = 0 to d - 1 do
+      let u = if i = 0 then Codec.read_varint r else !prev + Codec.read_varint r in
+      if u >= n then
+        corrupt "graph section: node %d lists neighbor %d >= n=%d" v u n;
+      if u = v then corrupt "graph section: node %d lists itself" v;
+      if i > 0 && u = !prev then
+        corrupt "graph section: node %d lists neighbor %d twice" v u;
+      prev := u;
+      if u > v then edges := (v, u) :: !edges
+    done
+  done;
+  Codec.expect_end r ~what:"graph section";
+  if !total_deg <> 2 * m then
+    corrupt "graph section: degree sum %d does not match 2m=%d" !total_deg
+      (2 * m);
+  let g = Graph.of_edges ~n (List.rev !edges) in
+  if Graph.m g <> m then
+    corrupt "graph section: adjacency is not symmetric (%d edges, header says %d)"
+      (Graph.m g) m;
+  g
+
+(* Advice section *)
+
+let check_name what name =
+  if String.contains name '\000' then
+    invalid_arg ("Snapshot.write: " ^ what ^ " contains a NUL byte")
+
+let advice_payload n (name, assignment) =
+  check_name "advice name" name;
+  if Array.length assignment <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Snapshot.write: assignment %S has %d entries for a %d-node graph"
+         name (Array.length assignment) n);
+  let w = Codec.writer ~capacity:(16 + Array.length assignment) () in
+  Codec.str w name;
+  Codec.varint w n;
+  Array.iter (fun s -> Codec.varint w (String.length s)) assignment;
+  let packed, _nbits =
+    Advice.Bits.pack (String.concat "" (Array.to_list assignment))
+  in
+  Codec.raw w (Bytes.unsafe_to_string packed);
+  Codec.contents w
+
+let read_advice ~n payload =
+  let r = Codec.reader payload in
+  let name = Codec.read_str r in
+  let n' = Codec.read_varint r in
+  if n' <> n then
+    corrupt "advice section %S: %d entries for a %d-node graph" name n' n;
+  let lens = Array.init n (fun _ -> Codec.read_varint r) in
+  let nbits = Array.fold_left ( + ) 0 lens in
+  let packed = Codec.read_raw r ((nbits + 7) / 8) in
+  Codec.expect_end r ~what:(Printf.sprintf "advice section %S" name);
+  let all = Advice.Bits.unpack (Bytes.unsafe_of_string packed) nbits in
+  let off = ref 0 in
+  let assignment =
+    Array.map
+      (fun len ->
+        let s = String.sub all !off len in
+        off := !off + len;
+        s)
+      lens
+  in
+  (name, assignment)
+
+(* Metadata section *)
+
+let meta_payload meta =
+  let w = Codec.writer () in
+  Codec.varint w (List.length meta);
+  List.iter
+    (fun (k, v) ->
+      check_name "metadata key" k;
+      Codec.str w k;
+      Codec.str w v)
+    meta;
+  Codec.contents w
+
+let read_meta payload =
+  let r = Codec.reader payload in
+  let count = Codec.read_varint r in
+  let entries =
+    List.init count (fun _ ->
+        let k = Codec.read_str r in
+        let v = Codec.read_str r in
+        (k, v))
+  in
+  Codec.expect_end r ~what:"metadata section";
+  entries
+
+(* Whole snapshot *)
+
+let write t =
+  List.iter
+    (fun (name, a) ->
+      if not (Advice.Assignment.is_wellformed a) then
+        invalid_arg
+          (Printf.sprintf "Snapshot.write: assignment %S is not a bit string"
+             name))
+    t.advice;
+  let w = Codec.writer ~capacity:4096 () in
+  Codec.raw w magic;
+  Codec.u16 w version;
+  Codec.varint w (1 + List.length t.advice + 1);
+  Codec.section w ~tag:tag_graph (graph_payload t.graph);
+  let n = Graph.n t.graph in
+  List.iter
+    (fun named -> Codec.section w ~tag:tag_advice (advice_payload n named))
+    t.advice;
+  Codec.section w ~tag:tag_meta (meta_payload t.meta);
+  let s = Codec.contents w in
+  Obs.Metrics.add bytes_written (String.length s);
+  s
+
+let read_header r =
+  let m = Codec.read_raw r (String.length magic) in
+  if m <> magic then corrupt "bad magic %S (expected %S)" m magic;
+  let v = Codec.read_u16 r in
+  if v <> version then
+    corrupt "unsupported snapshot version %d (this build reads %d)" v version;
+  Codec.read_varint r
+
+let read s =
+  Obs.Metrics.add bytes_read (String.length s);
+  let r = Codec.reader s in
+  let count = read_header r in
+  if count < 2 then
+    corrupt "section count %d is too small (need graph + metadata)" count;
+  let tag, payload = Codec.read_section r in
+  if tag <> tag_graph then
+    corrupt "first section has tag %d (expected graph tag %d)" tag tag_graph;
+  let graph = read_graph payload in
+  let n = Graph.n graph in
+  let advice = ref [] in
+  for _ = 1 to count - 2 do
+    let tag, payload = Codec.read_section r in
+    if tag <> tag_advice then
+      corrupt "middle section has tag %d (expected advice tag %d)" tag
+        tag_advice;
+    advice := read_advice ~n payload :: !advice
+  done;
+  let tag, payload = Codec.read_section r in
+  if tag <> tag_meta then
+    corrupt "last section has tag %d (expected metadata tag %d)" tag tag_meta;
+  let meta = read_meta payload in
+  Codec.expect_end r ~what:"snapshot";
+  { graph; advice = List.rev !advice; meta }
+
+let to_file path t =
+  let s = write t in
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  read s
+
+let sections s =
+  let r = Codec.reader s in
+  let count = read_header r in
+  List.init count (fun _ ->
+      let offset = Codec.pos r in
+      let tag, payload = Codec.read_section r in
+      {
+        Codec.tag;
+        offset;
+        length = String.length payload;
+        crc = Crc32.of_string payload;
+      })
+
+let advice_payload_bits t ~name =
+  match List.find_opt (fun (k, _) -> String.equal k name) t.advice with
+  | None -> raise Not_found
+  | Some (_, a) -> Advice.Assignment.total_bits a

@@ -1,0 +1,88 @@
+(** Versioned binary snapshots: one graph, named bit-packed advice
+    assignments, and schema metadata.
+
+    Wire layout (all integers little-endian, varints LEB128; see
+    {!Codec}):
+
+    {v
+    magic "LADV"  version:u16  section-count:varint
+    section*      where section = tag:u8 length:u32 payload crc32:u32
+    v}
+
+    Sections appear in a fixed order — one graph section (tag 1), one
+    advice section (tag 2) per named assignment in list order, one
+    metadata section (tag 3) — and the payloads are:
+
+    - {b graph}: [n:varint m:varint] then each node's degree as a varint,
+      then each node's sorted neighbor list delta-encoded (first neighbor
+      absolute, then strictly positive gaps), all varints.
+    - {b advice}: [name:str n:varint] then each node's advice bit length
+      as a varint, then the concatenation of all nodes' bits packed
+      LSB-first ({!Advice.Bits.pack}) — a node's C4 advice occupies
+      ⌈d/2⌉+1 bits on the wire, not bytes.
+    - {b metadata}: [count:varint] then [key:str value:str] pairs.
+
+    Writing is canonical: graphs store their (already sorted) neighbor
+    arrays and packing pads with zero bits, so [write (read s) = s] for
+    every valid snapshot — re-packing is byte-identical.  Readers verify
+    the magic, version, every section checksum and every internal length,
+    raising {!Codec.Corrupt} with an offset-bearing diagnostic otherwise.
+
+    Version policy: the version field is bumped on any incompatible
+    layout change; readers reject versions they do not know rather than
+    guessing.  Unknown section tags are likewise rejected (the format has
+    no skippable optional sections yet, so a stray tag means corruption).
+
+    Obs: writing adds to the [store.bytes_written] counter, reading to
+    [store.bytes_read]. *)
+
+(** One snapshot: the graph, its named advice assignments, and free-form
+    schema metadata. *)
+type t = {
+  graph : Netgraph.Graph.t;
+  advice : (string * Advice.Assignment.t) list;
+      (** Named assignments, e.g. [("c4", a)]; order is preserved. *)
+  meta : (string * string) list;
+      (** Schema metadata (schema name, parameters, certified serve
+          radius...); order is preserved. *)
+}
+
+val version : int
+(** The format version this build writes and the only one it reads. *)
+
+val tag_graph : int
+(** Tag byte of the graph section (exposed for tooling and tests). *)
+
+val tag_advice : int
+(** Tag byte of advice sections. *)
+
+val tag_meta : int
+(** Tag byte of the metadata section. *)
+
+val write : t -> string
+(** Serialize.  @raise Invalid_argument when an assignment's length
+    differs from the graph's node count or contains non-bit characters,
+    or when an advice name or metadata key contains a NUL byte. *)
+
+val read : string -> t
+(** Parse and verify a snapshot.  @raise Codec.Corrupt on any malformed
+    input: bad magic, unknown version, checksum mismatch, truncation,
+    out-of-range neighbor ids, or trailing bytes. *)
+
+val to_file : string -> t -> unit
+(** [to_file path t] writes {!write}'s bytes to [path] (binary mode). *)
+
+val of_file : string -> t
+(** [of_file path] is {!read} over the file's bytes.
+    @raise Codec.Corrupt as {!read}; @raise Sys_error on I/O failure. *)
+
+val sections : string -> Codec.section_info list
+(** Frame-level description of a snapshot's sections (tag, offset,
+    payload length, verified checksum) without decoding the payloads —
+    the basis of [advice_store inspect].  @raise Codec.Corrupt on a
+    malformed frame. *)
+
+val advice_payload_bits : t -> name:string -> int
+(** Total packed advice bits the named assignment occupies on the wire
+    (the sum of per-node bit lengths, excluding varint framing).
+    @raise Not_found when no section has that name. *)

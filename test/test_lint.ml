@@ -13,6 +13,8 @@ let _ = Advice.Bits.encode
 let _ = Schemas.Lcl_support.frontier
 let _ = Ethlink.Canonical.build_table
 let _ = Baselines.Trivial.coloring_encode
+let _ = Store.Snapshot.write
+let _ = Serve.Engine.create
 
 let lib_root = "../lib"
 

@@ -50,6 +50,28 @@ let contains haystack needle =
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
   go 0
 
+let expect_rejection what text pred =
+  match Graphio.of_edge_list text with
+  | exception Invalid_argument msg ->
+      check (what ^ ": diagnostic names the line") true (pred msg)
+  | _ -> Alcotest.fail ("should reject " ^ what)
+
+let test_edge_list_self_loop () =
+  (* The loop sits on source line 3 (the header is line 1). *)
+  expect_rejection "self-loop" "n 4\n0 1\n2 2\n1 3\n" (fun msg ->
+      contains msg "line 3" && contains msg "self-loop")
+
+let test_edge_list_duplicates () =
+  expect_rejection "duplicate edge" "n 4\n0 1\n1 2\n0 1\n" (fun msg ->
+      contains msg "line 4" && contains msg "duplicate edge 0-1"
+      && contains msg "line 2");
+  (* A reversed copy is the same undirected edge; comment lines still
+     count toward the reported line numbers. *)
+  expect_rejection "reversed duplicate" "# c\nn 3\n1 2\n2 1\n" (fun msg ->
+      contains msg "line 4" && contains msg "duplicate edge 1-2");
+  expect_rejection "out-of-range endpoint" "n 2\n0 5\n" (fun msg ->
+      contains msg "line 2" && contains msg "out of range")
+
 let test_dot_output () =
   let g = Builders.cycle 4 in
   let h = Bitset.of_list 4 [ 0 ] in
@@ -172,6 +194,10 @@ let () =
           Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;
           Alcotest.test_case "comments" `Quick test_edge_list_comments;
           Alcotest.test_case "malformed rejected" `Quick test_edge_list_malformed;
+          Alcotest.test_case "self-loops rejected with line" `Quick
+            test_edge_list_self_loop;
+          Alcotest.test_case "duplicates rejected with line" `Quick
+            test_edge_list_duplicates;
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           Alcotest.test_case "dot" `Quick test_dot_output;
         ] );

@@ -1,0 +1,429 @@
+(* Snapshot store + serving engine: bit-packing identity, codec and
+   snapshot round-trips (byte-identical re-pack), corruption fuzz,
+   bits-per-node budget vs the paper's bound, LRU semantics, and
+   engine-vs-direct equivalence of every batch answer. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let bitstring_gen =
+  QCheck.Gen.(
+    map
+      (fun bits -> String.concat "" (List.map (fun b -> if b then "1" else "0") bits))
+      (list_size (int_bound 300) bool))
+
+let bitstring_arb = QCheck.make ~print:(fun s -> s) bitstring_gen
+
+(* ------------------------------------------------------------------ *)
+(* Advice.Bits.pack / unpack *)
+
+let pack_unpack_id =
+  QCheck.Test.make ~count:500 ~name:"Bits.unpack (Bits.pack s) = s"
+    bitstring_arb (fun s ->
+      let b, n = Advice.Bits.pack s in
+      n = String.length s && Advice.Bits.unpack b n = s)
+
+let test_pack_canonical () =
+  (* Trailing pad bits are zero, so equal strings pack to equal bytes. *)
+  let b, n = Advice.Bits.pack "101" in
+  check_int "bit count" 3 n;
+  check_int "one byte" 1 (Bytes.length b);
+  check_int "padded with zeros" 0b101 (Char.code (Bytes.get b 0));
+  let b8, _ = Advice.Bits.pack "10000001" in
+  check_int "lsb-first" 0b10000001 (Char.code (Bytes.get b8 0));
+  check_int "empty packs to empty" 0 (Bytes.length (fst (Advice.Bits.pack "")));
+  (match Advice.Bits.pack "10x1" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pack accepted a non-bit character");
+  match Advice.Bits.unpack (Bytes.make 1 '\255') 9 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unpack accepted an out-of-range bit count"
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives *)
+
+let varint_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"varint round-trip"
+    QCheck.(oneof [ int_bound 300; int_bound 1_000_000_000; always max_int ])
+    (fun v ->
+      let w = Store.Codec.writer () in
+      Store.Codec.varint w v;
+      let r = Store.Codec.reader (Store.Codec.contents w) in
+      let back = Store.Codec.read_varint r in
+      back = v && Store.Codec.at_end r)
+
+let test_codec_sections () =
+  let w = Store.Codec.writer () in
+  Store.Codec.section w ~tag:7 "hello";
+  Store.Codec.section w ~tag:9 "";
+  let r = Store.Codec.reader (Store.Codec.contents w) in
+  let t1, p1 = Store.Codec.read_section r in
+  let t2, p2 = Store.Codec.read_section r in
+  check_int "tag 1" 7 t1;
+  check_str "payload 1" "hello" p1;
+  check_int "tag 2" 9 t2;
+  check_str "empty payload" "" p2;
+  check "consumed" true (Store.Codec.at_end r)
+
+let test_codec_rejects () =
+  let w = Store.Codec.writer () in
+  Store.Codec.section w ~tag:1 "payload";
+  let s = Store.Codec.contents w in
+  (* truncation mid-frame *)
+  for cut = 0 to String.length s - 1 do
+    let r = Store.Codec.reader (String.sub s 0 cut) in
+    match Store.Codec.read_section r with
+    | exception Store.Codec.Corrupt _ -> ()
+    | _ -> Alcotest.failf "accepted a section truncated to %d bytes" cut
+  done;
+  (* payload corruption vs the stored checksum *)
+  let flipped = Bytes.of_string s in
+  Bytes.set flipped 6 (Char.chr (Char.code (Bytes.get flipped 6) lxor 1));
+  (match Store.Codec.read_section (Store.Codec.reader (Bytes.to_string flipped)) with
+  | exception Store.Codec.Corrupt msg ->
+      check "names the checksum" true
+        (String.length msg > 0
+        && Option.is_some (String.index_opt msg 'c'))
+  | _ -> Alcotest.fail "accepted a corrupted payload")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot round-trip *)
+
+let graph_gen =
+  QCheck.Gen.(
+    map2
+      (fun pick seed ->
+        let rng = Prng.create seed in
+        match pick with
+        | 0 -> Builders.cycle (3 + Prng.int rng 60)
+        | 1 -> Builders.grid (1 + Prng.int rng 6) (1 + Prng.int rng 6)
+        | _ -> Builders.random_even_degree rng (4 + Prng.int rng 40) 2)
+      (int_bound 2) (int_bound 1_000_000))
+
+let snapshot_gen =
+  QCheck.Gen.(
+    map2
+      (fun g seed ->
+        let rng = Prng.create seed in
+        let random_assignment () =
+          Array.init (Graph.n g) (fun _ ->
+              String.init (Prng.int rng 9) (fun _ ->
+                  if Prng.bool rng then '1' else '0'))
+        in
+        let advice =
+          List.init (Prng.int rng 3) (fun i ->
+              (Printf.sprintf "layer%d" i, random_assignment ()))
+        in
+        let meta =
+          List.init (Prng.int rng 4) (fun i ->
+              (Printf.sprintf "key%d" i, Printf.sprintf "value-%d" (Prng.int rng 100)))
+        in
+        { Store.Snapshot.graph = g; advice; meta })
+      graph_gen (int_bound 1_000_000))
+
+let snapshot_arb =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "snapshot n=%d m=%d advice=%d meta=%d"
+        (Graph.n s.Store.Snapshot.graph)
+        (Graph.m s.Store.Snapshot.graph)
+        (List.length s.Store.Snapshot.advice)
+        (List.length s.Store.Snapshot.meta))
+    snapshot_gen
+
+let snapshot_equal a b =
+  Graph.equal a.Store.Snapshot.graph b.Store.Snapshot.graph
+  && List.length a.Store.Snapshot.advice = List.length b.Store.Snapshot.advice
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) -> String.equal n1 n2 && a1 = a2)
+       a.Store.Snapshot.advice b.Store.Snapshot.advice
+  && List.length a.Store.Snapshot.meta = List.length b.Store.Snapshot.meta
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+       a.Store.Snapshot.meta b.Store.Snapshot.meta
+
+let snapshot_roundtrip =
+  QCheck.Test.make ~count:100
+    ~name:"Snapshot.read inverts write; re-pack is byte-identical"
+    snapshot_arb (fun s ->
+      let bytes1 = Store.Snapshot.write s in
+      let back = Store.Snapshot.read bytes1 in
+      let bytes2 = Store.Snapshot.write back in
+      snapshot_equal s back && String.equal bytes1 bytes2)
+
+let test_snapshot_rejects_malformed () =
+  let g = Builders.cycle 6 in
+  let bad_len =
+    { Store.Snapshot.graph = g; advice = [ ("a", [| "1" |]) ]; meta = [] }
+  in
+  (match Store.Snapshot.write bad_len with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted an assignment of the wrong length");
+  let bad_chars =
+    {
+      Store.Snapshot.graph = g;
+      advice = [ ("a", Array.make 6 "10x") ];
+      meta = [];
+    }
+  in
+  match Store.Snapshot.write bad_chars with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted a non-bit assignment"
+
+(* Every single-byte mutation must be detected: framing damage trips a
+   structural check, payload damage trips the section checksum. *)
+let test_snapshot_corruption_fuzz () =
+  let rng = Prng.create 1234 in
+  let g = Builders.random_even_degree rng 24 2 in
+  let advice =
+    [ ("bits", Array.init (Graph.n g) (fun v -> if v mod 3 = 0 then "101" else "")) ]
+  in
+  let s =
+    Store.Snapshot.write
+      { Store.Snapshot.graph = g; advice; meta = [ ("k", "v") ] }
+  in
+  for cut = 0 to String.length s - 1 do
+    match Store.Snapshot.read (String.sub s 0 cut) with
+    | exception Store.Codec.Corrupt _ -> ()
+    | _ -> Alcotest.failf "accepted a snapshot truncated to %d bytes" cut
+  done;
+  for i = 0 to String.length s - 1 do
+    let mutated = Bytes.of_string s in
+    Bytes.set mutated i (Char.chr (Char.code s.[i] lxor 0x20));
+    match Store.Snapshot.read (Bytes.to_string mutated) with
+    | exception Store.Codec.Corrupt _ -> ()
+    | _ -> Alcotest.failf "accepted a snapshot with byte %d flipped" i
+  done;
+  (* The diagnostic carries context (an offset), not just a boolean. *)
+  match Store.Snapshot.read (String.sub s 0 (String.length s - 1)) with
+  | exception Store.Codec.Corrupt msg ->
+      check "diagnostic mentions an offset" true
+        (String.length msg > 10)
+  | _ -> Alcotest.fail "accepted a truncated snapshot"
+
+(* ------------------------------------------------------------------ *)
+(* The paper's bit budget (acceptance criterion) *)
+
+let test_bits_budget () =
+  let rng = Prng.create 7 in
+  List.iter
+    (fun g ->
+      let x = Bitset.create (Graph.m g) in
+      Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+      let snapshot, _cert =
+        Serve.Pack.edge_compression ~sample:8 ~max_radius:(Graph.n g) g x
+      in
+      let budget =
+        Graph.fold_nodes
+          (fun v acc -> acc + Schemas.Edge_compression.bits_bound (Graph.degree g v))
+          g 0
+      in
+      let payload_bits = Store.Snapshot.advice_payload_bits snapshot ~name:"c4" in
+      check "payload within the paper's budget" true (payload_bits <= budget);
+      (* On the wire: packed payload + varint lengths + name is O(n)
+         framing on top of the bit budget. *)
+      let bytes = Store.Snapshot.write snapshot in
+      let advice_section =
+        List.find
+          (fun i -> i.Store.Codec.tag = Store.Snapshot.tag_advice)
+          (Store.Snapshot.sections bytes)
+      in
+      check "wire size = packed bits + O(n) framing" true
+        (advice_section.Store.Codec.length
+        <= ((payload_bits + 7) / 8) + (3 * Graph.n g) + 32))
+    (* Families the one-bit C4 encoder supports: long enough geodesics
+       for the radial marker messages. *)
+    [ Builders.cycle 200; Builders.cycle 333 ]
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache *)
+
+let test_cache_lru () =
+  let c = Serve.Cache.create ~capacity:2 ~n:10 in
+  check_int "capacity" 2 (Serve.Cache.capacity c);
+  Serve.Cache.insert c 1 "a";
+  Serve.Cache.insert c 2 "b";
+  check "hit 1" true (Serve.Cache.find c 1 = Some "a");
+  (* 1 is now most recent; inserting 3 evicts 2 *)
+  Serve.Cache.insert c 3 "c";
+  check "2 evicted" false (Serve.Cache.mem c 2);
+  check "1 kept" true (Serve.Cache.mem c 1);
+  check "3 present" true (Serve.Cache.find c 3 = Some "c");
+  check_int "length" 2 (Serve.Cache.length c);
+  (* replacement updates in place *)
+  Serve.Cache.insert c 1 "a2";
+  check "replaced" true (Serve.Cache.find c 1 = Some "a2");
+  check_int "no growth on replace" 2 (Serve.Cache.length c);
+  (* mem does not promote: 3 is LRU after the finds above *)
+  check "mem is read-only" true (Serve.Cache.mem c 3);
+  Serve.Cache.insert c 4 "d";
+  check "3 evicted as LRU" false (Serve.Cache.mem c 3);
+  Serve.Cache.clear c;
+  check_int "cleared" 0 (Serve.Cache.length c);
+  check "find after clear" true (Serve.Cache.find c 1 = None);
+  (* capacity 0 disables caching *)
+  let c0 = Serve.Cache.create ~capacity:0 ~n:4 in
+  Serve.Cache.insert c0 1 "x";
+  check "capacity-0 never stores" true (Serve.Cache.find c0 1 = None)
+
+let cache_matches_model =
+  QCheck.Test.make ~count:200 ~name:"LRU cache matches a list model"
+    QCheck.(pair (int_range 1 4) (small_list (pair (int_bound 7) (int_bound 9))))
+    (fun (cap, ops) ->
+      let c = Serve.Cache.create ~capacity:cap ~n:8 in
+      (* model: association list, most recent first *)
+      let model = ref [] in
+      List.for_all
+        (fun (v, tag) ->
+          if tag mod 2 = 0 then begin
+            let s = string_of_int tag in
+            Serve.Cache.insert c v s;
+            model := (v, s) :: List.remove_assoc v !model;
+            if List.length !model > cap then
+              model := List.filteri (fun i _ -> i < cap) !model;
+            true
+          end
+          else begin
+            let got = Serve.Cache.find c v in
+            let expected = List.assoc_opt v !model in
+            (match expected with
+            | Some s -> model := (v, s) :: List.remove_assoc v !model
+            | None -> ());
+            got = expected
+          end)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs direct decoder *)
+
+let make_packed n seed =
+  let rng = Prng.create seed in
+  let g = Builders.cycle n in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let snapshot, cert = Serve.Pack.edge_compression g x in
+  (g, x, snapshot, cert)
+
+let test_engine_vs_direct () =
+  let g, _x, snapshot, cert = make_packed 260 42 in
+  check "certified exhaustively" true cert.Serve.Pack.exhaustive;
+  check "serving is local (radius < n/2)" true (cert.Serve.Pack.radius < 130);
+  (* Round-trip through the wire format before serving. *)
+  let snapshot = Store.Snapshot.read (Store.Snapshot.write snapshot) in
+  let engine = Serve.Engine.create snapshot in
+  check_int "radius from metadata" cert.Serve.Pack.radius
+    (Serve.Engine.radius engine);
+  let assignment =
+    match snapshot.Store.Snapshot.advice with
+    | [ ("c4", a) ] -> a
+    | _ -> Alcotest.fail "expected one advice section named c4"
+  in
+  let decoded = Schemas.Edge_compression.decode g assignment in
+  Graph.iter_nodes
+    (fun v ->
+      let expected_label =
+        String.init (Graph.degree g v) (fun i ->
+            let u = (Graph.neighbors g v).(i) in
+            if Bitset.mem decoded (Graph.edge_id g v u) then '1' else '0')
+      in
+      (match Serve.Engine.query engine (Serve.Engine.Output_label v) with
+      | Serve.Engine.Label s -> check_str "label = direct decode" expected_label s
+      | _ -> Alcotest.fail "expected Label");
+      Array.iter
+        (fun e ->
+          match Serve.Engine.query engine (Serve.Engine.Edge_member (v, e)) with
+          | Serve.Engine.Member b ->
+              check "membership = direct decode" (Bitset.mem decoded e) b
+          | _ -> Alcotest.fail "expected Member")
+        (Graph.incident_edges g v);
+      match Serve.Engine.query engine (Serve.Engine.Advice_bits v) with
+      | Serve.Engine.Bits s -> check_str "advice bits" assignment.(v) s
+      | _ -> Alcotest.fail "expected Bits")
+    g
+
+let test_engine_batch_matches_queries () =
+  let g, _x, snapshot, _cert = make_packed 200 7 in
+  let engine = Serve.Engine.create snapshot in
+  let rng = Prng.create 99 in
+  let queries =
+    Array.init 300 (fun _ ->
+        let v = Prng.int rng (Graph.n g) in
+        match Prng.int rng 3 with
+        | 0 -> Serve.Engine.Output_label v
+        | 1 ->
+            let es = Graph.incident_edges g v in
+            Serve.Engine.Edge_member (v, es.(Prng.int rng (Array.length es)))
+        | _ -> Serve.Engine.Advice_bits v)
+  in
+  (* Cold batch on a fresh engine (parallel), warm repeat, and per-query
+     answers on another fresh engine must all agree. *)
+  let cold = Serve.Engine.batch ~domains:3 engine queries in
+  let warm = Serve.Engine.batch ~domains:3 engine queries in
+  let fresh = Serve.Engine.create snapshot in
+  let singles = Array.map (Serve.Engine.query fresh) queries in
+  let tiny_cache = Serve.Engine.create ~cache_capacity:2 snapshot in
+  let squeezed = Serve.Engine.batch tiny_cache queries in
+  check "warm batch = cold batch" true (cold = warm);
+  check "batch = single queries" true (cold = singles);
+  check "cache pressure changes nothing" true (cold = squeezed)
+
+let test_engine_validates () =
+  let _g, _x, snapshot, _cert = make_packed 24 3 in
+  let engine = Serve.Engine.create snapshot in
+  let must_reject what q =
+    match Serve.Engine.query engine q with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted %s" what
+  in
+  must_reject "an out-of-range node" (Serve.Engine.Output_label 99);
+  must_reject "a negative node" (Serve.Engine.Advice_bits (-1));
+  must_reject "an out-of-range edge" (Serve.Engine.Edge_member (0, 999));
+  must_reject "a non-incident edge" (Serve.Engine.Edge_member (0, 12));
+  (* batch validates before any ball work *)
+  match
+    Serve.Engine.batch engine [| Serve.Engine.Output_label 5; Serve.Engine.Output_label 99 |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "batch accepted an invalid query"
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "bits",
+        [
+          QCheck_alcotest.to_alcotest pack_unpack_id;
+          Alcotest.test_case "packing is canonical" `Quick test_pack_canonical;
+        ] );
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest varint_roundtrip;
+          Alcotest.test_case "section framing" `Quick test_codec_sections;
+          Alcotest.test_case "rejects damage" `Quick test_codec_rejects;
+        ] );
+      ( "snapshot",
+        [
+          QCheck_alcotest.to_alcotest snapshot_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_snapshot_rejects_malformed;
+          Alcotest.test_case "corruption fuzz" `Quick
+            test_snapshot_corruption_fuzz;
+          Alcotest.test_case "advice stays within the bit budget" `Slow
+            test_bits_budget;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru semantics" `Quick test_cache_lru;
+          QCheck_alcotest.to_alcotest cache_matches_model;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "equals the direct decoder" `Slow
+            test_engine_vs_direct;
+          Alcotest.test_case "batch = singles, warm = cold" `Slow
+            test_engine_batch_matches_queries;
+          Alcotest.test_case "validates queries" `Quick test_engine_validates;
+        ] );
+    ]

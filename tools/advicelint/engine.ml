@@ -24,9 +24,12 @@ let default_config =
     roots = [];
     cmt_roots = [];
     rules = None;
-    hot_dirs = [ "lib/graph"; "lib/local"; "lib/eth" ];
+    hot_dirs = [ "lib/graph"; "lib/local"; "lib/eth"; "lib/store"; "lib/serve" ];
     per_node_basenames =
-      [ "view.ml"; "traversal.ml"; "workspace.ml"; "graph.ml"; "rounds.ml" ];
+      [
+        "view.ml"; "traversal.ml"; "workspace.ml"; "graph.ml"; "rounds.ml";
+        "engine.ml"; "cache.ml";
+      ];
     warn_only = [];
     format = Text;
     exit_zero = false;

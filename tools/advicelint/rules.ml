@@ -4,7 +4,8 @@
    [@advicelint.allow "<id>"] suppression attribute):
 
      domain-race        R1  shared mutable state reachable from a closure
-                            passed to View.map_nodes_par / Domain.spawn
+                            passed to View.map_nodes_par /
+                            View.map_subset_par / Domain.spawn
      determinism        R2  Stdlib.Random / wall-clock reads in lib/
      poly-compare       R3  polymorphic =, compare, Hashtbl.hash in the
                             hot-path libraries (lib/graph, lib/local,
@@ -272,7 +273,7 @@ let is_domain_local lid =
 
 let is_par_entry lid =
   match List.rev (Longident.flatten lid) with
-  | "map_nodes_par" :: _ -> true
+  | ("map_nodes_par" | "map_subset_par") :: _ -> true
   | _ -> List.rev (Longident.flatten lid) = [ "spawn"; "Domain" ]
 
 let entry_name lid = String.concat "." (Longident.flatten lid)

@@ -14,7 +14,8 @@ let usage = "docgen [--check-only] DIR...\n"
 
 (* Directories whose interfaces must document every exported item and
    open with a module preamble. *)
-let strict_dirs = [ "lib/obs"; "lib/local"; "lib/advice" ]
+let strict_dirs =
+  [ "lib/obs"; "lib/local"; "lib/advice"; "lib/store"; "lib/serve" ]
 
 (* dune wraps each library; the user-facing path of lib/<dir>/<m>.mli is
    <Library>.<M>. *)
@@ -28,6 +29,8 @@ let library_of_dir =
     ("eth", "Ethlink");
     ("baselines", "Baselines");
     ("obs", "Obs");
+    ("store", "Store");
+    ("serve", "Serve");
   ]
 
 let errors = ref 0
