@@ -121,6 +121,114 @@ let json_of_row r =
       ("batch_par_speedup", J.Float (r.batch_par_qps /. r.batch_seq_qps));
     ]
 
+(* Overhead of the Store.Io choke point with faults DISARMED, versus a
+   hand-rolled writer doing the identical temp + flush + fsync + rename
+   dance with no fault hooks.  The baseline replicates the durability
+   work on purpose: fsync dominates both sides, so the measured delta
+   isolates what the fault-injection check itself costs — which must be
+   ≈0 up to filesystem noise. *)
+
+let plain_atomic_write path data =
+  let temp = path ^ ".tmp" in
+  let oc = open_out_bin temp in
+  output_string oc data;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename temp path;
+  (* Store.Io also fsyncs the parent directory to persist the rename;
+     replicate it or the comparison charges that to the fault check. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let plain_read path =
+  let ic = open_in_bin path in
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    let k = input ic chunk 0 (Bytes.length chunk) in
+    if k > 0 then (
+      Buffer.add_subbytes buf chunk 0 k;
+      loop ())
+  in
+  loop ();
+  close_in ic;
+  Buffer.contents buf
+
+let bench_io ~smoke =
+  let bytes = if smoke then 65_536 else 262_144 in
+  let reps = if smoke then 5 else 15 in
+  let data = String.init bytes (fun i -> Char.chr (i * 131 land 0xFF)) in
+  let p_plain = "bench_io_plain.bin" and p_io = "bench_io_store.bin" in
+  (* Interleaved min-of-reps: both writers hit the same filesystem state
+     in alternation, so a background hiccup cannot bias one side. *)
+  let write_plain = ref infinity and write_io = ref infinity in
+  for _ = 1 to reps do
+    let _, a = Bench_util.time_once (fun () -> plain_atomic_write p_plain data) in
+    let _, b = Bench_util.time_once (fun () -> Store.Io.write_file p_io data) in
+    if a < !write_plain then write_plain := a;
+    if b < !write_io then write_io := b
+  done;
+  (* Reads hit the page cache and finish in microseconds, so they need
+     far more repetitions than the fsync-bound writes for a stable min. *)
+  let read_reps = reps * 40 in
+  let read_plain = ref infinity and read_io = ref infinity in
+  for _ = 1 to read_reps do
+    let _, a =
+      Bench_util.time_once (fun () ->
+          ignore (Sys.opaque_identity (plain_read p_plain)))
+    in
+    let _, b =
+      Bench_util.time_once (fun () ->
+          ignore (Sys.opaque_identity (Store.Io.read_file p_io)))
+    in
+    if a < !read_plain then read_plain := a;
+    if b < !read_io then read_io := b
+  done;
+  let read_plain = !read_plain and read_io = !read_io in
+  (* The per-call cost of the disarmed fault check itself. *)
+  let calls = 10_000_000 in
+  let (), check_t =
+    Bench_util.time_once (fun () ->
+        for _ = 1 to calls do
+          ignore (Sys.opaque_identity (Store.Io.Faults.enabled ()))
+        done)
+  in
+  let check_ns = check_t /. float_of_int calls *. 1e9 in
+  (try Sys.remove p_plain with Sys_error _ -> ());
+  (try Sys.remove p_io with Sys_error _ -> ());
+  let over a b = if b <= 0.0 then 0.0 else (a -. b) /. b in
+  let write_over = over !write_io !write_plain in
+  let read_over = over read_io read_plain in
+  (* ≈0 up to fs noise: small relative slack, or a sub-2ms absolute
+     delta when the base is too fast for a stable ratio. *)
+  let ok =
+    (write_over <= 0.25 || !write_io -. !write_plain <= 0.002)
+    && (read_over <= 0.25 || read_io -. read_plain <= 0.002)
+    && check_ns <= 50.0
+  in
+  Printf.printf
+    "store  io overhead (faults off): write %+5.1f%%  read %+5.1f%%  \
+     enabled() %4.1f ns  [%s]\n\
+     %!"
+    (write_over *. 100.0) (read_over *. 100.0) check_ns
+    (if ok then "ok" else "FAIL");
+  ( J.Obj
+      [
+        ("payload_bytes", J.Int bytes);
+        ("write_plain_seconds", J.Float !write_plain);
+        ("write_io_seconds", J.Float !write_io);
+        ("write_relative_overhead", J.Float write_over);
+        ("read_plain_seconds", J.Float read_plain);
+        ("read_io_seconds", J.Float read_io);
+        ("read_relative_overhead", J.Float read_over);
+        ("faults_enabled_check_ns", J.Float check_ns);
+      ],
+    ok )
+
 let block ~smoke ~domains =
   let sizes = if smoke then [ 2_000 ] else [ 20_000; 100_000 ] in
   let rows =
@@ -141,9 +249,15 @@ let block ~smoke ~domains =
   let warm_beats_cold =
     List.for_all (fun r -> r.warm_qps > r.cold_qps) rows
   in
+  let io_json, io_ok = bench_io ~smoke in
   J.Obj
     [
       ("results", J.List (List.map json_of_row rows));
+      ("io", io_json);
       ( "acceptance",
-        J.Obj [ ("warm_cache_beats_cold", J.Bool warm_beats_cold) ] );
+        J.Obj
+          [
+            ("warm_cache_beats_cold", J.Bool warm_beats_cold);
+            ("faults_disabled_overhead_ok", J.Bool io_ok);
+          ] );
     ]

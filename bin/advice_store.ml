@@ -102,8 +102,10 @@ let pack_cmd =
     let x = Bitset.create (Graph.m g) in
     Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
     let snapshot, cert = Serve.Pack.edge_compression ~sample g x in
-    Store.Snapshot.to_file out snapshot;
+    (* Serialize exactly once: a second Snapshot.write just to learn the
+       size would double-count store.bytes_written. *)
     let bytes = Store.Snapshot.write snapshot in
+    Store.Io.write_file out bytes;
     let budget =
       Graph.fold_nodes
         (fun v acc -> acc + Schemas.Edge_compression.bits_bound (Graph.degree g v))
@@ -143,12 +145,54 @@ let tag_name tag =
   else if tag = Store.Snapshot.tag_meta then "meta"
   else Printf.sprintf "unknown(%d)" tag
 
+let health_term =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:"Salvage-read the snapshot and print a per-section health \
+              report (healthy / quarantined / lost) instead of aborting \
+              on the first corrupt section.")
+
+let print_health raw =
+  let sv = Store.Snapshot.read_salvage raw in
+  Format.printf "snapshot: %d bytes, %d section frame(s) scanned@."
+    (String.length raw)
+    (List.length sv.Store.Snapshot.report);
+  let healthy = ref 0 and quarantined = ref 0 and lost = ref 0 in
+  List.iter
+    (fun r ->
+      let kind = if r.Store.Snapshot.s_tag < 0 then "frame" else tag_name r.Store.Snapshot.s_tag in
+      let name =
+        match r.Store.Snapshot.s_name with
+        | Some n -> Printf.sprintf " %S" n
+        | None -> ""
+      in
+      match r.Store.Snapshot.s_status with
+      | Store.Snapshot.Healthy ->
+          incr healthy;
+          Format.printf "  section %d %s%s: healthy@." r.Store.Snapshot.s_index
+            kind name
+      | Store.Snapshot.Quarantined msg ->
+          incr quarantined;
+          Format.printf "  section %d %s%s: quarantined — %s@."
+            r.Store.Snapshot.s_index kind name msg
+      | Store.Snapshot.Lost msg ->
+          incr lost;
+          Format.printf "  section %d %s%s: lost — %s@."
+            r.Store.Snapshot.s_index kind name msg)
+    sv.Store.Snapshot.report;
+  Format.printf "health: %d healthy, %d quarantined, %d lost@." !healthy
+    !quarantined !lost;
+  Format.printf "servable advice: %d trusted, %d quarantined@."
+    (List.length sv.Store.Snapshot.partial.Store.Snapshot.advice)
+    (List.length sv.Store.Snapshot.recovered)
+
 let inspect_cmd =
-  let run path =
+  let run path health =
     or_corrupt @@ fun () ->
-    let ic = open_in_bin path in
-    let raw = really_input_string ic (in_channel_length ic) in
-    close_in ic;
+    let raw = Store.Io.read_file path in
+    if health then print_health raw
+    else begin
     let snapshot = Store.Snapshot.read raw in
     let sections = Store.Snapshot.sections raw in
     Format.printf "snapshot: %d bytes, version %d, %d sections@."
@@ -183,12 +227,14 @@ let inspect_cmd =
     List.iter
       (fun (k, v) -> Format.printf "meta %s = %s@." k v)
       snapshot.Store.Snapshot.meta
+    end
   in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Dump a snapshot's framing (sections, lengths, checksums) and \
-             its bits-per-node statistics against the paper's bound.")
-    Term.(const run $ snapshot_arg)
+             its bits-per-node statistics against the paper's bound; \
+             $(b,--health) salvage-reads damaged snapshots instead.")
+    Term.(const run $ snapshot_arg $ health_term)
 
 (* ------------------------------------------------------------------ *)
 (* serve *)
@@ -237,15 +283,37 @@ let parse_queries text =
          | [ "bits"; v ] -> Serve.Engine.Advice_bits (int_at "node" v)
          | _ -> fail line "expected 'label V', 'member V E' or 'bits V': %S" l)
 
+let salvage_term =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:"Serve a damaged snapshot in degraded mode: surviving advice \
+              sections answer normally, a quarantined (checksum-failed \
+              but parseable) section answers best-effort.")
+
 let serve_cmd =
-  let run path batch domains cache metrics =
+  let run path batch domains cache salvage metrics =
     or_corrupt @@ fun () ->
     with_metrics metrics @@ fun () ->
-    let snapshot = Store.Snapshot.of_file path in
-    let engine = Serve.Engine.create ~cache_capacity:cache snapshot in
-    let ic = open_in batch in
-    let text = really_input_string ic (in_channel_length ic) in
-    close_in ic;
+    let engine =
+      if salvage then begin
+        let sv = Store.Snapshot.read_salvage (Store.Io.read_file path) in
+        let e = Serve.Engine.create_salvaged ~cache_capacity:cache sv in
+        List.iter
+          (fun line -> Format.printf "salvage: %s@." line)
+          (Serve.Engine.quarantined_sections e);
+        if Serve.Engine.degraded e then
+          Format.printf "serving degraded from %S%s@."
+            (Serve.Engine.advice_name e)
+            (if Serve.Engine.serving_trusted e then ""
+             else " (quarantined advice: answers are best-effort)");
+        e
+      end
+      else Serve.Engine.create ~cache_capacity:cache (Store.Snapshot.of_file path)
+    in
+    (* Read-to-EOF on a binary channel: --batch <(...) hands us a pipe,
+       where in_channel_length is useless. *)
+    let text = Store.Io.read_file batch in
     let queries = Array.of_list (parse_queries text) in
     let answers =
       try Serve.Engine.batch ?domains engine queries
@@ -274,7 +342,7 @@ let serve_cmd =
              decoding only each node's certified-radius ball.")
     Term.(
       const run $ snapshot_arg $ batch_term $ domains_term $ cache_term
-      $ metrics_term)
+      $ salvage_term $ metrics_term)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 

@@ -91,6 +91,9 @@ let to_channel oc j =
   output_string oc (to_string j);
   output_char oc '\n'
 
-let write_file path j =
+(* io-hygiene exemption: Obs sits below Store in the dependency order,
+   so the crash-consistent Store.Io choke point is out of reach here —
+   and a metrics snapshot is a re-runnable artifact, not durable state. *)
+let[@advicelint.allow "io-hygiene"] write_file path j =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> to_channel oc j)

@@ -6,6 +6,9 @@ let m_queries = Obs.Metrics.counter "serve.queries"
 let m_batches = Obs.Metrics.counter "serve.batches"
 let m_hits = Obs.Metrics.counter "serve.cache.hits"
 let m_misses = Obs.Metrics.counter "serve.cache.misses"
+let m_degraded = Obs.Metrics.counter "serve.degraded"
+let m_quarantined = Obs.Metrics.counter "serve.quarantined"
+let m_fallback = Obs.Metrics.counter "serve.fallback_labels"
 
 let m_ball =
   Obs.Metrics.histogram "serve.ball_size"
@@ -19,6 +22,9 @@ type t = {
   radius : int;
   ids : Localmodel.Ids.t;
   cache : Cache.t;
+  degraded : bool;  (* any section of the source snapshot was damaged *)
+  trusted : bool;  (* the served advice section passed its checksum *)
+  quarantined : string list;  (* human-readable damage report *)
 }
 
 let fail fmt = Format.kasprintf invalid_arg fmt
@@ -99,8 +105,32 @@ let params_of_meta snapshot =
       { Balanced_orientation.short_threshold; cover; spacing }
   | _ -> Balanced_orientation.onebit_params
 
-let create ?(cache_capacity = 1024) ?radius ?name snapshot =
+let resolve_radius ?radius snapshot =
+  match (radius, meta_int snapshot "serve.radius") with
+  | Some r, _ | None, Some r ->
+      if r < 0 then fail "Engine.create: negative serve radius %d" r else r
+  | None, None ->
+      fail
+        "Engine.create: snapshot metadata has no serve.radius and no \
+         ~radius override was given"
+
+let build ~cache_capacity ~radius ~degraded ~trusted ~quarantined snapshot name
+    advice =
   let graph = snapshot.Store.Snapshot.graph in
+  {
+    graph;
+    name;
+    advice;
+    params = params_of_meta snapshot;
+    radius;
+    ids = Localmodel.Ids.identity graph;
+    cache = Cache.create ~capacity:cache_capacity ~n:(Graph.n graph);
+    degraded;
+    trusted;
+    quarantined;
+  }
+
+let create ?(cache_capacity = 1024) ?radius ?name snapshot =
   let name, advice =
     match (name, snapshot.Store.Snapshot.advice) with
     | None, (n, a) :: _ -> (n, a)
@@ -110,28 +140,62 @@ let create ?(cache_capacity = 1024) ?radius ?name snapshot =
         | Some (k, a) -> (k, a)
         | None -> fail "Engine.create: snapshot has no advice section %S" n)
   in
-  let radius =
-    match (radius, meta_int snapshot "serve.radius") with
-    | Some r, _ | None, Some r ->
-        if r < 0 then fail "Engine.create: negative serve radius %d" r else r
-    | None, None ->
-        fail
-          "Engine.create: snapshot metadata has no serve.radius and no \
-           ~radius override was given"
+  let radius = resolve_radius ?radius snapshot in
+  build ~cache_capacity ~radius ~degraded:false ~trusted:true ~quarantined:[]
+    snapshot name advice
+
+(* Degraded construction from a salvage report: prefer checksum-clean
+   advice, fall back to a quarantined (parsed but CRC-failed) section. *)
+
+let describe_damage (r : Store.Snapshot.section_report) =
+  let where =
+    match r.Store.Snapshot.s_name with
+    | Some n -> Printf.sprintf "section %d (advice %S)" r.Store.Snapshot.s_index n
+    | None -> Printf.sprintf "section %d (tag %d)" r.Store.Snapshot.s_index r.Store.Snapshot.s_tag
   in
-  {
-    graph;
-    name;
-    advice;
-    params = params_of_meta snapshot;
-    radius;
-    ids = Localmodel.Ids.identity graph;
-    cache = Cache.create ~capacity:cache_capacity ~n:(Graph.n graph);
-  }
+  match r.Store.Snapshot.s_status with
+  | Store.Snapshot.Healthy -> None
+  | Store.Snapshot.Quarantined msg -> Some (where ^ " quarantined: " ^ msg)
+  | Store.Snapshot.Lost msg -> Some (where ^ " lost: " ^ msg)
+
+let create_salvaged ?(cache_capacity = 1024) ?radius ?name
+    (sv : Store.Snapshot.salvage) =
+  let snapshot = sv.Store.Snapshot.partial in
+  let find sections n = List.find_opt (fun (k, _) -> String.equal k n) sections in
+  let name, advice, trusted =
+    match name with
+    | None -> (
+        match (snapshot.Store.Snapshot.advice, sv.Store.Snapshot.recovered) with
+        | (n, a) :: _, _ -> (n, a, true)
+        | [], (n, a) :: _ -> (n, a, false)
+        | [], [] ->
+            fail "Engine.create_salvaged: no advice section survived salvage")
+    | Some n -> (
+        match find snapshot.Store.Snapshot.advice n with
+        | Some (k, a) -> (k, a, true)
+        | None -> (
+            match find sv.Store.Snapshot.recovered n with
+            | Some (k, a) -> (k, a, false)
+            | None ->
+                fail
+                  "Engine.create_salvaged: advice section %S did not survive \
+                   salvage"
+                  n))
+  in
+  let radius = resolve_radius ?radius snapshot in
+  let quarantined = List.filter_map describe_damage sv.Store.Snapshot.report in
+  let degraded =
+    (not trusted) || (match quarantined with [] -> false | _ :: _ -> true)
+  in
+  build ~cache_capacity ~radius ~degraded ~trusted ~quarantined snapshot name
+    advice
 
 let graph t = t.graph
 let radius t = t.radius
 let advice_name t = t.name
+let degraded t = t.degraded
+let serving_trusted t = t.trusted
+let quarantined_sections t = t.quarantined
 
 type query = Output_label of int | Edge_member of int * int | Advice_bits of int
 type answer = Label of string | Member of bool | Bits of string
@@ -165,9 +229,27 @@ let incident_index t v e =
   done;
   !lo
 
+(* Quarantined advice can hold arbitrarily damaged bit strings, and the
+   decoder's totality guarantee only covers well-formed assignments: one
+   poisoned ball must not take down the query (or the whole parallel
+   batch), so an untrusted engine degrades that ball to the all-'0'
+   label instead of propagating the decoder's exception. *)
+let tolerant_label ~params (view : View.t) =
+  match label_of_view ~params view with
+  | s -> s
+  | exception (Balanced_orientation.Encoding_failure _ | Invalid_argument _) ->
+      Obs.Metrics.incr m_fallback;
+      String.init
+        (Array.length (Graph.neighbors view.View.graph view.View.center))
+        (fun _ -> '0')
+
+let ball_label t =
+  let params = t.params in
+  if t.trusted then fun view -> label_of_view ~params view
+  else fun view -> tolerant_label ~params view
+
 let compute_label t v =
-  label_of_view ~params:t.params
-    (View.make ~advice:t.advice t.graph ~ids:t.ids ~radius:t.radius v)
+  ball_label t (View.make ~advice:t.advice t.graph ~ids:t.ids ~radius:t.radius v)
 
 let label_for t v =
   match Cache.find t.cache v with
@@ -185,9 +267,14 @@ let answer_with t label_of = function
   | Edge_member (v, e) -> Member ((label_of v).[incident_index t v e] = '1')
   | Advice_bits v -> Bits t.advice.(v)
 
+let note_degraded t count =
+  if t.degraded then Obs.Metrics.add m_degraded count;
+  if not t.trusted then Obs.Metrics.add m_quarantined count
+
 let query t q =
   validate t q;
   Obs.Metrics.incr m_queries;
+  note_degraded t 1;
   answer_with t (label_for t) q
 
 let ball_node = function
@@ -199,6 +286,7 @@ let batch ?domains t qs =
   Obs.Trace.span "serve.batch" (fun () ->
       Obs.Metrics.incr m_batches;
       Obs.Metrics.add m_queries (Array.length qs);
+      note_degraded t (Array.length qs);
       (* Plan: the sorted, deduplicated set of nodes whose ball we need. *)
       let wanted =
         Array.of_seq
@@ -232,11 +320,9 @@ let batch ?domains t qs =
         nodes;
       let miss = Array.of_list (List.rev !miss) in
       let miss_nodes = Array.map (fun i -> nodes.(i)) miss in
-      let params = t.params in
       let computed =
         View.map_subset_par ?domains ~advice:t.advice t.graph ~ids:t.ids
-          ~radius:t.radius ~nodes:miss_nodes
-          (fun view -> label_of_view ~params view)
+          ~radius:t.radius ~nodes:miss_nodes (ball_label t)
       in
       Array.iteri
         (fun j i ->

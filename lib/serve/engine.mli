@@ -21,9 +21,20 @@
     uncertified smaller radius answers may differ — the engine is total
     but only the certified radius carries the equivalence guarantee.
 
+    {b Degraded mode.}  {!create_salvaged} builds an engine from a
+    {!Store.Snapshot.read_salvage} result: it serves checksum-clean
+    advice sections normally and can fall back to a quarantined section
+    (parsed but CRC-failed) best-effort — the decode stays total by
+    degrading any ball the damaged advice makes undecodable to the
+    all-['0'] label instead of raising.  Every query answered by a
+    degraded engine bumps [serve.degraded]; queries served from
+    untrusted advice additionally bump [serve.quarantined], and each
+    ball that needed the fallback bumps [serve.fallback_labels].
+
     Obs: [serve.queries], [serve.batches], [serve.cache.hits],
-    [serve.cache.misses] counters, [serve.ball_size] histogram, and the
-    [serve.batch] trace span (plus everything {!Localmodel.View}
+    [serve.cache.misses], [serve.degraded], [serve.quarantined],
+    [serve.fallback_labels] counters, [serve.ball_size] histogram, and
+    the [serve.batch] trace span (plus everything {!Localmodel.View}
     records). *)
 
 type t
@@ -39,6 +50,19 @@ val create : ?cache_capacity:int -> ?radius:int -> ?name:string -> Store.Snapsho
     disables caching).  @raise Invalid_argument when the snapshot has no
     usable advice section or no radius is available. *)
 
+val create_salvaged :
+  ?cache_capacity:int -> ?radius:int -> ?name:string -> Store.Snapshot.salvage -> t
+(** [create_salvaged sv] builds a (possibly degraded) engine from a
+    salvage result: the advice section called [name] (default: first
+    surviving) is taken from the intact sections when possible and from
+    the quarantined ([sv.recovered]) ones otherwise — in the latter case
+    the engine serves best-effort answers from untrusted bits and says
+    so via {!serving_trusted}.  Radius and parameters resolve as in
+    {!create}, against the salvaged metadata; note that when the
+    metadata section itself was lost, [?radius] must be supplied.
+    @raise Invalid_argument when no advice section survived, the named
+    one did not, or no radius is available. *)
+
 val graph : t -> Netgraph.Graph.t
 (** The snapshot's graph. *)
 
@@ -47,6 +71,19 @@ val radius : t -> int
 
 val advice_name : t -> string
 (** Name of the advice section being served. *)
+
+val degraded : t -> bool
+(** Whether the engine came from a damaged snapshot (any non-healthy
+    section in the salvage report, or the served advice is untrusted).
+    Always [false] for {!create}. *)
+
+val serving_trusted : t -> bool
+(** Whether the served advice section passed its checksum.  [false]
+    means answers are best-effort reads of quarantined bits. *)
+
+val quarantined_sections : t -> string list
+(** Human-readable damage report carried over from the salvage, one
+    line per non-healthy section, in file order.  Empty for {!create}. *)
 
 (** One request.  Nodes are the snapshot graph's node ids, edges its
     dense edge ids; [Edge_member (v, e)] requires [v] to be an endpoint

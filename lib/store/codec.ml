@@ -101,7 +101,15 @@ let read_varint r =
     if shift > 56 || (shift = 56 && payload > 0x3F) then
       corrupt "varint at offset %d overflows the int range" start;
     let acc = acc lor (payload lsl shift) in
-    if b land 0x80 = 0 then acc else go acc (shift + 7)
+    if b land 0x80 = 0 then begin
+      (* Canonical LEB128 only: a final zero group after a continuation
+         (e.g. the 0x80 0x00 spelling of 0) re-encodes to fewer bytes,
+         which would break the byte-identical re-pack invariant. *)
+      if payload = 0 && shift > 0 then
+        corrupt "non-minimal varint at offset %d: trailing zero group" start;
+      acc
+    end
+    else go acc (shift + 7)
   in
   go 0 0
 

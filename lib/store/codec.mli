@@ -80,7 +80,11 @@ val read_u32 : reader -> int
 (** Little-endian u32. *)
 
 val read_varint : reader -> int
-(** @raise Corrupt on truncation or when the value exceeds [max_int]. *)
+(** @raise Corrupt on truncation, when the value exceeds [max_int], or
+    when the encoding is non-minimal (a trailing zero group, e.g.
+    [0x80 0x00] for zero): only canonical LEB128 — what {!varint}
+    writes — is accepted, preserving the byte-identical re-pack
+    invariant. *)
 
 val read_str : reader -> string
 (** A varint-length-prefixed string. *)

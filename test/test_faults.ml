@@ -1,0 +1,510 @@
+(* Crash consistency and fault injection for the store/serve pipeline:
+   the Store.Io harness (crash at every byte boundary, injected write
+   errors, bounded transient retry), per-section snapshot salvage, the
+   degraded serving engine's differential agreement with the direct
+   decoder, and the pack CLI's bytes-written accounting.
+
+   All scratch files live in the test's own working directory (dune's
+   sandbox), never in shared temp space. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let with_disarm f =
+  Fun.protect ~finally:(fun () -> Store.Io.Faults.disarm ()) f
+
+let remove_noerr p = try Sys.remove p with Sys_error _ -> ()
+
+let file_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let make_packed n seed =
+  let rng = Prng.create seed in
+  let g = Builders.cycle n in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let snapshot, cert = Serve.Pack.edge_compression g x in
+  (g, x, snapshot, cert)
+
+(* The labels Edge_compression.decode produces on the full graph — the
+   ground truth every trusted serve answer must match. *)
+let direct_labels g snapshot =
+  let assignment =
+    match snapshot.Store.Snapshot.advice with
+    | (_, a) :: _ -> a
+    | [] -> Alcotest.fail "packed snapshot has no advice"
+  in
+  let decoded = Schemas.Edge_compression.decode g assignment in
+  Array.init (Graph.n g) (fun v ->
+      let nbrs = Graph.neighbors g v in
+      String.init (Array.length nbrs) (fun i ->
+          if Bitset.mem decoded (Graph.edge_id g v nbrs.(i)) then '1' else '0'))
+
+(* ------------------------------------------------------------------ *)
+(* Store.Io basics *)
+
+let test_write_read_roundtrip () =
+  let path = "tf_roundtrip.bin" in
+  Fun.protect ~finally:(fun () -> remove_noerr path) @@ fun () ->
+  let data = String.init 10_000 (fun i -> Char.chr (i * 7 land 0xFF)) in
+  Store.Io.write_file path data;
+  check "no temp file left behind" false
+    (Sys.file_exists (Store.Io.temp_path path));
+  check_str "write/read round-trip" data (Store.Io.read_file path);
+  (* Overwrite is atomic too: the new contents fully replace the old. *)
+  Store.Io.write_file path "short";
+  check_str "overwrite" "short" (Store.Io.read_file path)
+
+let test_read_to_eof_on_pipe () =
+  (* in_channel_length is meaningless on a pipe; the read-to-EOF loop is
+     what makes `serve --batch <(...)` work. *)
+  let rfd, wfd = Unix.pipe () in
+  let w = Unix.out_channel_of_descr wfd in
+  let payload = String.concat "\n" [ "label 1"; "member 2 2"; "bits 3" ] in
+  output_string w payload;
+  close_out w;
+  let r = Unix.in_channel_of_descr rfd in
+  let got =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr r)
+      (fun () -> Store.Io.read_to_eof r)
+  in
+  check_str "pipe drained to EOF" payload got
+
+(* ------------------------------------------------------------------ *)
+(* Crash at every byte boundary *)
+
+let test_crash_every_byte () =
+  let _, _, old_snapshot, _ = make_packed 36 5 in
+  let _, _, new_snapshot, _ = make_packed 36 6 in
+  let old_bytes = Store.Snapshot.write old_snapshot in
+  let new_bytes = Store.Snapshot.write new_snapshot in
+  let path = "tf_crash.ladv" in
+  let temp = Store.Io.temp_path path in
+  Fun.protect ~finally:(fun () -> remove_noerr path; remove_noerr temp)
+  @@ fun () ->
+  with_disarm @@ fun () ->
+  (* Case 1: the destination holds a previous intact snapshot.  A crash
+     at any byte boundary of the replacement must leave it untouched. *)
+  Store.Io.write_file path old_bytes;
+  for k = 0 to String.length new_bytes do
+    Store.Io.Faults.arm
+      { Store.Io.Faults.write = Some (Store.Io.Faults.Crash_at k); read = None };
+    (match Store.Io.write_file path new_bytes with
+    | exception Store.Io.Crashed { persisted; _ } ->
+        if persisted <> k then
+          Alcotest.failf "crash at %d persisted %d bytes" k persisted
+    | () -> Alcotest.failf "crash at byte %d did not fire" k);
+    Store.Io.Faults.disarm ();
+    (* The abandoned temp file is exactly the torn prefix... *)
+    if not (Sys.file_exists temp) then
+      Alcotest.failf "crash at %d left no temp file" k;
+    check_int "temp holds the torn prefix" k (String.length (file_bytes temp));
+    remove_noerr temp;
+    (* ...and the destination still reads as the old snapshot. *)
+    if not (String.equal (Store.Io.read_file path) old_bytes) then
+      Alcotest.failf "crash at byte %d tore the destination" k;
+    ignore (Store.Snapshot.read (Store.Io.read_file path))
+  done;
+  (* Case 2: no previous file.  After a crash there must be nothing at
+     the destination — never a torn LADV. *)
+  remove_noerr path;
+  for k = 0 to String.length new_bytes do
+    Store.Io.Faults.arm
+      { Store.Io.Faults.write = Some (Store.Io.Faults.Crash_at k); read = None };
+    (match Store.Io.write_file path new_bytes with
+    | exception Store.Io.Crashed _ -> ()
+    | () -> Alcotest.failf "crash at byte %d did not fire" k);
+    Store.Io.Faults.disarm ();
+    remove_noerr temp;
+    if Sys.file_exists path then
+      Alcotest.failf "crash at byte %d created a torn destination" k
+  done;
+  (* And once faults are gone the very same write goes through. *)
+  Store.Io.write_file path new_bytes;
+  check_str "post-crash write succeeds" new_bytes (Store.Io.read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Injected write errors and the transient retry loop *)
+
+let counter_total name =
+  match
+    List.find_opt
+      (fun e -> String.equal e.Obs.Metrics.name name)
+      (Obs.Metrics.snapshot ())
+  with
+  | Some { Obs.Metrics.value = Obs.Metrics.Counter_v { total; _ }; _ } -> total
+  | _ -> 0
+
+let test_write_error_unlinks () =
+  let path = "tf_eio.ladv" in
+  let temp = Store.Io.temp_path path in
+  Fun.protect ~finally:(fun () -> remove_noerr path; remove_noerr temp)
+  @@ fun () ->
+  with_disarm @@ fun () ->
+  List.iter
+    (fun kind ->
+      Store.Io.Faults.arm
+        {
+          Store.Io.Faults.write =
+            Some (Store.Io.Faults.Write_error { at_byte = 7; kind; times = 1 });
+          read = None;
+        };
+      (match Store.Io.write_file path "0123456789abcdef" with
+      | exception Store.Io.Fault { at_byte; _ } ->
+          check_int "failed at the injected byte" 7 at_byte
+      | () -> Alcotest.fail "injected write error did not fire");
+      check "partial temp file unlinked" false (Sys.file_exists temp);
+      check "destination untouched" false (Sys.file_exists path))
+    [ Store.Io.Eio; Store.Io.Enospc ];
+  (* A transient fault that outlives the retry budget surfaces too. *)
+  Store.Io.Faults.arm
+    {
+      Store.Io.Faults.write =
+        Some
+          (Store.Io.Faults.Write_error
+             { at_byte = 3; kind = Store.Io.Transient; times = 100 });
+      read = None;
+    };
+  (match Store.Io.write_file ~retries:2 path "payload" with
+  | exception Store.Io.Fault { kind = Store.Io.Transient; _ } -> ()
+  | exception Store.Io.Fault _ -> Alcotest.fail "wrong fault kind"
+  | () -> Alcotest.fail "exhausted retries still succeeded");
+  check "no temp after exhausted retries" false (Sys.file_exists temp);
+  check "no destination after exhausted retries" false (Sys.file_exists path)
+
+let test_transient_retry () =
+  let path = "tf_retry.ladv" in
+  Fun.protect
+    ~finally:(fun () ->
+      remove_noerr path;
+      remove_noerr (Store.Io.temp_path path))
+  @@ fun () ->
+  with_disarm @@ fun () ->
+  Obs.Sink.enable ();
+  Fun.protect ~finally:(fun () -> Obs.Sink.disable ()) @@ fun () ->
+  Obs.Sink.reset ();
+  let backoffs = ref [] in
+  Store.Io.Faults.arm
+    {
+      Store.Io.Faults.write =
+        Some
+          (Store.Io.Faults.Write_error
+             { at_byte = 2; kind = Store.Io.Transient; times = 2 });
+      read = None;
+    };
+  Store.Io.write_file ~backoff:(fun d -> backoffs := d :: !backoffs) path
+    "persisted despite the blips";
+  check_str "third attempt landed" "persisted despite the blips"
+    (Store.Io.read_file path);
+  check "exponential backoff schedule" true
+    (match List.rev !backoffs with [ 1; 2 ] -> true | _ -> false);
+  check_int "io.retries counted" 2 (counter_total "io.retries");
+  check_int "two injected write faults" 2 (counter_total "fault.injected.write");
+  check_int "one file written" 1 (counter_total "io.files_written")
+
+(* ------------------------------------------------------------------ *)
+(* Per-section salvage *)
+
+(* Flip the LAST payload byte of the section at [index] (0-based, file
+   order), leaving tag, length and stored CRC alone.  For advice
+   sections the tail is packed label bits, so the damaged payload still
+   parses — the checksum alone catches it (Quarantined, not Lost). *)
+let flip_payload_byte bytes index =
+  let sections = Store.Snapshot.sections bytes in
+  let s = List.nth sections index in
+  let b = Bytes.of_string bytes in
+  (* payload starts after tag:u8 and length:u32 *)
+  let pos = s.Store.Codec.offset + 5 + s.Store.Codec.length - 1 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+  Bytes.to_string b
+
+let two_advice_snapshot n seed =
+  let g, _, snapshot, cert = make_packed n seed in
+  let decoy = Array.init (Graph.n g) (fun v -> if v mod 2 = 0 then "01" else "1") in
+  ( g,
+    { snapshot with Store.Snapshot.advice = snapshot.Store.Snapshot.advice @ [ ("decoy", decoy) ] },
+    cert )
+
+let status_name = function
+  | Store.Snapshot.Healthy -> "healthy"
+  | Store.Snapshot.Quarantined _ -> "quarantined"
+  | Store.Snapshot.Lost _ -> "lost"
+
+let test_salvage_report () =
+  let _, snapshot, _ = two_advice_snapshot 40 11 in
+  let bytes = Store.Snapshot.write snapshot in
+  (* Intact input: everything healthy, nothing recovered. *)
+  let sv = Store.Snapshot.read_salvage bytes in
+  check_int "four frames" 4 (List.length sv.Store.Snapshot.report);
+  List.iter
+    (fun r -> check_str "all healthy" "healthy" (status_name r.Store.Snapshot.s_status))
+    sv.Store.Snapshot.report;
+  check_int "no quarantined advice" 0 (List.length sv.Store.Snapshot.recovered);
+  (* Corrupt the decoy advice section (index 2: graph, c4, decoy, meta):
+     it must be quarantined, everything else untouched. *)
+  let damaged = flip_payload_byte bytes 2 in
+  (match Store.Snapshot.read damaged with
+  | exception Store.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "strict read accepted a damaged snapshot");
+  let sv = Store.Snapshot.read_salvage damaged in
+  let statuses =
+    List.map (fun r -> status_name r.Store.Snapshot.s_status) sv.Store.Snapshot.report
+  in
+  check "graph, c4, meta healthy; decoy quarantined" true
+    (match statuses with
+    | [ "healthy"; "healthy"; "quarantined"; "healthy" ] -> true
+    | _ -> false);
+  (match sv.Store.Snapshot.report with
+  | [ _; _; decoy_report; _ ] ->
+      check "quarantined section keeps its name" true
+        (match decoy_report.Store.Snapshot.s_name with
+        | Some n -> String.equal n "decoy"
+        | None -> false)
+  | _ -> Alcotest.fail "expected four report entries");
+  check_int "c4 survives intact" 1
+    (List.length sv.Store.Snapshot.partial.Store.Snapshot.advice);
+  check_int "decoy recovered as untrusted" 1
+    (List.length sv.Store.Snapshot.recovered);
+  check "meta survives" true
+    (match sv.Store.Snapshot.partial.Store.Snapshot.meta with
+    | [] -> false
+    | _ :: _ -> true);
+  (* Truncation mid-meta: the tail frame is lost, the rest salvages. *)
+  let cut = String.length bytes - 3 in
+  let sv = Store.Snapshot.read_salvage (String.sub bytes 0 cut) in
+  (match List.rev sv.Store.Snapshot.report with
+  | last :: _ ->
+      check_str "truncated tail is lost" "lost"
+        (status_name last.Store.Snapshot.s_status)
+  | [] -> Alcotest.fail "empty report");
+  check "lost meta means empty meta" true
+    (match sv.Store.Snapshot.partial.Store.Snapshot.meta with
+    | [] -> true
+    | _ :: _ -> false);
+  (* A damaged graph section leaves nothing servable: salvage refuses. *)
+  match Store.Snapshot.read_salvage (flip_payload_byte bytes 0) with
+  | exception Store.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "salvaged a snapshot with no trustworthy graph"
+
+let test_degraded_engine_serves_survivors () =
+  let g, snapshot, cert = two_advice_snapshot 64 23 in
+  let bytes = Store.Snapshot.write snapshot in
+  let expected = direct_labels g snapshot in
+  (* One corrupted advice section (the decoy): the engine must serve the
+     surviving c4 section with full differential agreement. *)
+  let sv = Store.Snapshot.read_salvage (flip_payload_byte bytes 2) in
+  let e = Serve.Engine.create_salvaged sv in
+  check "degraded" true (Serve.Engine.degraded e);
+  check "but serving trusted advice" true (Serve.Engine.serving_trusted e);
+  check_str "serving c4" "c4" (Serve.Engine.advice_name e);
+  check_int "radius carried through salvage" cert.Serve.Pack.radius
+    (Serve.Engine.radius e);
+  check "damage report names the decoy" true
+    (List.exists
+       (fun line ->
+         (* the report line mentions the quarantined section by name *)
+         let has_sub s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+           go 0
+         in
+         has_sub line "decoy")
+       (Serve.Engine.quarantined_sections e));
+  Graph.iter_nodes
+    (fun v ->
+      match Serve.Engine.query e (Serve.Engine.Output_label v) with
+      | Serve.Engine.Label s ->
+          check_str "degraded answer = direct decode" expected.(v) s
+      | _ -> Alcotest.fail "expected Label")
+    g;
+  (* Same, through the parallel batch path. *)
+  let queries = Array.init (Graph.n g) (fun v -> Serve.Engine.Output_label v) in
+  let answers = Serve.Engine.batch ~domains:2 (Serve.Engine.create_salvaged sv) queries in
+  Array.iteri
+    (fun v a ->
+      match a with
+      | Serve.Engine.Label s -> check_str "batch agrees" expected.(v) s
+      | _ -> Alcotest.fail "expected Label")
+    answers;
+  (* Serving the quarantined section itself stays total: every label
+     comes back with the right length, no exception escapes. *)
+  let eq = Serve.Engine.create_salvaged ~name:"decoy" sv in
+  check "untrusted service is flagged" false (Serve.Engine.serving_trusted eq);
+  Graph.iter_nodes
+    (fun v ->
+      match Serve.Engine.query eq (Serve.Engine.Output_label v) with
+      | Serve.Engine.Label s ->
+          check_int "total on damaged advice" (Graph.degree g v) (String.length s)
+      | _ -> Alcotest.fail "expected Label")
+    g
+
+let test_degraded_metrics () =
+  let _, snapshot, _ = two_advice_snapshot 40 31 in
+  let bytes = Store.Snapshot.write snapshot in
+  let sv = Store.Snapshot.read_salvage (flip_payload_byte bytes 2) in
+  Obs.Sink.enable ();
+  Fun.protect ~finally:(fun () -> Obs.Sink.disable ()) @@ fun () ->
+  Obs.Sink.reset ();
+  let e = Serve.Engine.create_salvaged sv in
+  ignore (Serve.Engine.query e (Serve.Engine.Output_label 0));
+  ignore (Serve.Engine.query e (Serve.Engine.Output_label 1));
+  check_int "every degraded query counted" 2 (counter_total "serve.degraded");
+  check_int "trusted advice: no quarantined count" 0
+    (counter_total "serve.quarantined");
+  let eq = Serve.Engine.create_salvaged ~name:"decoy" sv in
+  ignore (Serve.Engine.query eq (Serve.Engine.Output_label 2));
+  check_int "degraded grows" 3 (counter_total "serve.degraded");
+  check_int "quarantined service counted" 1 (counter_total "serve.quarantined")
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzz: random read faults vs the direct decoder *)
+
+let test_read_fault_fuzz () =
+  let g, _, snapshot, cert = make_packed 90 47 in
+  let expected = direct_labels g snapshot in
+  let path = "tf_fuzz.ladv" in
+  Fun.protect ~finally:(fun () -> remove_noerr path) @@ fun () ->
+  with_disarm @@ fun () ->
+  Store.Io.write_file path (Store.Snapshot.write snapshot);
+  let len = String.length (Store.Io.read_file path) in
+  let sample = [ 0; 7; 23; 44; 61; 89 ] in
+  let refused = ref 0 and degraded = ref 0 and clean = ref 0 in
+  for seed = 0 to 199 do
+    let plan = Store.Io.Faults.random_plan ~seed ~len in
+    Store.Io.Faults.arm { plan with Store.Io.Faults.write = None };
+    let raw = Store.Io.read_file path in
+    Store.Io.Faults.disarm ();
+    match Store.Snapshot.read_salvage raw with
+    | exception Store.Codec.Corrupt _ -> incr refused
+    | sv -> (
+        (* Radius and params may live in a lost metadata section; pin
+           them so the comparison isolates the advice path. *)
+        match
+          Serve.Engine.create_salvaged ~radius:cert.Serve.Pack.radius sv
+        with
+        | exception Invalid_argument _ -> incr refused
+        | e ->
+            if Serve.Engine.degraded e then incr degraded else incr clean;
+            List.iter
+              (fun v ->
+                match Serve.Engine.query e (Serve.Engine.Output_label v) with
+                | Serve.Engine.Label s ->
+                    (* Always total with the right shape; and whenever
+                       the served advice passed its checksum, answers
+                       must equal the direct decoder exactly. *)
+                    check_int "label has degree length" (Graph.degree g v)
+                      (String.length s);
+                    if Serve.Engine.serving_trusted e then
+                      check_str "trusted fuzz answer = direct decode"
+                        expected.(v) s
+                | _ -> Alcotest.fail "expected Label")
+              sample)
+  done;
+  (* The plan space must actually exercise all three outcomes. *)
+  check "some faults refused outright" true (!refused > 0);
+  check "some faults degraded service" true (!degraded > 0);
+  check "some plans were harmless" true (!clean > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pack CLI: serialize once, count once *)
+
+(* dune runtest runs from _build/default/test; dune exec from the
+   project root.  Resolve whichever copy of the CLI exists. *)
+let exe () =
+  List.find_opt Sys.file_exists
+    [ "../bin/advice_store.exe"; "_build/default/bin/advice_store.exe" ]
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Pull "total": N out of the metrics JSON, right after the counter's
+   "name" line. *)
+let json_counter_total json name =
+  match find_sub json (Printf.sprintf "\"name\": \"%s\"" name) with
+  | None -> Alcotest.failf "metrics JSON has no counter %s" name
+  | Some at -> (
+      let tail = String.sub json at (String.length json - at) in
+      match find_sub tail "\"total\": " with
+      | None -> Alcotest.failf "counter %s has no total" name
+      | Some t ->
+          let start = t + String.length "\"total\": " in
+          let stop = ref start in
+          while
+            !stop < String.length tail
+            && (match tail.[!stop] with '0' .. '9' -> true | _ -> false)
+          do
+            incr stop
+          done;
+          int_of_string (String.sub tail start (!stop - start)))
+
+let test_pack_counts_bytes_once () =
+  let exe =
+    match exe () with
+    | Some e -> e
+    | None -> Alcotest.fail "advice_store.exe not built (dune deps force it)"
+  in
+  let out = "tf_cli.ladv" and mjson = "tf_cli_metrics.json" in
+  Fun.protect ~finally:(fun () -> remove_noerr out; remove_noerr mjson)
+  @@ fun () ->
+  let cmd =
+    Printf.sprintf
+      "%s pack --graph cycle --n 80 --seed 3 --out %s --metrics %s >/dev/null"
+      exe out mjson
+  in
+  check_int "pack exits cleanly" 0 (Sys.command cmd);
+  let size = String.length (file_bytes out) in
+  let json = file_bytes mjson in
+  (* The regression: a second Snapshot.write just to print the size used
+     to double this counter. *)
+  check_int "store.bytes_written = on-disk size" size
+    (json_counter_total json "store.bytes_written");
+  check_int "io.bytes_written agrees" size
+    (json_counter_total json "io.bytes_written");
+  (* And the snapshot itself round-trips through the strict reader. *)
+  ignore (Store.Snapshot.read (file_bytes out))
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "io",
+        [
+          Alcotest.test_case "write/read round-trip" `Quick
+            test_write_read_roundtrip;
+          Alcotest.test_case "read-to-EOF on a pipe" `Quick
+            test_read_to_eof_on_pipe;
+          Alcotest.test_case "crash at every byte boundary" `Slow
+            test_crash_every_byte;
+          Alcotest.test_case "write errors unlink the temp file" `Quick
+            test_write_error_unlinks;
+          Alcotest.test_case "transient faults retry with backoff" `Quick
+            test_transient_retry;
+        ] );
+      ( "salvage",
+        [
+          Alcotest.test_case "per-section health report" `Quick
+            test_salvage_report;
+          Alcotest.test_case "degraded engine serves survivors" `Slow
+            test_degraded_engine_serves_survivors;
+          Alcotest.test_case "degraded metrics" `Quick test_degraded_metrics;
+          Alcotest.test_case "read-fault differential fuzz" `Slow
+            test_read_fault_fuzz;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "pack counts bytes once" `Quick
+            test_pack_counts_bytes_once;
+        ] );
+    ]

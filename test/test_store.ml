@@ -55,6 +55,50 @@ let varint_roundtrip =
       let back = Store.Codec.read_varint r in
       back = v && Store.Codec.at_end r)
 
+(* Non-minimal LEB128 (a value padded with continuation groups that
+   decode to nothing) must be rejected: it would survive the CRC and
+   silently break the byte-identical re-pack invariant. *)
+let varint_non_minimal_rejected =
+  QCheck.Test.make ~count:300 ~name:"non-minimal varints are rejected"
+    QCheck.(
+      pair
+        (oneof [ int_bound 300; int_bound 1_000_000_000 ])
+        (int_range 1 3))
+    (fun (v, pad) ->
+      let w = Store.Codec.writer () in
+      Store.Codec.varint w v;
+      let canonical = Store.Codec.contents w in
+      (* Set the continuation bit on the final group, then append pad-1
+         empty continuation groups and a zero terminator: same value,
+         longer spelling. *)
+      let b = Bytes.of_string canonical in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lor 0x80));
+      let padded = Buffer.create 12 in
+      Buffer.add_bytes padded b;
+      for _ = 2 to pad do Buffer.add_char padded '\x80' done;
+      Buffer.add_char padded '\x00';
+      match Store.Codec.read_varint (Store.Codec.reader (Buffer.contents padded)) with
+      | exception Store.Codec.Corrupt _ -> true
+      | _ -> false)
+
+let test_varint_canonicality () =
+  (* The smallest non-minimal spelling: 0x80 0x00 for zero. *)
+  (match Store.Codec.read_varint (Store.Codec.reader "\x80\x00") with
+  | exception Store.Codec.Corrupt msg ->
+      check "diagnostic mentions the varint" true
+        (Option.is_some (String.index_opt msg 'v'))
+  | _ -> Alcotest.fail "accepted the 0x80 0x00 spelling of zero");
+  (* Canonical encodings still decode, including the boundary values. *)
+  List.iter
+    (fun v ->
+      let w = Store.Codec.writer () in
+      Store.Codec.varint w v;
+      let r = Store.Codec.reader (Store.Codec.contents w) in
+      check_int "canonical round-trip" v (Store.Codec.read_varint r);
+      check "consumed" true (Store.Codec.at_end r))
+    [ 0; 1; 127; 128; 16383; 16384; max_int ]
+
 let test_codec_sections () =
   let w = Store.Codec.writer () in
   Store.Codec.section w ~tag:7 "hello";
@@ -269,6 +313,53 @@ let test_cache_lru () =
   Serve.Cache.insert c0 1 "x";
   check "capacity-0 never stores" true (Serve.Cache.find c0 1 = None)
 
+(* Edge cases the random model check is unlikely to pin down exactly:
+   an empty node universe, capacity exceeding the universe, re-insertion
+   with a new value, and clearing right after an eviction cycle. *)
+let test_cache_edges () =
+  (* n = 0: no valid node ids at all. *)
+  let c = Serve.Cache.create ~capacity:4 ~n:0 in
+  check_int "empty universe starts empty" 0 (Serve.Cache.length c);
+  check "find on empty universe" true (Serve.Cache.find c 0 = None);
+  check "mem on empty universe" false (Serve.Cache.mem c 0);
+  (match Serve.Cache.insert c 0 "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "insert accepted a node outside an empty universe");
+  Serve.Cache.clear c;
+  check_int "clear of the empty universe" 0 (Serve.Cache.length c);
+  (* capacity > n: everything fits, nothing is ever evicted. *)
+  let c = Serve.Cache.create ~capacity:8 ~n:3 in
+  Serve.Cache.insert c 0 "a";
+  Serve.Cache.insert c 1 "b";
+  Serve.Cache.insert c 2 "c";
+  check_int "all of a small universe resident" 3 (Serve.Cache.length c);
+  check "node 0 kept" true (Serve.Cache.find c 0 = Some "a");
+  check "node 1 kept" true (Serve.Cache.find c 1 = Some "b");
+  check "node 2 kept" true (Serve.Cache.find c 2 = Some "c");
+  (* Re-insert of a cached node with a new value, across an eviction
+     cycle: the binding updates in place and counts as a use. *)
+  let c = Serve.Cache.create ~capacity:2 ~n:6 in
+  Serve.Cache.insert c 0 "a";
+  Serve.Cache.insert c 1 "b";
+  Serve.Cache.insert c 2 "c" (* evicts 0 *);
+  check "eviction happened" false (Serve.Cache.mem c 0);
+  Serve.Cache.insert c 1 "b2";
+  check "re-insert rebinds" true (Serve.Cache.find c 1 = Some "b2");
+  check_int "re-insert does not grow" 2 (Serve.Cache.length c);
+  Serve.Cache.insert c 3 "d" (* 1 was just used, so 2 is the victim *);
+  check "LRU victim after re-insert" false (Serve.Cache.mem c 2);
+  check "re-inserted entry survives" true (Serve.Cache.mem c 1);
+  (* clear immediately after an eviction cycle, then reuse the arrays. *)
+  Serve.Cache.clear c;
+  check_int "cleared after evictions" 0 (Serve.Cache.length c);
+  check "no stale binding" true (Serve.Cache.find c 1 = None);
+  Serve.Cache.insert c 4 "e";
+  Serve.Cache.insert c 5 "f";
+  Serve.Cache.insert c 0 "g" (* a fresh eviction cycle post-clear *);
+  check "post-clear eviction" false (Serve.Cache.mem c 4);
+  check "post-clear entries live" true
+    (Serve.Cache.find c 5 = Some "f" && Serve.Cache.find c 0 = Some "g")
+
 let cache_matches_model =
   QCheck.Test.make ~count:200 ~name:"LRU cache matches a list model"
     QCheck.(pair (int_range 1 4) (small_list (pair (int_bound 7) (int_bound 9))))
@@ -400,6 +491,9 @@ let () =
       ( "codec",
         [
           QCheck_alcotest.to_alcotest varint_roundtrip;
+          QCheck_alcotest.to_alcotest varint_non_minimal_rejected;
+          Alcotest.test_case "varint canonicality" `Quick
+            test_varint_canonicality;
           Alcotest.test_case "section framing" `Quick test_codec_sections;
           Alcotest.test_case "rejects damage" `Quick test_codec_rejects;
         ] );
@@ -416,6 +510,7 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "lru semantics" `Quick test_cache_lru;
+          Alcotest.test_case "edge cases" `Quick test_cache_edges;
           QCheck_alcotest.to_alcotest cache_matches_model;
         ] );
       ( "engine",

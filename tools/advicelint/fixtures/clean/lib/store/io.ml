@@ -1,0 +1,7 @@
+(* The sanctioned writer: a file named store/io.ml is the choke point
+   itself, so R8 leaves its open_out_bin alone. *)
+
+let write path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc

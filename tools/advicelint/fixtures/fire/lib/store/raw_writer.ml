@@ -1,0 +1,10 @@
+(* io-hygiene fixture: bare channel writers outside Store.Io.  Expected
+   to fire R8 twice (and R4 for the missing .mli). *)
+
+let dump path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let dump_text path s =
+  Out_channel.with_open_text path (fun oc -> output_string oc s)

@@ -1,0 +1,7 @@
+(* Suppression fixture for R8: a documented legacy writer keeps its bare
+   open_out via the allow attribute; only mli-coverage still fires. *)
+
+let[@advicelint.allow "io-hygiene"] dump path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc

@@ -1,4 +1,4 @@
-(* The seven advicelint rules, run over parsetrees.
+(* The eight advicelint rules, run over parsetrees.
 
    Rule ids (stable; used by --rules, --warn-only and the
    [@advicelint.allow "<id>"] suppression attribute):
@@ -17,7 +17,11 @@
                             simulation-path modules
      obs-hygiene        R7  Trace.span_begin not paired with span_end in
                             the same toplevel binding; Obs metric/span
-                            names that are not string literals *)
+                            names that are not string literals
+     io-hygiene         R8  bare open_out / open_out_bin / Out_channel
+                            writers in lib/ outside Store.Io — library
+                            writes must go through the crash-consistent
+                            choke point (temp file + fsync + rename) *)
 
 open Parsetree
 module SSet = Callgraph.SSet
@@ -39,6 +43,7 @@ let all_rule_ids =
     "exception-hygiene";
     "hot-alloc";
     "obs-hygiene";
+    "io-hygiene";
   ]
 
 (* Walk every expression of a structure with a plain iterator. *)
@@ -620,6 +625,54 @@ let run_obs_hygiene ctx str =
     str
 
 (* ------------------------------------------------------------------ *)
+(* R8 — io hygiene: library writes go through Store.Io *)
+
+let r8_path_contains path fragment =
+  let plen = String.length path and flen = String.length fragment in
+  let rec go i =
+    i + flen <= plen && (String.sub path i flen = fragment || go (i + 1))
+  in
+  flen > 0 && go 0
+
+let r8_banned lid =
+  match Longident.flatten lid with
+  | [ ("open_out" | "open_out_bin" | "open_out_gen") as f ]
+  | [ "Stdlib"; (("open_out" | "open_out_bin" | "open_out_gen") as f) ]
+  | [
+      "Out_channel";
+      (("open_text" | "open_bin" | "open_gen" | "with_open_text"
+       | "with_open_bin" | "with_open_gen") as f);
+    ]
+  | [
+      "Stdlib";
+      "Out_channel";
+      (("open_text" | "open_bin" | "open_gen" | "with_open_text"
+       | "with_open_bin" | "with_open_gen") as f);
+    ] ->
+      Some f
+  | _ -> None
+
+let run_io_hygiene ctx str =
+  (* Only library code is held to the choke point, and Store.Io itself
+     is the sanctioned writer. *)
+  if r8_path_contains ctx.file "lib/" && not (r8_path_contains ctx.file "store/io.ml")
+  then
+    iter_expressions str (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> (
+            match r8_banned txt with
+            | Some f ->
+                ctx.emit ~rule:"io-hygiene" ~loc
+                  (Printf.sprintf
+                     "bare %s writes the destination in place; library code \
+                      must write through Store.Io.write_file (temp file + \
+                      fsync + atomic rename) so a crash never leaves a torn \
+                      file"
+                     f)
+            | None -> ())
+        | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 
 let run_all ctx ~rules str =
   let enabled r = match rules with None -> true | Some rs -> List.mem r rs in
@@ -628,4 +681,5 @@ let run_all ctx ~rules str =
   if enabled "poly-compare" then run_poly_compare_syntactic ctx str;
   if enabled "exception-hygiene" then run_exception_hygiene ctx str;
   if enabled "hot-alloc" then run_hot_alloc ctx str;
-  if enabled "obs-hygiene" then run_obs_hygiene ctx str
+  if enabled "obs-hygiene" then run_obs_hygiene ctx str;
+  if enabled "io-hygiene" then run_io_hygiene ctx str
