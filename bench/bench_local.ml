@@ -83,7 +83,8 @@ type row = {
   radius : int;
   seq_rate : float;  (* balls/sec, View.map_nodes *)
   par_rate : float;  (* balls/sec, View.map_nodes_par *)
-  par_domains : int;
+  par_requested : int;  (* domain count the harness asked for *)
+  par_domains : int;  (* domain count the fan-out actually used *)
   legacy_rate : float;  (* balls/sec, seed path, sampled *)
   legacy_sample : int;
 }
@@ -115,6 +116,9 @@ let bench_row ~family ~g ~radius =
     time (fun () -> Localmodel.View.map_nodes g ~ids ~radius sink)
   in
   let domains = bench_domains () in
+  (* The fan-out clamps requests to the hardware; report the count it
+     actually used, or a 1-core host would claim 4-domain figures. *)
+  let effective = Localmodel.View.effective_domains ~requested:domains () in
   let par_sizes, par_t =
     time (fun () -> Localmodel.View.map_nodes_par ~domains g ~ids ~radius sink)
   in
@@ -140,7 +144,8 @@ let bench_row ~family ~g ~radius =
     radius;
     seq_rate = rate n seq_t;
     par_rate = rate n par_t;
-    par_domains = domains;
+    par_requested = domains;
+    par_domains = effective;
     legacy_rate = rate !legacy_count legacy_t;
     legacy_sample = !legacy_count;
   }
@@ -153,6 +158,7 @@ let json_of_row r =
       ("radius", J.Int r.radius);
       ("seq_balls_per_sec", J.Float r.seq_rate);
       ("par_balls_per_sec", J.Float r.par_rate);
+      ("par_requested_domains", J.Int r.par_requested);
       ("par_domains", J.Int r.par_domains);
       ("par_speedup", J.Float (r.par_rate /. r.seq_rate));
       ("legacy_balls_per_sec", J.Float r.legacy_rate);
@@ -423,7 +429,11 @@ let run ~smoke ~out ?(metrics = false) ?metrics_out () =
        ([
           ("bench", J.Str "local_view_extraction");
           ("smoke", J.Bool smoke);
-          ("par_domains", J.Int (bench_domains ()));
+          ("requested_domains", J.Int (bench_domains ()));
+          ( "effective_domains",
+            J.Int
+              (Localmodel.View.effective_domains ~requested:(bench_domains ())
+                 ()) );
           ("host_cores", J.Int (Domain.recommended_domain_count ()));
           ("env", env);
           ("results", J.List (List.map json_of_row rows));

@@ -5,9 +5,12 @@
    Three figures per size: single-query rates cold (every query decodes
    its ball) vs. warm (every query is an LRU cache hit, so the run
    measures the engine's fixed per-query cost), and batch rates with the
-   fan-out pinned to one domain vs. spread over several.  The acceptance
-   check of ISSUE 4 — a warm cache must beat cold decoding — is derived
-   from this block. *)
+   fan-out pinned to one domain vs. spread over several.  The "pool"
+   sub-block compares sequential serving against the mutex and lock-free
+   pool variants at requested domain counts 1/2/4, each fitted to the
+   hardware and reported with both counts.  Acceptance: a warm cache
+   must beat cold decoding, and the pooled batch path must not be slower
+   than sequential serving (batch_par_not_slower). *)
 
 open Netgraph
 module J = Obs.Jsonout
@@ -25,7 +28,8 @@ type row = {
   warm_qps : float;
   batch_seq_qps : float;
   batch_par_qps : float;
-  batch_domains : int;
+  batch_requested : int;  (* domains the harness asked for *)
+  batch_domains : int;  (* domains the machine actually ran *)
 }
 
 let rate count t = if t <= 0.0 then infinity else float_of_int count /. t
@@ -71,14 +75,18 @@ let bench_row ~domains n =
   let (), cold_t = Bench_util.time_once single in
   (* Warm: same workload again; every ball is now resident. *)
   let (), warm_t = Bench_util.time_once single in
-  (* Batch fan-out with caching off, so seq vs. par measures ball work. *)
+  (* Batch fan-out with caching off, so seq vs. par measures ball work.
+     The requested domain count is fitted to the hardware first: timing
+     oversubscribed domains on a small host would report spawn overhead
+     and GC coordination as if it were parallel serving. *)
+  let effective = Localmodel.View.effective_domains ~requested:domains () in
   let batch domains =
     let e = Serve.Engine.create ~cache_capacity:0 loaded in
     Bench_util.time_once (fun () ->
         ignore (Serve.Engine.batch ~domains e queries))
   in
   let _, seq_t = batch 1 in
-  let _, par_t = batch domains in
+  let _, par_t = batch effective in
   let budget =
     Graph.fold_nodes
       (fun v acc -> acc + Schemas.Edge_compression.bits_bound (Graph.degree g v))
@@ -97,7 +105,8 @@ let bench_row ~domains n =
     warm_qps = rate k warm_t;
     batch_seq_qps = rate k seq_t;
     batch_par_qps = rate k par_t;
-    batch_domains = domains;
+    batch_requested = domains;
+    batch_domains = effective;
   }
 
 let json_of_row r =
@@ -117,6 +126,7 @@ let json_of_row r =
       ("warm_over_cold", J.Float (r.warm_qps /. r.cold_qps));
       ("batch_seq_queries_per_sec", J.Float r.batch_seq_qps);
       ("batch_par_queries_per_sec", J.Float r.batch_par_qps);
+      ("batch_par_requested_domains", J.Int r.batch_requested);
       ("batch_par_domains", J.Int r.batch_domains);
       ("batch_par_speedup", J.Float (r.batch_par_qps /. r.batch_seq_qps));
     ]
@@ -229,6 +239,129 @@ let bench_io ~smoke =
       ],
     ok )
 
+(* ------------------------------------------------------------------ *)
+(* Pool comparison: sequential serving vs the mutex pool vs the
+   lock-free pool, at requested domain counts 1 / 2 / 4 — each fitted to
+   the hardware before timing and reported with both counts, so a 1-core
+   host shows three honest effective-1 rows instead of a fake speedup.
+   Caching is off and the three configurations are timed interleaved
+   (min of reps), so the comparison isolates claim discipline + fan-out
+   cost over identical ball work. *)
+
+type pool_row = {
+  p_n : int;
+  p_queries : int;
+  p_requested : int;
+  p_effective : int;
+  seq_qps : float;
+  mutex_qps : float;
+  lockless_qps : float;
+}
+
+let bench_pool_row ~loaded ~queries ~requested =
+  let k = Array.length queries in
+  let effective = Localmodel.View.effective_domains ~requested () in
+  let seq_engine = Serve.Engine.create ~cache_capacity:0 ~shards:1 loaded in
+  let pool_engine variant =
+    let e = Serve.Engine.create ~cache_capacity:0 loaded in
+    fun () -> ignore (Serve.Engine.batch ~pool:variant ~domains:effective e queries)
+  in
+  let run_seq () = ignore (Serve.Engine.batch ~domains:1 seq_engine queries) in
+  let run_mutex = pool_engine Serve.Pool.Locked in
+  let run_lockless = pool_engine Serve.Pool.Lockless in
+  (* Interleaved min-of-reps: drift (GC, frequency scaling) hits all
+     three configurations equally, and the minima compare clean runs. *)
+  let seq = ref infinity and mutex = ref infinity and lockless = ref infinity in
+  for _ = 1 to 3 do
+    let _, a = Bench_util.time_once run_seq in
+    let _, b = Bench_util.time_once run_mutex in
+    let _, c = Bench_util.time_once run_lockless in
+    seq := Float.min !seq a;
+    mutex := Float.min !mutex b;
+    lockless := Float.min !lockless c
+  done;
+  {
+    p_n = Graph.n loaded.Store.Snapshot.graph;
+    p_queries = k;
+    p_requested = requested;
+    p_effective = effective;
+    seq_qps = rate k !seq;
+    mutex_qps = rate k !mutex;
+    lockless_qps = rate k !lockless;
+  }
+
+let json_of_pool_row r =
+  J.Obj
+    [
+      ("family", J.Str "cycle");
+      ("n", J.Int r.p_n);
+      ("queries", J.Int r.p_queries);
+      ("requested_domains", J.Int r.p_requested);
+      ("effective_domains", J.Int r.p_effective);
+      ("seq_queries_per_sec", J.Float r.seq_qps);
+      ("mutex_pool_queries_per_sec", J.Float r.mutex_qps);
+      ("lockless_pool_queries_per_sec", J.Float r.lockless_qps);
+      ("mutex_speedup", J.Float (r.mutex_qps /. r.seq_qps));
+      ("lockless_speedup", J.Float (r.lockless_qps /. r.seq_qps));
+      ("lockless_over_mutex", J.Float (r.lockless_qps /. r.mutex_qps));
+    ]
+
+(* The acceptance gate behind BENCH_local.json's batch_par_not_slower:
+   with real parallelism available the lock-free pool must win outright;
+   squeezed onto one effective domain it must stay within 10% of
+   sequential serving (the shard planner + inline pool are near-free). *)
+let pool_row_acceptable r =
+  if r.p_effective >= 2 then r.lockless_qps /. r.seq_qps >= 1.0
+  else r.lockless_qps /. r.seq_qps >= 0.9
+
+let bench_pool ~smoke =
+  let n = if smoke then 2_000 else 20_000 in
+  let g = Builders.cycle n in
+  let rng = Prng.create (n + 29) in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let snapshot, _cert = Serve.Pack.edge_compression ~sample:64 g x in
+  let loaded = Store.Snapshot.read (Store.Snapshot.write snapshot) in
+  let queries = workload g rng 1_000 in
+  let rows =
+    List.map
+      (fun requested ->
+        let r = bench_pool_row ~loaded ~queries ~requested in
+        Printf.printf
+          "store  pool  n=%-7d req=%d eff=%d  seq %8.0f q/s  mutex %8.0f \
+           (%4.2fx)  lockless %8.0f (%4.2fx)  [%s]\n\
+           %!"
+          r.p_n r.p_requested r.p_effective r.seq_qps r.mutex_qps
+          (r.mutex_qps /. r.seq_qps) r.lockless_qps
+          (r.lockless_qps /. r.seq_qps)
+          (if pool_row_acceptable r then "ok" else "FAIL");
+        r)
+      [ 1; 2; 4 ]
+  in
+  (* Deliberate oversubscription: explicit ~domains:2 makes the pool
+     spawn a second domain even on one core, so every tracked bench run
+     exercises genuine cross-domain serving and checks it answer-for-
+     answer — a correctness probe, not a throughput claim. *)
+  let crossed_ok =
+    let e2 variant =
+      let e = Serve.Engine.create ~cache_capacity:0 loaded in
+      Serve.Engine.batch ~pool:variant ~domains:2 e queries
+    in
+    let reference =
+      let e = Serve.Engine.create ~cache_capacity:0 ~shards:1 loaded in
+      Serve.Engine.batch ~domains:1 e queries
+    in
+    let same a = Marshal.to_string a [] = Marshal.to_string reference [] in
+    same (e2 Serve.Pool.Lockless) && same (e2 Serve.Pool.Locked)
+  in
+  let not_slower = List.for_all pool_row_acceptable rows in
+  ( J.Obj
+      [
+        ("results", J.List (List.map json_of_pool_row rows));
+        ("oversubscribed_2domain_matches_seq", J.Bool crossed_ok);
+      ],
+    not_slower && crossed_ok )
+
 let block ~smoke ~domains =
   let sizes = if smoke then [ 2_000 ] else [ 20_000; 100_000 ] in
   let rows =
@@ -250,14 +383,17 @@ let block ~smoke ~domains =
     List.for_all (fun r -> r.warm_qps > r.cold_qps) rows
   in
   let io_json, io_ok = bench_io ~smoke in
+  let pool_json, pool_ok = bench_pool ~smoke in
   J.Obj
     [
       ("results", J.List (List.map json_of_row rows));
       ("io", io_json);
+      ("pool", pool_json);
       ( "acceptance",
         J.Obj
           [
             ("warm_cache_beats_cold", J.Bool warm_beats_cold);
             ("faults_disabled_overhead_ok", J.Bool io_ok);
+            ("batch_par_not_slower", J.Bool pool_ok);
           ] );
     ]

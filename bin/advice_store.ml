@@ -257,7 +257,32 @@ let cache_term =
   Arg.(
     value & opt int 1024
     & info [ "cache" ] ~docv:"ENTRIES"
-        ~doc:"Ball-cache capacity (0 disables caching).")
+        ~doc:"Total ball-cache budget, split across shards (0 disables \
+              caching).")
+
+let shards_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:"Cache shards (contiguous node-id ranges, each with a \
+              private cache).  Default: one per effective domain.")
+
+let pool_conv =
+  let parse s =
+    match Serve.Pool.variant_of_name s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown pool variant %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (Serve.Pool.variant_name v))
+
+let pool_term =
+  Arg.(
+    value
+    & opt pool_conv Serve.Pool.default_variant
+    & info [ "pool" ] ~docv:"VARIANT"
+        ~doc:"Work-pool claiming discipline for the batch: 'lockless' \
+              (atomic cursor, default) or 'mutex' (the bench baseline).")
 
 let parse_queries text =
   let fail line fmt =
@@ -292,13 +317,13 @@ let salvage_term =
               but parseable) section answers best-effort.")
 
 let serve_cmd =
-  let run path batch domains cache salvage metrics =
+  let run path batch domains cache shards pool salvage metrics =
     or_corrupt @@ fun () ->
     with_metrics metrics @@ fun () ->
     let engine =
       if salvage then begin
         let sv = Store.Snapshot.read_salvage (Store.Io.read_file path) in
-        let e = Serve.Engine.create_salvaged ~cache_capacity:cache sv in
+        let e = Serve.Engine.create_salvaged ~cache_capacity:cache ?shards sv in
         List.iter
           (fun line -> Format.printf "salvage: %s@." line)
           (Serve.Engine.quarantined_sections e);
@@ -309,14 +334,16 @@ let serve_cmd =
              else " (quarantined advice: answers are best-effort)");
         e
       end
-      else Serve.Engine.create ~cache_capacity:cache (Store.Snapshot.of_file path)
+      else
+        Serve.Engine.create ~cache_capacity:cache ?shards
+          (Store.Snapshot.of_file path)
     in
     (* Read-to-EOF on a binary channel: --batch <(...) hands us a pipe,
        where in_channel_length is useless. *)
     let text = Store.Io.read_file batch in
     let queries = Array.of_list (parse_queries text) in
     let answers =
-      try Serve.Engine.batch ?domains engine queries
+      try Serve.Engine.batch ?domains ~pool engine queries
       with Invalid_argument msg ->
         Format.eprintf "rejected batch: %s@." msg;
         exit 2
@@ -342,7 +369,7 @@ let serve_cmd =
              decoding only each node's certified-radius ball.")
     Term.(
       const run $ snapshot_arg $ batch_term $ domains_term $ cache_term
-      $ salvage_term $ metrics_term)
+      $ shards_term $ pool_term $ salvage_term $ metrics_term)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 

@@ -42,6 +42,18 @@ val map_nodes :
     scratch workspace, so the per-node cost is O(ball) — proportional to
     Δ^radius on bounded-degree graphs, never to [n] or [m]. *)
 
+val effective_domains : ?requested:int -> unit -> int
+(** The domain count the parallel fan-outs will actually use for a
+    request: [requested] when given, else the [LOCAL_ADVICE_DOMAINS]
+    environment variable, else [Domain.recommended_domain_count ()] —
+    always clamped to the machine ([Domain.recommended_domain_count ()],
+    and never above 64).  Ball sweeps are pure CPU work, so domains
+    beyond the hardware only timeshare cores and pay spawn overhead;
+    callers that must oversubscribe deliberately (cross-domain
+    correctness tests on small hosts) should drive [Serve.Pool]
+    directly.  Benchmarks report both the requested and this effective
+    count so a 1-core host can never claim a 4-domain measurement. *)
+
 val map_nodes_par :
   ?domains:int ->
   ?advice:string array ->
@@ -55,10 +67,10 @@ val map_nodes_par :
     domain pool (one scratch workspace per domain; the graph, ids, advice
     and input arrays are only read).  The result is identical to
     {!map_nodes} provided [f] is pure; [f] must also be safe to call from
-    several domains at once.  The pool size is [?domains] when given, else
-    the [LOCAL_ADVICE_DOMAINS] environment variable, else
-    [Domain.recommended_domain_count ()]; with one domain this falls back
-    to the sequential path. *)
+    several domains at once.  The pool size is
+    [effective_domains ?requested:domains ()] — the request fitted to the
+    hardware — and never exceeds the node count; with one domain this
+    falls back to the sequential path. *)
 
 val map_subset :
   ?advice:string array ->
@@ -89,10 +101,10 @@ val map_subset_par :
 (** Like {!map_subset}, fanning contiguous slices of [nodes] out over an
     OCaml 5 domain pool under the same purity contract as
     {!map_nodes_par}; the result is identical to {!map_subset} provided
-    [f] is pure.  Pool sizing follows {!map_nodes_par} ([?domains], then
-    [LOCAL_ADVICE_DOMAINS], then the recommended count), never exceeding
-    the number of requested nodes; with one domain this falls back to the
-    sequential path. *)
+    [f] is pure.  Pool sizing follows {!map_nodes_par}
+    ({!effective_domains} over [?domains]), never exceeding the number of
+    requested nodes; with one domain this falls back to the sequential
+    path. *)
 
 val with_advice : t -> string array -> t
 (** [with_advice view advice] is the view re-projected onto a new global

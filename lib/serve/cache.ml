@@ -4,6 +4,7 @@
 
 type t = {
   cap : int;
+  n : int;  (* node-id universe; kept even when cap = 0 allocates nothing *)
   slot_of_node : int array; (* node -> slot, -1 when absent *)
   node_of_slot : int array;
   value : string array;
@@ -19,7 +20,11 @@ let create ~capacity ~n =
   if n < 0 then invalid_arg "Cache.create: negative node count";
   {
     cap = capacity;
-    slot_of_node = Array.make n (-1);
+    n;
+    (* Capacity 0 is the documented no-op cache (the cold baseline in the
+       pool benches): it must also cost nothing, so skip the node-indexed
+       slot map — the only O(n) allocation — entirely. *)
+    slot_of_node = (if capacity = 0 then [||] else Array.make n (-1));
     node_of_slot = Array.make capacity (-1);
     value = Array.make capacity "";
     prev = Array.make capacity (-1);
@@ -32,8 +37,7 @@ let create ~capacity ~n =
 let capacity c = c.cap
 let length c = c.used
 
-let mem c v =
-  v >= 0 && v < Array.length c.slot_of_node && c.slot_of_node.(v) >= 0
+let mem c v = c.cap > 0 && v >= 0 && v < c.n && c.slot_of_node.(v) >= 0
 
 (* Detach a slot from the recency list. *)
 let unlink c s =
@@ -65,8 +69,7 @@ let find c v =
   end
 
 let insert c v s =
-  if v < 0 || v >= Array.length c.slot_of_node then
-    invalid_arg "Cache.insert: node out of range";
+  if v < 0 || v >= c.n then invalid_arg "Cache.insert: node out of range";
   if c.cap > 0 then begin
     let slot =
       if c.slot_of_node.(v) >= 0 then begin

@@ -5,16 +5,21 @@
     a node-indexed slot map plus an intrusive doubly-linked recency list
     over the slots.  [find] and [insert] are O(1); a full cache evicts
     the least-recently-used entry.  Not domain-safe: the serving engine
-    touches it only from the calling domain — parallel ball extraction
-    happens in pure closures and results are inserted after the join. *)
+    pins one instance to each of its shards, and a shard is processed by
+    exactly one pool worker per batch — ownership, not locking, is what
+    keeps concurrent batches off each other's recency lists. *)
 
 type t
 (** One cache instance, bound to a fixed node-id universe. *)
 
 val create : capacity:int -> n:int -> t
 (** [create ~capacity ~n] caches up to [capacity] of the nodes
-    [0..n-1].  Capacity 0 disables caching (every lookup misses, inserts
-    are dropped).  @raise Invalid_argument on negative arguments. *)
+    [0..n-1].  Capacity 0 is a guaranteed no-op cache: {!find} always
+    returns [None], {!mem} always [false], {!insert} validates its node
+    id and then drops the entry, {!length} stays 0, and — so it can
+    serve as the allocation-free "cold" baseline in the pool benches —
+    no node-indexed storage is allocated at all.
+    @raise Invalid_argument on negative arguments. *)
 
 val capacity : t -> int
 (** The configured capacity. *)

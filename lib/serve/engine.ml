@@ -14,6 +14,17 @@ let m_ball =
   Obs.Metrics.histogram "serve.ball_size"
     ~buckets:[| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096 |]
 
+let m_shards = Obs.Metrics.counter "serve.batch.shards"
+
+(* The node-id space is cut into contiguous shards, each pinned to its
+   own cache: shard [s] owns nodes [bounds.(s) .. bounds.(s+1) - 1] and
+   [caches.(s)] is keyed by the shard-local id [v - bounds.(s)].  A
+   batch hands each shard to exactly one pool worker, so no lock ever
+   guards a cache — ownership does.  Contiguous id ranges are the CSR
+   locality clusters: builders number neighbors near each other (cycle:
+   v±1, grid: row-major ±side), so nodes whose radius-r balls overlap
+   land in the same shard and share its cache and the worker domain's
+   epoch workspace. *)
 type t = {
   graph : Graph.t;
   name : string;
@@ -21,7 +32,8 @@ type t = {
   params : Balanced_orientation.params;
   radius : int;
   ids : Localmodel.Ids.t;
-  cache : Cache.t;
+  bounds : int array;  (* length = #shards + 1; bounds.(0) = 0 *)
+  caches : Cache.t array;  (* one per shard, shard-locally keyed *)
   degraded : bool;  (* any section of the source snapshot was damaged *)
   trusted : bool;  (* the served advice section passed its checksum *)
   quarantined : string list;  (* human-readable damage report *)
@@ -114,9 +126,28 @@ let resolve_radius ?radius snapshot =
         "Engine.create: snapshot metadata has no serve.radius and no \
          ~radius override was given"
 
-let build ~cache_capacity ~radius ~degraded ~trusted ~quarantined snapshot name
-    advice =
+let build ~cache_capacity ~shards ~radius ~degraded ~trusted ~quarantined
+    snapshot name advice =
   let graph = snapshot.Store.Snapshot.graph in
+  let n = Graph.n graph in
+  let s =
+    match shards with
+    | Some s when s < 1 -> fail "Engine.create: shard count %d must be positive" s
+    | Some s -> min s (max 1 n)
+    | None -> min (View.effective_domains ()) (max 1 n)
+  in
+  if cache_capacity < 0 then
+    fail "Engine.create: negative cache capacity %d" cache_capacity;
+  (* Split the cache budget evenly, rounding up so a positive budget
+     never silently becomes a no-op cache on any shard. *)
+  let per_shard_cap =
+    if cache_capacity = 0 then 0 else (cache_capacity + s - 1) / s
+  in
+  let bounds = Array.init (s + 1) (fun k -> k * n / s) in
+  let caches =
+    Array.init s (fun k ->
+        Cache.create ~capacity:per_shard_cap ~n:(bounds.(k + 1) - bounds.(k)))
+  in
   {
     graph;
     name;
@@ -124,13 +155,14 @@ let build ~cache_capacity ~radius ~degraded ~trusted ~quarantined snapshot name
     params = params_of_meta snapshot;
     radius;
     ids = Localmodel.Ids.identity graph;
-    cache = Cache.create ~capacity:cache_capacity ~n:(Graph.n graph);
+    bounds;
+    caches;
     degraded;
     trusted;
     quarantined;
   }
 
-let create ?(cache_capacity = 1024) ?radius ?name snapshot =
+let create ?(cache_capacity = 1024) ?shards ?radius ?name snapshot =
   let name, advice =
     match (name, snapshot.Store.Snapshot.advice) with
     | None, (n, a) :: _ -> (n, a)
@@ -141,8 +173,8 @@ let create ?(cache_capacity = 1024) ?radius ?name snapshot =
         | None -> fail "Engine.create: snapshot has no advice section %S" n)
   in
   let radius = resolve_radius ?radius snapshot in
-  build ~cache_capacity ~radius ~degraded:false ~trusted:true ~quarantined:[]
-    snapshot name advice
+  build ~cache_capacity ~shards ~radius ~degraded:false ~trusted:true
+    ~quarantined:[] snapshot name advice
 
 (* Degraded construction from a salvage report: prefer checksum-clean
    advice, fall back to a quarantined (parsed but CRC-failed) section. *)
@@ -158,7 +190,7 @@ let describe_damage (r : Store.Snapshot.section_report) =
   | Store.Snapshot.Quarantined msg -> Some (where ^ " quarantined: " ^ msg)
   | Store.Snapshot.Lost msg -> Some (where ^ " lost: " ^ msg)
 
-let create_salvaged ?(cache_capacity = 1024) ?radius ?name
+let create_salvaged ?(cache_capacity = 1024) ?shards ?radius ?name
     (sv : Store.Snapshot.salvage) =
   let snapshot = sv.Store.Snapshot.partial in
   let find sections n = List.find_opt (fun (k, _) -> String.equal k n) sections in
@@ -187,11 +219,12 @@ let create_salvaged ?(cache_capacity = 1024) ?radius ?name
   let degraded =
     (not trusted) || (match quarantined with [] -> false | _ :: _ -> true)
   in
-  build ~cache_capacity ~radius ~degraded ~trusted ~quarantined snapshot name
-    advice
+  build ~cache_capacity ~shards ~radius ~degraded ~trusted ~quarantined snapshot
+    name advice
 
 let graph t = t.graph
 let radius t = t.radius
+let shard_count t = Array.length t.caches
 let advice_name t = t.name
 let degraded t = t.degraded
 let serving_trusted t = t.trusted
@@ -251,16 +284,35 @@ let ball_label t =
 let compute_label t v =
   ball_label t (View.make ~advice:t.advice t.graph ~ids:t.ids ~radius:t.radius v)
 
-let label_for t v =
-  match Cache.find t.cache v with
-  | Some s ->
+(* Owner shard of node [v]: the largest [s] with [bounds.(s) <= v].
+   Shard counts are tiny (≤ 64), but binary search keeps the lookup
+   uniform with the batch assembler below. *)
+let shard_of t v =
+  let lo = ref 0 and hi = ref (Array.length t.caches - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.bounds.(mid) <= v then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* Serve one node against a specific shard's cache.  The caller is the
+   shard's owner for the duration of the call: either the single-query
+   path (engine-level callers serialise those) or the one pool worker
+   the batch pinned to the shard. *)
+let shard_label t s v =
+  let cache = t.caches.(s) in
+  let key = v - t.bounds.(s) in
+  match Cache.find cache key with
+  | Some str ->
       Obs.Metrics.incr m_hits;
-      s
+      str
   | None ->
       Obs.Metrics.incr m_misses;
-      let s = compute_label t v in
-      Cache.insert t.cache v s;
-      s
+      let str = compute_label t v in
+      Cache.insert cache key str;
+      str
+
+let label_for t v = shard_label t (shard_of t v) v
 
 let answer_with t label_of = function
   | Output_label v -> Label (label_of v)
@@ -281,54 +333,74 @@ let ball_node = function
   | Output_label v | Edge_member (v, _) -> Some v
   | Advice_bits _ -> None
 
-let batch ?domains t qs =
+(* Plan: the sorted, deduplicated set of nodes whose ball the batch
+   needs. *)
+let planned_nodes qs =
+  let wanted = Array.of_seq (Seq.filter_map ball_node (Array.to_seq qs)) in
+  Array.sort Int.compare wanted;
+  let nodes = Array.make (Array.length wanted) 0 in
+  let count = ref 0 in
+  Array.iter
+    (fun v ->
+      if !count = 0 || nodes.(!count - 1) <> v then begin
+        nodes.(!count) <- v;
+        incr count
+      end)
+    wanted;
+  Array.sub nodes 0 !count
+
+(* Shard plan: cut the sorted node array at each shard boundary.  The
+   nodes are sorted and the shards are contiguous id ranges, so shard
+   [s]'s slice is exactly [cuts.(s) .. cuts.(s+1) - 1] — the planner is
+   a single merge pass, no per-node owner lookup. *)
+let shard_cuts t nodes =
+  let k = Array.length nodes in
+  let nshards = Array.length t.caches in
+  let cuts = Array.make (nshards + 1) 0 in
+  let p = ref 0 in
+  for s = 1 to nshards do
+    let limit = t.bounds.(s) in
+    while !p < k && nodes.(!p) < limit do
+      incr p
+    done;
+    cuts.(s) <- !p
+  done;
+  cuts
+
+let batch ?domains ?(pool = Pool.default_variant) t qs =
   Array.iter (validate t) qs;
   Obs.Trace.span "serve.batch" (fun () ->
       Obs.Metrics.incr m_batches;
       Obs.Metrics.add m_queries (Array.length qs);
       note_degraded t (Array.length qs);
-      (* Plan: the sorted, deduplicated set of nodes whose ball we need. *)
-      let wanted =
-        Array.of_seq
-          (Seq.filter_map ball_node (Array.to_seq qs))
+      let nodes = planned_nodes qs in
+      let cuts = shard_cuts t nodes in
+      let nshards = Array.length t.caches in
+      (* One task per non-empty shard slice.  A task owns its shard for
+         the whole batch: it classifies hits and computes misses against
+         the shard's private cache, with no post-join insert phase, and
+         returns its labels for the calling domain to scatter — workers
+         never write through a captured structure (the discipline the
+         domain-race lint audits). *)
+      let live = ref [] in
+      for s = nshards - 1 downto 0 do
+        if cuts.(s) < cuts.(s + 1) then live := s :: !live
+      done;
+      let tasks = Array.of_list !live in
+      Obs.Metrics.add m_shards (Array.length tasks);
+      let serve_shard s =
+        let lo = cuts.(s) and hi = cuts.(s + 1) in
+        let out = Array.make (hi - lo) "" in
+        for i = lo to hi - 1 do
+          out.(i - lo) <- shard_label t s nodes.(i)
+        done;
+        out
       in
-      Array.sort Int.compare wanted;
-      let nodes = Array.make (Array.length wanted) 0 in
-      let count = ref 0 in
-      Array.iter
-        (fun v ->
-          if !count = 0 || nodes.(!count - 1) <> v then begin
-            nodes.(!count) <- v;
-            incr count
-          end)
-        wanted;
-      let nodes = Array.sub nodes 0 !count in
-      (* Serve hits now (copying the strings out keeps us correct even if
-         this batch's own inserts later evict them), then fan the misses
-         out in parallel and fill the cache after the join. *)
-      let labels = Array.make (Array.length nodes) None in
-      let miss = ref [] in
+      let parts = Pool.run ~variant:pool ?domains serve_shard tasks in
+      let labels = Array.make (Array.length nodes) "" in
       Array.iteri
-        (fun i v ->
-          match Cache.find t.cache v with
-          | Some s ->
-              Obs.Metrics.incr m_hits;
-              labels.(i) <- Some s
-          | None ->
-              Obs.Metrics.incr m_misses;
-              miss := i :: !miss)
-        nodes;
-      let miss = Array.of_list (List.rev !miss) in
-      let miss_nodes = Array.map (fun i -> nodes.(i)) miss in
-      let computed =
-        View.map_subset_par ?domains ~advice:t.advice t.graph ~ids:t.ids
-          ~radius:t.radius ~nodes:miss_nodes (ball_label t)
-      in
-      Array.iteri
-        (fun j i ->
-          labels.(i) <- Some computed.(j);
-          Cache.insert t.cache nodes.(i) computed.(j))
-        miss;
+        (fun j s -> Array.blit parts.(j) 0 labels cuts.(s) (Array.length parts.(j)))
+        tasks;
       let label_of v =
         (* binary search in the planned node array *)
         let lo = ref 0 and hi = ref (Array.length nodes - 1) in
@@ -336,8 +408,6 @@ let batch ?domains t qs =
           let mid = (!lo + !hi) / 2 in
           if nodes.(mid) < v then lo := mid + 1 else hi := mid
         done;
-        match labels.(!lo) with
-        | Some s -> s
-        | None -> fail "Engine.batch: internal planner gap at node %d" v
+        labels.(!lo)
       in
       Array.map (answer_with t label_of) qs)

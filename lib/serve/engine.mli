@@ -10,9 +10,19 @@
     the fragment order-preservingly (the canonical trail structure is
     identifier-ordered, and BFS stamp order is not), runs the tolerant
     orientation decoder on the fragment, and reads the membership bits —
-    O(ball) work per miss, independent of the graph size.  Results are
-    kept in an LRU ball {!Cache}; batches dedup and sort their request
-    nodes and fan misses out through {!Localmodel.View.map_subset_par}.
+    O(ball) work per miss, independent of the graph size.
+
+    {b Batch parallelism.}  The node-id space is cut into contiguous
+    {e shards} (default: one per effective domain), each pinned to its
+    own LRU ball {!Cache}.  {!batch} dedups and sorts the request
+    nodes, slices them per shard (sorted nodes against contiguous id
+    ranges — a single merge pass), and hands each non-empty slice as
+    one task to {!Pool.run}: a task owns its shard for the whole batch,
+    so it reads and fills the shard cache with no locking, and returns
+    its labels for the calling domain to scatter.  Contiguous id ranges
+    track CSR locality (builders number neighbors near each other), so
+    overlapping balls land on the same shard's cache and domain.
+    Single-node {!query} routes through the owner shard's cache.
 
     The serve radius is the one certified at pack time
     ({!Pack.edge_compression} stores it in the snapshot metadata):
@@ -33,25 +43,34 @@
 
     Obs: [serve.queries], [serve.batches], [serve.cache.hits],
     [serve.cache.misses], [serve.degraded], [serve.quarantined],
-    [serve.fallback_labels] counters, [serve.ball_size] histogram, and
-    the [serve.batch] trace span (plus everything {!Localmodel.View}
-    records). *)
+    [serve.fallback_labels], [serve.batch.shards] counters, the
+    [serve.ball_size] histogram, and the [serve.batch] trace span (plus
+    everything {!Localmodel.View} and {!Pool} record). *)
 
 type t
-(** A loaded engine: snapshot, decode parameters, serve radius, cache. *)
+(** A loaded engine: snapshot, decode parameters, serve radius, and the
+    sharded ball caches. *)
 
-val create : ?cache_capacity:int -> ?radius:int -> ?name:string -> Store.Snapshot.t -> t
+val create :
+  ?cache_capacity:int -> ?shards:int -> ?radius:int -> ?name:string ->
+  Store.Snapshot.t -> t
 (** [create snapshot] builds an engine over the snapshot's graph and the
     advice section called [name] (default: the snapshot's first advice
     section).  The serve radius and orientation parameters are read from
     the snapshot metadata ([serve.radius], [params.*]) as written by
     {!Pack.edge_compression}; [?radius] overrides the stored value.
-    [cache_capacity] bounds the ball cache (default 1024 entries; 0
-    disables caching).  @raise Invalid_argument when the snapshot has no
-    usable advice section or no radius is available. *)
+    [cache_capacity] bounds the ball caches' {e total} budget, split
+    evenly across shards rounding up (default 1024 entries; 0 disables
+    caching on every shard).  [shards] fixes the shard count (clamped to
+    the node count); the default is
+    {!Localmodel.View.effective_domains}[ ()], one shard per domain the
+    host can actually run.  @raise Invalid_argument when the snapshot
+    has no usable advice section, no radius is available, or [shards]
+    is not positive. *)
 
 val create_salvaged :
-  ?cache_capacity:int -> ?radius:int -> ?name:string -> Store.Snapshot.salvage -> t
+  ?cache_capacity:int -> ?shards:int -> ?radius:int -> ?name:string ->
+  Store.Snapshot.salvage -> t
 (** [create_salvaged sv] builds a (possibly degraded) engine from a
     salvage result: the advice section called [name] (default: first
     surviving) is taken from the intact sections when possible and from
@@ -68,6 +87,9 @@ val graph : t -> Netgraph.Graph.t
 
 val radius : t -> int
 (** The serve radius in use. *)
+
+val shard_count : t -> int
+(** Number of cache shards the engine was built with. *)
 
 val advice_name : t -> string
 (** Name of the advice section being served. *)
@@ -105,12 +127,18 @@ val query : t -> query -> answer
     @raise Invalid_argument on an out-of-range node or edge id, or an
     [Edge_member] whose node is not an endpoint of its edge. *)
 
-val batch : ?domains:int -> t -> query array -> answer array
+val batch :
+  ?domains:int -> ?pool:Pool.variant -> t -> query array -> answer array
 (** Answer a request list: validates every query, dedups and sorts the
-    ball nodes it needs, serves what the cache holds, extracts the
-    missing balls through {!Localmodel.View.map_subset_par} (pure
-    closures; the cache is filled after the domains join), and assembles
-    answers in request order.  [?domains] is forwarded to the fan-out.
+    ball nodes it needs, slices them into per-shard tasks, runs the
+    tasks over {!Pool.run} (each task serving hits and misses against
+    its own shard cache), and assembles answers in request order.
+    [?pool] picks the claiming variant (default {!Pool.default_variant},
+    the lock-free one); [?domains] is forwarded to the pool, so its
+    default is the hardware-fitted domain count and explicit values are
+    honored as requested.  Output is byte-identical to serving each
+    query through {!query} sequentially, for every shard count, domain
+    count, and pool variant.
     @raise Invalid_argument as {!query}, before any ball work. *)
 
 val label_of_view : params:Schemas.Balanced_orientation.params -> Localmodel.View.t -> string

@@ -1,0 +1,123 @@
+(* Dynamic work distribution over a fixed task array.
+
+   Both variants share one shape: a shared cursor names the next
+   unclaimed task, every worker loops { claim; execute; record locally }
+   until the cursor runs past the end, and the calling domain scatters
+   the recorded results after the join.  Claiming is the only shared
+   write, so the variants differ in exactly one line — an atomic
+   fetch-and-add versus a mutex-guarded read-modify-write — which is
+   what makes their bench comparison (BENCH_local.json, store.pool)
+   meaningful.
+
+   Workers mutate nothing they capture: each accumulates (index,
+   outcome) pairs in a private list and returns it through Domain.join.
+   That is the discipline advicelint's domain-race rule enforces for
+   closures reaching Domain.spawn / Pool.run, and following it here
+   keeps the pool auditable by the same rule it anchors. *)
+
+let m_runs = Obs.Metrics.counter "pool.runs"
+let m_inline = Obs.Metrics.counter "pool.inline_runs"
+let m_tasks = Obs.Metrics.counter "pool.tasks"
+
+type variant = Lockless | Locked
+
+let default_variant = Lockless
+
+let variant_name = function Lockless -> "lockless" | Locked -> "mutex"
+
+let variant_of_name = function
+  | "lockless" -> Some Lockless
+  | "mutex" | "locked" -> Some Locked
+  | _ -> None
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let run ?(variant = default_variant) ?domains f tasks =
+  let n = Array.length tasks in
+  let d =
+    match domains with
+    (* Explicit requests are honored (oversubscription is how tests
+       exercise cross-domain execution on small hosts); only the
+       runtime's domain cap and the task count bound them. *)
+    | Some d -> max 1 (min d 64)
+    | None -> Localmodel.View.effective_domains ()
+  in
+  let d = min d n in
+  if d <= 1 then begin
+    Obs.Metrics.incr m_inline;
+    Obs.Metrics.add m_tasks n;
+    (* Same failure contract as the parallel path: drain every task,
+       then replay the first (= lowest-index) failure. *)
+    let err = ref None in
+    let out =
+      Array.map
+        (fun t ->
+          match f t with
+          | y -> Some y
+          | exception e ->
+              (match !err with None -> err := Some e | Some _ -> ());
+              None)
+        tasks
+    in
+    match !err with
+    | Some e -> raise e
+    | None ->
+        Array.map
+          (function
+            | Some y -> y
+            | None -> fail "Pool.run: inline task lost its result")
+          out
+  end
+  else begin
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_tasks n;
+    let next = Atomic.make 0 in
+    let lock = Mutex.create () in
+    let claim =
+      match variant with
+      | Lockless -> fun () -> Atomic.fetch_and_add next 1
+      | Locked ->
+          fun () ->
+            Mutex.lock lock;
+            let i = Atomic.get next in
+            Atomic.set next (i + 1);
+            Mutex.unlock lock;
+            i
+    in
+    (* A failing task is recorded, not raised: the queue drains fully so
+       one poisoned shard cannot abandon the rest of the batch, and the
+       failure is replayed deterministically after the join. *)
+    let worker () =
+      let rec drain acc =
+        let i = claim () in
+        if i >= n then acc
+        else
+          let outcome = match f tasks.(i) with
+            | y -> Ok y
+            | exception e -> Error e
+          in
+          drain ((i, outcome) :: acc)
+      in
+      drain []
+    in
+    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    let own = worker () in
+    let parts = Array.map Domain.join spawned in
+    let slots = Array.make n None in
+    let place (i, outcome) = slots.(i) <- Some outcome in
+    List.iter place own;
+    Array.iter (fun part -> List.iter place part) parts;
+    (* Exactly-once by construction: the cursor hands out each index once
+       and every claimed index below [n] is executed and recorded.  Scan
+       for the lowest failed index first so the raised exception does not
+       depend on the domain interleaving. *)
+    for i = 0 to n - 1 do
+      match slots.(i) with Some (Error e) -> raise e | _ -> ()
+    done;
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error _) | None ->
+            fail "Pool.run: task slot left unfilled (claim cursor bug)")
+      slots
+  end

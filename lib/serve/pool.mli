@@ -1,0 +1,65 @@
+(** Work-distribution layer for batch serving: a fixed task array mapped
+    over a small OCaml 5 domain pool, with dynamic claiming so a slow
+    task (a shard whose balls are large) cannot strand the other domains
+    behind a static partition.
+
+    Two claiming variants are provided and benchmarked against each
+    other (the [store.pool] block of BENCH_local.json compares them at
+    1, 2 and 4 domains against plain sequential serving):
+
+    - {!Lockless} — the default: workers claim the next task index with
+      a single [Atomic.fetch_and_add] on a shared cursor.  One atomic
+      RMW per task, no lock, no waiting; the Chase–Lev-style single
+      shared queue degenerated to its simplest correct form for a
+      pre-known dense task range.
+    - {!Locked} — the mutex baseline: the same cursor advanced under a
+      [Mutex].  Kept deliberately as the losing variant so the bench
+      gap (lock traffic per task) stays measured instead of assumed.
+
+    Tasks execute {e exactly once} each, results land at their task's
+    index, and an exception raised by a task is caught, carried across
+    the join, and re-raised on the calling domain — the one from the
+    lowest task index when several tasks fail, so failure is
+    deterministic under any interleaving.  All domains drain the queue
+    to completion even when a task fails (a failing ball must not
+    abandon the rest of the batch mid-flight).
+
+    The pool spawns [domains - 1] fresh domains per {!run} and executes
+    the remaining worker on the calling domain; with one domain (or one
+    task) it runs inline with no spawn at all, which is what makes the
+    pooled path cost within noise of sequential serving on a 1-core
+    host.  Unlike {!Localmodel.View.effective_domains}-fitted fan-outs,
+    an explicit [?domains] here is honored literally (clamped only to
+    the task count and the runtime's domain cap): the pool is the
+    mechanism tests and smoke runs use to exercise genuine cross-domain
+    execution on hosts with fewer cores than the request.
+
+    Obs: [pool.runs] counts parallel runs, [pool.tasks] tasks executed,
+    [pool.inline_runs] runs that short-circuited to the sequential
+    path. *)
+
+(** How workers claim the next task. *)
+type variant =
+  | Lockless  (** atomic fetch-and-add cursor (default) *)
+  | Locked  (** mutex-guarded cursor (bench baseline) *)
+
+val default_variant : variant
+(** {!Lockless}. *)
+
+val variant_name : variant -> string
+(** ["lockless"] / ["mutex"] — the names used by benches and the CLI. *)
+
+val variant_of_name : string -> variant option
+(** Inverse of {!variant_name}; [None] on an unknown name. *)
+
+val run : ?variant:variant -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [run f tasks] applies [f] to every element of [tasks] across the
+    domain pool and returns the results in task order, equal to
+    [Array.map f tasks] whenever [f] is pure ([f] must additionally be
+    safe to call from several domains at once).  [domains] defaults to
+    [Localmodel.View.effective_domains ()] — the hardware-fitted count —
+    and is otherwise honored as requested.  Each worker domain carries
+    its own [Workspace.domain_local] scratch, so ball-extracting tasks
+    compose with the LOCAL simulator's epoch workspaces for free.
+    @raise exn the exception of the failed task with the lowest index,
+    after every remaining task has run and all domains have joined. *)

@@ -28,7 +28,7 @@ let default_config =
     per_node_basenames =
       [
         "view.ml"; "traversal.ml"; "workspace.ml"; "graph.ml"; "rounds.ml";
-        "engine.ml"; "cache.ml";
+        "engine.ml"; "cache.ml"; "pool.ml";
       ];
     warn_only = [];
     format = Text;

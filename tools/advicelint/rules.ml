@@ -5,7 +5,8 @@
 
      domain-race        R1  shared mutable state reachable from a closure
                             passed to View.map_nodes_par /
-                            View.map_subset_par / Domain.spawn
+                            View.map_subset_par / Serve.Pool.run /
+                            Domain.spawn
      determinism        R2  Stdlib.Random / wall-clock reads in lib/
      poly-compare       R3  polymorphic =, compare, Hashtbl.hash in the
                             hot-path libraries (lib/graph, lib/local,
@@ -279,6 +280,10 @@ let is_domain_local lid =
 let is_par_entry lid =
   match List.rev (Longident.flatten lid) with
   | ("map_nodes_par" | "map_subset_par") :: _ -> true
+  (* Serve.Pool.run task closures execute on spawned domains; a bare
+     [run] head would also catch unrelated runners, so require the
+     [Pool] qualifier (matches Pool.run and Serve.Pool.run). *)
+  | "run" :: "Pool" :: _ -> true
   | _ -> List.rev (Longident.flatten lid) = [ "spawn"; "Domain" ]
 
 let entry_name lid = String.concat "." (Longident.flatten lid)
