@@ -177,14 +177,29 @@ let lint_stats () =
       let cmt_roots =
         List.filter Sys.file_exists [ root; "_build/default/lib" ]
       in
+      (* Cold then warm against a fresh cache file, so the report tracks
+         both the full-scan cost and what the incremental cache saves. *)
+      let cache = Filename.temp_file "advicelint_bench" ".cache" in
       let cfg =
-        { Advicelint.Engine.default_config with roots = [ root ]; cmt_roots }
+        {
+          Advicelint.Engine.default_config with
+          roots = [ root ];
+          cmt_roots;
+          cache_file = Some cache;
+        }
       in
+      Sys.remove cache;
       let t0 = Unix.gettimeofday () in
       let result = Advicelint.Engine.run cfg in
-      let dt = Unix.gettimeofday () -. t0 in
+      let cold = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let warm_result = Advicelint.Engine.run cfg in
+      let warm = Unix.gettimeofday () -. t1 in
+      (try Sys.remove cache with Sys_error _ -> ());
       Some
-        ( dt,
+        ( cold,
+          warm,
+          warm_result.Advicelint.Engine.files_reused,
           result.Advicelint.Engine.files_scanned,
           List.length result.Advicelint.Engine.diagnostics )
 
@@ -392,10 +407,12 @@ let run ~smoke ~out ?(metrics = false) ?metrics_out () =
   in
   let env =
     match lint_stats () with
-    | Some (dt, files, diags) ->
+    | Some (cold, warm, reused, files, diags) ->
         J.Obj
           [
-            ("lint_seconds", J.Float dt);
+            ("lint_seconds", J.Float cold);
+            ("lint_warm_seconds", J.Float warm);
+            ("lint_files_reused", J.Int reused);
             ("lint_files", J.Int files);
             ("lint_diagnostics", J.Int diags);
           ]

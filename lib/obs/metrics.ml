@@ -13,10 +13,21 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
-let rec atomic_push cells cell =
-  let old = Atomic.get cells in
-  if not (Atomic.compare_and_set cells old (cell :: old)) then
-    atomic_push cells cell
+(* The one lock-free publication step in the subsystem: a fresh domain's
+   cell enters the handle's shared cell list by CAS retry.  Functorized
+   over the atomic shim so Check.Sched can run this exact loop under its
+   schedule-exploring scheduler (two domains racing their first touch of
+   one handle) and prove no cell is ever lost — and catch the mutant
+   that replaces the CAS with a get/set pair. *)
+module Cellpush (A : Shim.ATOMIC) = struct
+  let rec push cells cell =
+    let old = A.get cells in
+    if not (A.compare_and_set cells old (cell :: old)) then push cells cell
+end
+
+module Push = Cellpush (Shim.Real.Atomic)
+
+let atomic_push cells cell = Push.push cells cell
 
 (* ------------------------------------------------------------------ *)
 (* Handles *)

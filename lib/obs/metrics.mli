@@ -92,3 +92,18 @@ val snapshot : unit -> entry list
 val reset : unit -> unit
 (** Zero every shard of every metric.  Registration (names, buckets) is
     kept.  Call only while no other domain is recording. *)
+
+(** {1 Model-checking seam} *)
+
+module Cellpush (A : Shim.ATOMIC) : sig
+  val push : 'a list A.t -> 'a -> unit
+  (** [push cells cell] prepends [cell] to the shared list by
+      compare-and-set retry: the publication step a fresh domain's
+      private cell takes into its handle's cell list.  Linearizable —
+      concurrent pushes each land exactly once. *)
+end
+(** The per-domain shard-publication loop, functorized over the atomic
+    shim.  [Cellpush (Shim.Real.Atomic)] is what every handle uses in
+    production; the checker instantiates the same code with its
+    instrumented atomics to verify no concurrent first-touch can lose a
+    cell (see DESIGN.md, "Concurrency model checking"). *)

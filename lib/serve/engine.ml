@@ -367,47 +367,77 @@ let shard_cuts t nodes =
   done;
   cuts
 
-let batch ?domains ?(pool = Pool.default_variant) t qs =
-  Array.iter (validate t) qs;
-  Obs.Trace.span "serve.batch" (fun () ->
-      Obs.Metrics.incr m_batches;
-      Obs.Metrics.add m_queries (Array.length qs);
-      note_degraded t (Array.length qs);
-      let nodes = planned_nodes qs in
-      let cuts = shard_cuts t nodes in
-      let nshards = Array.length t.caches in
-      (* One task per non-empty shard slice.  A task owns its shard for
-         the whole batch: it classifies hits and computes misses against
-         the shard's private cache, with no post-join insert phase, and
-         returns its labels for the calling domain to scatter — workers
-         never write through a captured structure (the discipline the
-         domain-race lint audits). *)
-      let live = ref [] in
-      for s = nshards - 1 downto 0 do
-        if cuts.(s) < cuts.(s + 1) then live := s :: !live
-      done;
-      let tasks = Array.of_list !live in
-      Obs.Metrics.add m_shards (Array.length tasks);
-      let serve_shard s =
-        let lo = cuts.(s) and hi = cuts.(s + 1) in
-        let out = Array.make (hi - lo) "" in
-        for i = lo to hi - 1 do
-          out.(i - lo) <- shard_label t s nodes.(i)
+(* The parallel half of [batch], functorized over the concurrency shim
+   so Check.Sched can run the exact shard/cache handoff under its
+   schedule-exploring scheduler.  Production is [Batch (Shim.Real)]
+   below; the only shim traffic on the hot path is one Raw ownership
+   touch per served node — a plain load + store through [Shim.Real.Raw],
+   and the access trace the checker's vector-clock tracker uses to prove
+   (or refute, for the double-writer mutant) that no two workers ever
+   touch one shard's cache unsynchronized. *)
+let default_pool_variant = Pool.default_variant
+
+module Batch (S : Shim.S) = struct
+  (* Shadowing the outer [Pool] on purpose: call sites below read
+     [Pool.run], which keeps the domain-race lint descending into the
+     closures handed to the pool exactly as it does for production
+     callers. *)
+  module Pool = Pool.Make (S)
+
+  let batch ?domains ?(pool = default_pool_variant) t qs =
+    Array.iter (validate t) qs;
+    Obs.Trace.span "serve.batch" (fun () ->
+        Obs.Metrics.incr m_batches;
+        Obs.Metrics.add m_queries (Array.length qs);
+        note_degraded t (Array.length qs);
+        let nodes = planned_nodes qs in
+        let cuts = shard_cuts t nodes in
+        let nshards = Array.length t.caches in
+        (* One tracked ownership cell per shard cache for this batch.
+           Every cache access below is bracketed by a read-modify-write
+           of the owning shard's cell, so any schedule in which two
+           workers interleave on one cache is a happens-before race on
+           that cell — which is exactly what the checker flags. *)
+        let owners = Array.init nshards (fun _ -> S.Raw.make 0) in
+        (* One task per non-empty shard slice.  A task owns its shard for
+           the whole batch: it classifies hits and computes misses against
+           the shard's private cache, with no post-join insert phase, and
+           returns its labels for the calling domain to scatter — workers
+           never write through a captured structure (the discipline the
+           domain-race lint audits). *)
+        let live = ref [] in
+        for s = nshards - 1 downto 0 do
+          if cuts.(s) < cuts.(s + 1) then live := s :: !live
         done;
-        out
-      in
-      let parts = Pool.run ~variant:pool ?domains serve_shard tasks in
-      let labels = Array.make (Array.length nodes) "" in
-      Array.iteri
-        (fun j s -> Array.blit parts.(j) 0 labels cuts.(s) (Array.length parts.(j)))
-        tasks;
-      let label_of v =
-        (* binary search in the planned node array *)
-        let lo = ref 0 and hi = ref (Array.length nodes - 1) in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          if nodes.(mid) < v then lo := mid + 1 else hi := mid
-        done;
-        labels.(!lo)
-      in
-      Array.map (answer_with t label_of) qs)
+        let tasks = Array.of_list !live in
+        Obs.Metrics.add m_shards (Array.length tasks);
+        let serve_shard s =
+          let lo = cuts.(s) and hi = cuts.(s + 1) in
+          let out = Array.make (hi - lo) "" in
+          for i = lo to hi - 1 do
+            S.Raw.set owners.(s) (S.Raw.get owners.(s) + 1);
+            out.(i - lo) <- shard_label t s nodes.(i)
+          done;
+          out
+        in
+        let parts = Pool.run ~variant:pool ?domains serve_shard tasks in
+        let labels = Array.make (Array.length nodes) "" in
+        Array.iteri
+          (fun j s ->
+            Array.blit parts.(j) 0 labels cuts.(s) (Array.length parts.(j)))
+          tasks;
+        let label_of v =
+          (* binary search in the planned node array *)
+          let lo = ref 0 and hi = ref (Array.length nodes - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if nodes.(mid) < v then lo := mid + 1 else hi := mid
+          done;
+          labels.(!lo)
+        in
+        Array.map (answer_with t label_of) qs)
+end
+
+module Production = Batch (Shim.Real)
+
+let batch = Production.batch

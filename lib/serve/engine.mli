@@ -127,6 +127,21 @@ val query : t -> query -> answer
     @raise Invalid_argument on an out-of-range node or edge id, or an
     [Edge_member] whose node is not an endpoint of its edge. *)
 
+module Batch (_ : Shim.S) : sig
+  val batch :
+    ?domains:int -> ?pool:Pool.variant -> t -> query array -> answer array
+  (** Same contract as the top-level {!val:batch}, with the shard
+      fan-out executed through the shim. *)
+end
+(** The parallel shard/cache handoff, functorized over the concurrency
+    shim.  [Batch (Shim.Real)] is the production {!val:batch} below;
+    instantiated with the checker's instrumented shim, the identical
+    planner + pool + scatter code runs under the schedule-exploring
+    scheduler, with one tracked ownership cell per shard cache touched
+    around every cache access — so the single-writer-per-shard
+    discipline is machine-checked instead of asserted (see DESIGN.md,
+    "Concurrency model checking"). *)
+
 val batch :
   ?domains:int -> ?pool:Pool.variant -> t -> query array -> answer array
 (** Answer a request list: validates every query, dedups and sorts the
@@ -138,7 +153,7 @@ val batch :
     default is the hardware-fitted domain count and explicit values are
     honored as requested.  Output is byte-identical to serving each
     query through {!query} sequentially, for every shard count, domain
-    count, and pool variant.
+    count, and pool variant.  This is [Batch (Shim.Real)].
     @raise Invalid_argument as {!query}, before any ball work. *)
 
 val label_of_view : params:Schemas.Balanced_orientation.params -> Localmodel.View.t -> string

@@ -10,10 +10,18 @@
    meaningful.
 
    Workers mutate nothing they capture: each accumulates (index,
-   outcome) pairs in a private list and returns it through Domain.join.
+   outcome) pairs in a private list and returns it through Thread.join.
    That is the discipline advicelint's domain-race rule enforces for
    closures reaching Domain.spawn / Pool.run, and following it here
-   keeps the pool auditable by the same rule it anchors. *)
+   keeps the pool auditable by the same rule it anchors.
+
+   The whole implementation is a functor over the Shim concurrency
+   primitives: the production [run] below is [Make (Shim.Real)] — a
+   pass-through to Atomic / Mutex / Domain — while Check.Sched
+   instantiates the same code with its instrumented shim and explores
+   the claim/drain/join interleavings systematically (the mutant
+   gallery in lib/check documents the bug classes that exploration
+   catches). *)
 
 let m_runs = Obs.Metrics.counter "pool.runs"
 let m_inline = Obs.Metrics.counter "pool.inline_runs"
@@ -32,92 +40,98 @@ let variant_of_name = function
 
 let fail fmt = Format.kasprintf invalid_arg fmt
 
-let run ?(variant = default_variant) ?domains f tasks =
-  let n = Array.length tasks in
-  let d =
-    match domains with
-    (* Explicit requests are honored (oversubscription is how tests
-       exercise cross-domain execution on small hosts); only the
-       runtime's domain cap and the task count bound them. *)
-    | Some d -> max 1 (min d 64)
-    | None -> Localmodel.View.effective_domains ()
-  in
-  let d = min d n in
-  if d <= 1 then begin
-    Obs.Metrics.incr m_inline;
-    Obs.Metrics.add m_tasks n;
-    (* Same failure contract as the parallel path: drain every task,
-       then replay the first (= lowest-index) failure. *)
-    let err = ref None in
-    let out =
-      Array.map
-        (fun t ->
-          match f t with
-          | y -> Some y
-          | exception e ->
-              (match !err with None -> err := Some e | Some _ -> ());
-              None)
-        tasks
+module Make (S : Shim.S) = struct
+  let run ?(variant = default_variant) ?domains f tasks =
+    let n = Array.length tasks in
+    let d =
+      match domains with
+      (* Explicit requests are honored (oversubscription is how tests
+         exercise cross-domain execution on small hosts); only the
+         runtime's domain cap and the task count bound them. *)
+      | Some d -> max 1 (min d 64)
+      | None -> Localmodel.View.effective_domains ()
     in
-    match !err with
-    | Some e -> raise e
-    | None ->
+    let d = min d n in
+    if d <= 1 then begin
+      Obs.Metrics.incr m_inline;
+      Obs.Metrics.add m_tasks n;
+      (* Same failure contract as the parallel path: drain every task,
+         then replay the first (= lowest-index) failure. *)
+      let err = ref None in
+      let out =
         Array.map
-          (function
-            | Some y -> y
-            | None -> fail "Pool.run: inline task lost its result")
-          out
-  end
-  else begin
-    Obs.Metrics.incr m_runs;
-    Obs.Metrics.add m_tasks n;
-    let next = Atomic.make 0 in
-    let lock = Mutex.create () in
-    let claim =
-      match variant with
-      | Lockless -> fun () -> Atomic.fetch_and_add next 1
-      | Locked ->
-          fun () ->
-            Mutex.lock lock;
-            let i = Atomic.get next in
-            Atomic.set next (i + 1);
-            Mutex.unlock lock;
-            i
-    in
-    (* A failing task is recorded, not raised: the queue drains fully so
-       one poisoned shard cannot abandon the rest of the batch, and the
-       failure is replayed deterministically after the join. *)
-    let worker () =
-      let rec drain acc =
-        let i = claim () in
-        if i >= n then acc
-        else
-          let outcome = match f tasks.(i) with
-            | y -> Ok y
-            | exception e -> Error e
-          in
-          drain ((i, outcome) :: acc)
+          (fun t ->
+            match f t with
+            | y -> Some y
+            | exception e ->
+                (match !err with None -> err := Some e | Some _ -> ());
+                None)
+          tasks
       in
-      drain []
-    in
-    let spawned = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
-    let own = worker () in
-    let parts = Array.map Domain.join spawned in
-    let slots = Array.make n None in
-    let place (i, outcome) = slots.(i) <- Some outcome in
-    List.iter place own;
-    Array.iter (fun part -> List.iter place part) parts;
-    (* Exactly-once by construction: the cursor hands out each index once
-       and every claimed index below [n] is executed and recorded.  Scan
-       for the lowest failed index first so the raised exception does not
-       depend on the domain interleaving. *)
-    for i = 0 to n - 1 do
-      match slots.(i) with Some (Error e) -> raise e | _ -> ()
-    done;
-    Array.map
-      (function
-        | Some (Ok y) -> y
-        | Some (Error _) | None ->
-            fail "Pool.run: task slot left unfilled (claim cursor bug)")
-      slots
-  end
+      match !err with
+      | Some e -> raise e
+      | None ->
+          Array.map
+            (function
+              | Some y -> y
+              | None -> fail "Pool.run: inline task lost its result")
+            out
+    end
+    else begin
+      Obs.Metrics.incr m_runs;
+      Obs.Metrics.add m_tasks n;
+      let next = S.Atomic.make 0 in
+      let lock = S.Mutex.create () in
+      let claim =
+        match variant with
+        | Lockless -> fun () -> S.Atomic.fetch_and_add next 1
+        | Locked ->
+            fun () ->
+              S.Mutex.lock lock;
+              let i = S.Atomic.get next in
+              S.Atomic.set next (i + 1);
+              S.Mutex.unlock lock;
+              i
+      in
+      (* A failing task is recorded, not raised: the queue drains fully so
+         one poisoned shard cannot abandon the rest of the batch, and the
+         failure is replayed deterministically after the join. *)
+      let worker () =
+        let rec drain acc =
+          let i = claim () in
+          if i >= n then acc
+          else
+            let outcome = match f tasks.(i) with
+              | y -> Ok y
+              | exception e -> Error e
+            in
+            drain ((i, outcome) :: acc)
+        in
+        drain []
+      in
+      let spawned = Array.init (d - 1) (fun _ -> S.Thread.spawn worker) in
+      let own = worker () in
+      let parts = Array.map S.Thread.join spawned in
+      let slots = Array.make n None in
+      let place (i, outcome) = slots.(i) <- Some outcome in
+      List.iter place own;
+      Array.iter (fun part -> List.iter place part) parts;
+      (* Exactly-once by construction: the cursor hands out each index once
+         and every claimed index below [n] is executed and recorded.  Scan
+         for the lowest failed index first so the raised exception does not
+         depend on the domain interleaving. *)
+      for i = 0 to n - 1 do
+        match slots.(i) with Some (Error e) -> raise e | _ -> ()
+      done;
+      Array.map
+        (function
+          | Some (Ok y) -> y
+          | Some (Error _) | None ->
+              fail "Pool.run: task slot left unfilled (claim cursor bug)")
+        slots
+    end
+end
+
+module Production = Make (Shim.Real)
+
+let run = Production.run

@@ -52,6 +52,20 @@ val variant_name : variant -> string
 val variant_of_name : string -> variant option
 (** Inverse of {!variant_name}; [None] on an unknown name. *)
 
+module Make (_ : Shim.S) : sig
+  val run :
+    ?variant:variant -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+  (** Same contract as the top-level {!val:run}, executed through the
+      shim's atomics, mutexes and threads. *)
+end
+(** The pool implementation, functorized over the concurrency shim.
+    [Make (Shim.Real)] is the production pool below; [Make] applied to
+    the checker's instrumented shim ([Check.Sched.Model]) runs the
+    identical claim/drain/join code under the schedule-exploring
+    scheduler, which is how the exactly-once and deterministic-failure
+    contracts are verified against adversarial interleavings (see
+    DESIGN.md, "Concurrency model checking"). *)
+
 val run : ?variant:variant -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [run f tasks] applies [f] to every element of [tasks] across the
     domain pool and returns the results in task order, equal to
@@ -61,5 +75,7 @@ val run : ?variant:variant -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
     and is otherwise honored as requested.  Each worker domain carries
     its own [Workspace.domain_local] scratch, so ball-extracting tasks
     compose with the LOCAL simulator's epoch workspaces for free.
+    This is [Make (Shim.Real)]: the real [Atomic]/[Mutex]/[Domain]
+    primitives, one functor indirection away.
     @raise exn the exception of the failed task with the lowest index,
     after every remaining task has run and all domains have joined. *)

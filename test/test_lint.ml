@@ -15,6 +15,8 @@ let _ = Ethlink.Canonical.build_table
 let _ = Baselines.Trivial.coloring_encode
 let _ = Store.Snapshot.write
 let _ = Serve.Engine.create
+let _ = Shim.Real.Atomic.make
+let _ = Check.Sched.explore
 
 let lib_root = "../lib"
 

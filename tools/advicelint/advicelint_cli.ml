@@ -16,6 +16,7 @@ let () =
   let format = ref Engine.Text in
   let exit_zero = ref false in
   let warn_only = ref [] in
+  let cache_file = ref None in
   let split_commas s = String.split_on_char ',' s |> List.map String.trim in
   let spec =
     [
@@ -38,6 +39,11 @@ let () =
       ( "--exit-zero",
         Arg.Set exit_zero,
         " report diagnostics but always exit 0 (for golden tests)" );
+      ( "--cache",
+        Arg.String (fun s -> cache_file := Some s),
+        "FILE reuse per-file results for unchanged sources via FILE \
+         (created on first run; invalidated by content or rule-set \
+         changes)" );
       ( "--list-rules",
         Arg.Unit
           (fun () ->
@@ -47,6 +53,25 @@ let () =
     ]
   in
   Arg.parse spec (fun r -> roots := r :: !roots) usage;
+  (* Unknown rule ids are configuration bugs, not no-ops: a typo in
+     --rules would silently lint nothing, one in --warn-only would
+     silently keep a rule fatal. *)
+  let validate flag ids =
+    let bad =
+      List.filter (fun r -> not (List.mem r Rules.all_rule_ids)) ids
+    in
+    if bad <> [] then begin
+      Printf.eprintf
+        "advicelint: unknown rule id%s for %s: %s\nvalid rule ids: %s\n"
+        (if List.length bad = 1 then "" else "s")
+        flag
+        (String.concat ", " bad)
+        (String.concat ", " Rules.all_rule_ids);
+      exit 2
+    end
+  in
+  (match !rules with Some rs -> validate "--rules" rs | None -> ());
+  validate "--warn-only" !warn_only;
   if !roots = [] then begin
     prerr_endline "advicelint: no roots given";
     Arg.usage spec usage;
@@ -61,6 +86,7 @@ let () =
       format = !format;
       exit_zero = !exit_zero;
       warn_only = !warn_only;
+      cache_file = !cache_file;
     }
   in
   exit (Engine.report cfg (Engine.run cfg))

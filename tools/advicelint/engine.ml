@@ -17,6 +17,7 @@ type config = {
   warn_only : string list;  (* rules downgraded to Warning *)
   format : format;
   exit_zero : bool;
+  cache_file : string option;  (* incremental per-file cache, or None *)
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     warn_only = [];
     format = Text;
     exit_zero = false;
+    cache_file = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -85,6 +87,83 @@ let parse_impl path =
       let lexbuf = Lexing.from_channel ic in
       Location.init lexbuf path;
       Parse.implementation lexbuf)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental cache.
+
+   Keyed by per-file content digest under a rule-set hash: an entry
+   stores the parsed AST and the diagnostics of the file-local rules,
+   so an unchanged file is neither re-parsed nor re-linted.  Cross-file
+   passes (domain-race descent through the Callgraph, mli-coverage, the
+   typedtree refinements) always re-run over the full tree — they can
+   be invalidated by edits to *other* files, so their results are never
+   cached.  Any mismatch (format version, compiler version, rule
+   selection, severity config) silently drops the whole cache. *)
+
+let cache_format_version = "advicelint-cache-1"
+
+type cache_entry = {
+  ce_digest : Digest.t;
+  ce_ast : Parsetree.structure;
+  ce_local : (Diag.t * int) list;  (* file-local diags, with offsets *)
+}
+
+type cache_data = {
+  cf_version : string;
+  cf_rules_hash : Digest.t;
+  cf_entries : (string * cache_entry) list;
+}
+
+let rules_hash cfg =
+  Digest.string
+    (String.concat "\x00"
+       ((cache_format_version :: Sys.ocaml_version
+         :: (match cfg.rules with None -> [ "<all>" ] | Some rs -> rs))
+       @ ("warn:" :: cfg.warn_only)
+       @ ("hot:" :: cfg.hot_dirs)
+       @ ("pernode:" :: cfg.per_node_basenames)))
+
+let load_cache cfg =
+  match cfg.cache_file with
+  | None -> None
+  | Some path -> (
+      match open_in_bin path with
+      | exception Sys_error _ -> None
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match (Marshal.from_channel ic : cache_data) with
+              | cf
+                when cf.cf_version = cache_format_version
+                     && cf.cf_rules_hash = rules_hash cfg ->
+                  let tbl = Hashtbl.create 64 in
+                  List.iter
+                    (fun (p, e) -> Hashtbl.replace tbl p e)
+                    cf.cf_entries;
+                  Some tbl
+              | _ -> None
+              | exception _ -> None))
+
+let save_cache cfg entries =
+  match cfg.cache_file with
+  | None -> ()
+  | Some path -> (
+      let tmp = path ^ ".tmp" in
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            Marshal.to_channel oc
+              {
+                cf_version = cache_format_version;
+                cf_rules_hash = rules_hash cfg;
+                cf_entries = entries;
+              }
+              []);
+        Sys.rename tmp path
+      with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Suppression: [@advicelint.allow "rule"] / [@@@advicelint.allow] *)
@@ -207,7 +286,16 @@ let severity_of cfg rule =
 type result = {
   diagnostics : Diag.t list;
   files_scanned : int;
+  files_reused : int;  (* served from the incremental cache *)
 }
+
+(* Rules whose result depends only on the file itself — cacheable.
+   domain-race descends into other files through the Callgraph, so it
+   is re-run over the full tree on every invocation. *)
+let local_rules cfg =
+  List.filter
+    (fun r -> r <> "domain-race")
+    (match cfg.rules with None -> Rules.all_rule_ids | Some rs -> rs)
 
 let run cfg =
   let sources = List.concat_map scan_sources cfg.roots in
@@ -219,43 +307,103 @@ let run cfg =
     raw := (d, loc.loc_start.pos_cnum) :: !raw
   in
   (* Parse everything first: the domain-race audit needs a cross-file
-     index before any per-file rule runs. *)
-  let parsed =
+     index before any per-file rule runs.  An unchanged file (same
+     content digest under the same rule-set hash) is served from the
+     incremental cache instead: its AST is reused and its file-local
+     diagnostics replayed without a parse or a rule pass. *)
+  let cache = load_cache cfg in
+  let files_reused = ref 0 in
+  let entries =
     List.filter_map
       (fun path ->
-        match parse_impl path with
-        | str -> Some (path, str)
-        | exception e ->
-            let msg =
-              match e with
-              | Syntaxerr.Error _ -> "syntax error"
-              | e -> Printexc.to_string e
-            in
-            emit_at ~rule:"parse" ~file:path Location.none
-              (Printf.sprintf "cannot parse: %s" msg);
-            None)
+        let digest = try Digest.file path with Sys_error _ -> "" in
+        let cached =
+          match cache with
+          | Some tbl -> (
+              match Hashtbl.find_opt tbl path with
+              | Some e when e.ce_digest = digest && digest <> "" -> Some e
+              | _ -> None)
+          | None -> None
+        in
+        match cached with
+        | Some e ->
+            incr files_reused;
+            Some (path, e, true)
+        | None -> (
+            match parse_impl path with
+            | str ->
+                Some
+                  (path, { ce_digest = digest; ce_ast = str; ce_local = [] },
+                   false)
+            | exception e ->
+                let msg =
+                  match e with
+                  | Syntaxerr.Error _ -> "syntax error"
+                  | e -> Printexc.to_string e
+                in
+                emit_at ~rule:"parse" ~file:path Location.none
+                  (Printf.sprintf "cannot parse: %s" msg);
+                None))
       sources
   in
+  let parsed = List.map (fun (path, e, _) -> (path, e.ce_ast)) entries in
   let index = Callgraph.create () in
   List.iter (fun (path, str) -> Callgraph.of_file index ~file:path str) parsed;
   let spans =
     List.concat_map (fun (path, str) -> collect_allow_spans ~file:path str) parsed
   in
-  (* Parsetree rules *)
-  List.iter
-    (fun (path, str) ->
-      let hot, per_node = classify cfg path in
-      let ctx =
-        {
-          Rules.file = path;
-          hot;
-          per_node;
-          index;
-          emit = (fun ~rule ~loc msg -> emit_at ~rule ~file:path loc msg);
-        }
-      in
-      Rules.run_all ctx ~rules:cfg.rules str)
-    parsed;
+  (* File-local parsetree rules: replayed from the cache for unchanged
+     files, computed (and recorded for next time) for the rest. *)
+  let entries =
+    List.map
+      (fun (path, e, reused) ->
+        if reused then begin
+          List.iter (fun (d, off) -> raw := (d, off) :: !raw) e.ce_local;
+          (path, e)
+        end
+        else begin
+          let hot, per_node = classify cfg path in
+          let captured = ref [] in
+          let ctx =
+            {
+              Rules.file = path;
+              hot;
+              per_node;
+              index;
+              emit =
+                (fun ~rule ~loc msg ->
+                  let d =
+                    Diag.of_location ~rule
+                      ~severity:(severity_of cfg rule)
+                      ~file:path loc msg
+                  in
+                  captured := (d, loc.Location.loc_start.pos_cnum) :: !captured);
+            }
+          in
+          Rules.run_all ctx ~rules:(Some (local_rules cfg)) e.ce_ast;
+          raw := !captured @ !raw;
+          (path, { e with ce_local = !captured })
+        end)
+      entries
+  in
+  save_cache cfg entries;
+  (* Cross-file domain-race descent, over every file regardless of the
+     cache: an edit elsewhere can change what a closure reaches. *)
+  if rule_enabled cfg "domain-race" then
+    List.iter
+      (fun (path, str) ->
+        let hot, per_node = classify cfg path in
+        let ctx =
+          {
+            Rules.file = path;
+            hot;
+            per_node;
+            index;
+            emit = (fun ~rule ~loc msg -> emit_at ~rule ~file:path loc msg);
+          }
+        in
+        Rules.run_all ctx ~rules:(Some [ "domain-race" ]) str)
+      parsed;
   (* R4 — mli coverage *)
   if rule_enabled cfg "mli-coverage" then begin
     let have_mli =
@@ -295,6 +443,22 @@ let run cfg =
         | exception _ -> ())
       (List.concat_map scan_cmts cfg.cmt_roots)
   end;
+  (* Interprocedural domain-race: per-function effect summaries from
+     every .cmt under the cmt roots, propagated through closures handed
+     to parallel entry points.  Catches helper-hidden mutation the
+     syntactic audit cannot resolve (module aliases, cross-unit calls);
+     direct touches anchor at the same position as the syntactic rule
+     and dedup against it. *)
+  if rule_enabled cfg "domain-race" then begin
+    let by_base = Hashtbl.create 32 in
+    List.iter
+      (fun (path, _) -> Hashtbl.replace by_base (Filename.basename path) path)
+      parsed;
+    Effects.run
+      ~cmt_files:(List.concat_map scan_cmts cfg.cmt_roots)
+      ~display_of_base:(fun base -> Hashtbl.find_opt by_base base)
+      ~emit:(fun ~file ~loc msg -> emit_at ~rule:"domain-race" ~file loc msg)
+  end;
   (* Suppress, dedup, order. *)
   let seen = Hashtbl.create 64 in
   let diagnostics =
@@ -310,7 +474,11 @@ let run cfg =
              true
            end)
   in
-  { diagnostics; files_scanned = List.length sources }
+  {
+    diagnostics;
+    files_scanned = List.length sources;
+    files_reused = !files_reused;
+  }
 
 (* ------------------------------------------------------------------ *)
 
@@ -332,6 +500,7 @@ let print_text result =
 let print_json result =
   print_endline "{";
   Printf.printf "  \"files_scanned\": %d,\n" result.files_scanned;
+  Printf.printf "  \"files_reused\": %d,\n" result.files_reused;
   Printf.printf "  \"rules\": [%s],\n"
     (String.concat ", "
        (List.map (fun r -> "\"" ^ r ^ "\"") Rules.all_rule_ids));

@@ -1,0 +1,18 @@
+(* Clean twin of par_driver: same shape — aliased helper called from a
+   closure handed to a parallel entry point — but the shared cell is an
+   Atomic, so neither the syntactic nor the interprocedural audit may
+   fire. *)
+
+module Pool = struct
+  let run f xs = Array.map f xs
+end
+
+let served = Atomic.make 0
+let mark n = ignore (Atomic.fetch_and_add served n)
+
+let double tasks =
+  Pool.run
+    (fun t ->
+      mark 1;
+      t * 2)
+    tasks

@@ -1,0 +1,17 @@
+(* Helpers hiding module-level mutable state behind call hops.  Nothing
+   here is a parallel entry point; the races only exist once a closure
+   handed to one calls into these. *)
+
+let hits = ref 0
+let log : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* depth-1: the write itself *)
+let bump n = hits := !hits + n
+
+(* depth-2: a pure relay — no direct touch, only the call edge *)
+let note label =
+  ignore label;
+  bump 1
+
+(* depth-1 write to the hashtable *)
+let record label = Hashtbl.replace log label 1

@@ -15,7 +15,10 @@ let usage = "docgen [--check-only] DIR...\n"
 (* Directories whose interfaces must document every exported item and
    open with a module preamble. *)
 let strict_dirs =
-  [ "lib/obs"; "lib/local"; "lib/advice"; "lib/store"; "lib/serve" ]
+  [
+    "lib/obs"; "lib/local"; "lib/advice"; "lib/store"; "lib/serve";
+    "lib/shim"; "lib/check";
+  ]
 
 (* dune wraps each library; the user-facing path of lib/<dir>/<m>.mli is
    <Library>.<M>. *)
@@ -31,6 +34,8 @@ let library_of_dir =
     ("obs", "Obs");
     ("store", "Store");
     ("serve", "Serve");
+    ("shim", "Shim");
+    ("check", "Check");
   ]
 
 let errors = ref 0

@@ -1,0 +1,85 @@
+(* Model-checking gate: explore every registered scenario and check it
+   against its expectation — real components verify clean, gallery
+   mutants must be caught (and their violation must replay).
+
+   The bounded run (preemption-bounded DFS per scenario, small state
+   spaces) is wired into @modelcheck / @default and stays well under
+   ten seconds.  Setting CHECK_SCHEDULES=N adds a seeded-random deep
+   pass of N schedules per scenario on top — that is what @bench-smoke
+   exercises. *)
+
+let deep_schedules () =
+  match Sys.getenv_opt "CHECK_SCHEDULES" with
+  | None | Some "" -> 0
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ ->
+          prerr_endline
+            ("modelcheck: ignoring bad CHECK_SCHEDULES value " ^ s);
+          0)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let deep = deep_schedules () in
+  let failures = ref 0 in
+  let fail name fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAIL %-28s %s\n" name msg)
+      fmt
+  in
+  List.iter
+    (fun (s : Check.Scenarios.t) ->
+      let r =
+        Check.Sched.explore ~preemptions:s.preemptions
+          ~max_schedules:s.max_schedules s.scenario
+      in
+      (match (s.expect, r.violation) with
+      | Check.Scenarios.Clean, None ->
+          Printf.printf "ok   %-28s clean (%d schedules%s)\n" s.name
+            r.schedules
+            (if r.complete then ", exhaustive" else "")
+      | Check.Scenarios.Clean, Some v ->
+          fail s.name "unexpected violation: %s"
+            (Check.Sched.pp_violation v)
+      | Check.Scenarios.Caught, None ->
+          fail s.name "mutant explored clean (%d schedules%s)" r.schedules
+            (if r.complete then ", exhaustive" else "")
+      | Check.Scenarios.Caught, Some v -> (
+          (* A finding is only as good as its replay. *)
+          let again = Check.Sched.replay s.scenario v.trace in
+          match again.violation with
+          | Some v' when v'.kind = v.kind ->
+              Printf.printf "ok   %-28s caught in %d schedules, replayed: %s\n"
+                s.name r.schedules v.message
+          | Some v' ->
+              fail s.name "replay changed the verdict: %s then %s"
+                (Check.Sched.pp_violation v)
+                (Check.Sched.pp_violation v')
+          | None ->
+              fail s.name "violation did not replay: %s"
+                (Check.Sched.pp_violation v)));
+      if deep > 0 then begin
+        let rr = Check.Sched.explore_random ~seed:7 ~schedules:deep s.scenario in
+        match (s.expect, rr.violation) with
+        | Check.Scenarios.Clean, Some v ->
+            fail s.name "deep random pass found a violation: %s"
+              (Check.Sched.pp_violation v)
+        | Check.Scenarios.Clean, None | Check.Scenarios.Caught, _ ->
+            (* Random sampling is not required to re-find mutant bugs —
+               the bounded DFS above already did. *)
+            ()
+      end)
+    (Check.Scenarios.all ());
+  let dt = Unix.gettimeofday () -. t0 in
+  if !failures > 0 then begin
+    Printf.printf "modelcheck: %d failure(s) in %.2fs\n" !failures dt;
+    exit 1
+  end
+  else
+    Printf.printf "modelcheck: all scenarios as expected in %.2fs%s\n" dt
+      (if deep > 0 then
+         Printf.sprintf " (incl. %d random schedules each)" deep
+       else "")
