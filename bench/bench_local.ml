@@ -455,7 +455,12 @@ let run ~smoke ~out ?(metrics = false) ?metrics_out () =
           ("env", env);
           ("results", J.List (List.map json_of_row rows));
           ("acceptance", acceptance_json);
-          ("store", Bench_store.block ~smoke ~domains:(bench_domains ()));
+          ( "store",
+            (* The TCP serving figures ride inside the store block, as
+               store.net — same snapshot pipeline, one more hop. *)
+            match Bench_store.block ~smoke ~domains:(bench_domains ()) with
+            | J.Obj fields -> J.Obj (fields @ [ ("net", Bench_net.block ~smoke) ])
+            | other -> other );
         ]
        @ obs));
   Printf.printf "wrote %s\n" out

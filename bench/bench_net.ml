@@ -1,0 +1,225 @@
+(* Loopback TCP serving throughput: the long-lived server (lib/net)
+   driven over a real socket pair by a pipelined client, recorded as the
+   "net" sub-block of BENCH_local.json's store block.
+
+   The run spawns the event loop in its own domain on an ephemeral port,
+   pushes a seeded mixed workload through it with a fixed pipelining
+   window, and checks every answer byte-for-byte against a second,
+   independent engine over the same snapshot (sharing one engine across
+   domains would race its caches).  Latency is measured per response via
+   the client's injected clock and recorded both as percentiles here and
+   into the net.latency_us obs histogram; a second pass batches the same
+   workload through the one-frame batch path; a third serves a salvaged
+   snapshot and checks the degraded counters tick.  Acceptance:
+   pipelined, batch and degraded answers must all be byte-identical to
+   direct Serve.Engine serving. *)
+
+open Netgraph
+module J = Obs.Jsonout
+
+let rate count t = if t <= 0.0 then infinity else float_of_int count /. t
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* Cyclic mixed workload: unlike the store bench's distinct-node pass,
+   the net bench needs more queries than the graph has nodes. *)
+let workload g rng count =
+  let n = Graph.n g in
+  Array.init count (fun i ->
+      let v = Prng.int rng n in
+      match i mod 3 with
+      | 0 -> Serve.Engine.Output_label v
+      | 1 -> Serve.Engine.Edge_member (v, (Graph.incident_edges g v).(0))
+      | _ -> Serve.Engine.Advice_bits v)
+
+let latency_hist =
+  Obs.Metrics.histogram "net.latency_us"
+    ~buckets:[| 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000; 100_000 |]
+
+let percentile sorted p =
+  let k = Array.length sorted in
+  if k = 0 then 0
+  else sorted.(min (k - 1) (int_of_float (float_of_int k *. p)))
+
+(* Run [count] queries through an in-process server with [window]
+   requests pipelined, returning (seconds, mismatches, latency µs
+   percentiles).  [expected] are the precomputed direct-engine answers,
+   so the timed loop only compares. *)
+let pipelined_run ~server_engine ~expected ~window queries =
+  let config = { Net.Server.default_config with port = 0 } in
+  let server = Net.Server.create ~config server_engine in
+  let d = Domain.spawn (fun () -> Net.Server.run server) in
+  let finish () =
+    Net.Server.shutdown server;
+    Domain.join d
+  in
+  Fun.protect ~finally:finish @@ fun () ->
+  let c = Net.Client.connect ~clock:now_ns ~port:(Net.Server.port server) () in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  let count = Array.length queries in
+  let latencies = Array.make count 0 in
+  let mismatches = ref 0 in
+  let (), elapsed =
+    Bench_util.time_once (fun () ->
+        let sent = ref 0 and received = ref 0 in
+        while !received < count do
+          while !sent < count && !sent - !received < window do
+            Net.Client.send c (Net.Protocol.Query queries.(!sent));
+            incr sent
+          done;
+          let i = !received in
+          let on_latency ns =
+            let us = Int64.to_int ns / 1_000 in
+            latencies.(i) <- us;
+            Obs.Metrics.observe latency_hist us
+          in
+          (match Net.Client.recv ~on_latency c with
+          | Net.Protocol.Answer a when a = expected.(i) -> ()
+          | _ -> incr mismatches);
+          incr received
+        done)
+  in
+  let stats = Net.Client.stats c in
+  Array.sort compare latencies;
+  (elapsed, !mismatches, latencies, stats)
+
+let percentiles_json sorted =
+  J.Obj
+    [
+      ("p50_us", J.Int (percentile sorted 0.50));
+      ("p95_us", J.Int (percentile sorted 0.95));
+      ("p99_us", J.Int (percentile sorted 0.99));
+      ("max_us", J.Int (percentile sorted 1.0));
+    ]
+
+let make_loaded n seed =
+  let g = Builders.cycle n in
+  let rng = Prng.create seed in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let snapshot, _cert = Serve.Pack.edge_compression ~sample:64 g x in
+  (g, Store.Snapshot.read (Store.Snapshot.write snapshot))
+
+(* Batch path: the same workload in one-frame batches, timed round-trip. *)
+let batch_run ~server_engine ~direct ~batch_size queries =
+  let config = { Net.Server.default_config with port = 0 } in
+  let server = Net.Server.create ~config server_engine in
+  let d = Domain.spawn (fun () -> Net.Server.run server) in
+  let finish () =
+    Net.Server.shutdown server;
+    Domain.join d
+  in
+  Fun.protect ~finally:finish @@ fun () ->
+  let c = Net.Client.connect ~port:(Net.Server.port server) () in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) @@ fun () ->
+  let count = Array.length queries in
+  let batches = ref [] in
+  let i = ref 0 in
+  while !i < count do
+    let k = min batch_size (count - !i) in
+    batches := Array.sub queries !i k :: !batches;
+    i := !i + k
+  done;
+  let batches = List.rev !batches in
+  let expected = List.map (fun b -> Serve.Engine.batch direct b) batches in
+  let identical = ref true in
+  let (), elapsed =
+    Bench_util.time_once (fun () ->
+        List.iter2
+          (fun b e -> if Net.Client.batch c b <> e then identical := false)
+          batches expected)
+  in
+  (elapsed, !identical)
+
+let stat stats name = Option.value ~default:(-1) (List.assoc_opt name stats)
+
+let block ~smoke =
+  let n = if smoke then 2_000 else 20_000 in
+  let count = if smoke then 10_000 else 50_000 in
+  let window = 64 in
+  let g, loaded = make_loaded n (n + 43) in
+  let queries = workload g (Prng.create (n + 101)) count in
+  let direct = Serve.Engine.create loaded in
+  let expected = Array.map (fun q -> Serve.Engine.query direct q) queries in
+  let elapsed, mismatches, latencies, stats =
+    pipelined_run ~server_engine:(Serve.Engine.create loaded) ~expected ~window
+      queries
+  in
+  let qps = rate count elapsed in
+  let batch_size = if smoke then 500 else 1_000 in
+  let batch_elapsed, batch_identical =
+    batch_run ~server_engine:(Serve.Engine.create loaded) ~direct ~batch_size
+      queries
+  in
+  let batch_qps = rate count batch_elapsed in
+  Printf.printf
+    "store  net   n=%-7d %6d queries (window %d)  %8.0f q/s  p50 %dus p99 \
+     %dus  batch(%d) %8.0f q/s  [%s]\n\
+     %!"
+    n count window qps
+    (percentile latencies 0.50)
+    (percentile latencies 0.99)
+    batch_size batch_qps
+    (if mismatches = 0 && batch_identical then "ok" else "FAIL");
+  (* Degraded serving over the same stack: flip one advice payload byte,
+     salvage, and serve the quarantined bits live. *)
+  let damaged =
+    let bytes = Store.Snapshot.write loaded in
+    let s =
+      List.find
+        (fun s -> s.Store.Codec.tag = Store.Snapshot.tag_advice)
+        (Store.Snapshot.sections bytes)
+    in
+    let b = Bytes.of_string bytes in
+    let pos = s.Store.Codec.offset + 5 + s.Store.Codec.length - 1 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+    Bytes.to_string b
+  in
+  let sv = Store.Snapshot.read_salvage damaged in
+  let sv_count = min count 2_000 in
+  let sv_queries = Array.sub queries 0 sv_count in
+  let sv_direct = Serve.Engine.create_salvaged sv in
+  let sv_expected = Array.map (fun q -> Serve.Engine.query sv_direct q) sv_queries in
+  let sv_elapsed, sv_mismatches, _, sv_stats =
+    pipelined_run ~server_engine:(Serve.Engine.create_salvaged sv) ~expected:sv_expected
+      ~window sv_queries
+  in
+  let sv_degraded = stat sv_stats "serve.degraded" in
+  Printf.printf
+    "store  net   salvaged: %d queries  %8.0f q/s  engine.degraded=%d \
+     serve.degraded=%d  [%s]\n\
+     %!"
+    sv_count (rate sv_count sv_elapsed)
+    (stat sv_stats "engine.degraded")
+    sv_degraded
+    (if sv_mismatches = 0 && sv_degraded > 0 then "ok" else "FAIL");
+  J.Obj
+    [
+      ("family", J.Str "cycle");
+      ("n", J.Int n);
+      ("queries", J.Int count);
+      ("pipeline_window", J.Int window);
+      ("queries_per_sec", J.Float qps);
+      ("latency", percentiles_json latencies);
+      ("batch_size", J.Int batch_size);
+      ("batch_queries_per_sec", J.Float batch_qps);
+      ("bytes_in", J.Int (stat stats "net.bytes_in"));
+      ("bytes_out", J.Int (stat stats "net.bytes_out"));
+      ("requests", J.Int (stat stats "net.requests"));
+      ( "salvage",
+        J.Obj
+          [
+            ("queries", J.Int sv_count);
+            ("queries_per_sec", J.Float (rate sv_count sv_elapsed));
+            ("engine_degraded", J.Int (stat sv_stats "engine.degraded"));
+            ("serve_degraded", J.Int sv_degraded);
+            ("byte_identical", J.Bool (sv_mismatches = 0));
+          ] );
+      ( "acceptance",
+        J.Obj
+          [
+            ("pipelined_byte_identical", J.Bool (mismatches = 0));
+            ("batch_byte_identical", J.Bool batch_identical);
+            ( "salvage_served_degraded",
+              J.Bool (sv_mismatches = 0 && sv_degraded > 0) );
+          ] );
+    ]

@@ -241,11 +241,12 @@ let inspect_cmd =
 
 let batch_term =
   Arg.(
-    required
-    & opt (some file) None
+    value
+    & opt (some string) None
     & info [ "batch" ] ~docv:"FILE"
         ~doc:"Query list: one of 'label V', 'member V E', 'bits V' per \
-              line; '#' starts a comment.")
+              line; '#' starts a comment.  '-' reads the queries from \
+              standard input (the same convention as --metrics -).")
 
 let domains_term =
   Arg.(
@@ -316,8 +317,106 @@ let salvage_term =
               sections answer normally, a quarantined (checksum-failed \
               but parseable) section answers best-effort.")
 
+let listen_term =
+  Arg.(
+    value & flag
+    & info [ "listen" ]
+        ~doc:"Run as a long-lived TCP server instead of answering a \
+              one-shot batch: a single-threaded select event loop speaking \
+              the versioned binary frame protocol (see DESIGN.md, \"Wire \
+              protocol & event loop\").  SIGINT/SIGTERM drain gracefully.")
+
+let host_term =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address for --listen.")
+
+let port_term =
+  Arg.(
+    value & opt int 0
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port for --listen (0 asks the kernel for an ephemeral \
+              port; the chosen one is printed on startup).")
+
+let write_budget_term =
+  Arg.(
+    value
+    & opt int (256 * 1024)
+    & info [ "write-budget" ] ~docv:"BYTES"
+        ~doc:"Per-connection queued-response bound: past it the server \
+              stops reading that connection until its responses drain \
+              (backpressure).")
+
+let serve_batch engine domains pool batch =
+  (* '-' follows the --metrics convention: the query list arrives on
+     stdin.  Both paths read to EOF on a binary channel, so pipes and
+     process substitutions work identically. *)
+  let text =
+    if batch = "-" then Store.Io.read_to_eof stdin else Store.Io.read_file batch
+  in
+  let queries = Array.of_list (parse_queries text) in
+  let answers =
+    try Serve.Engine.batch ?domains ~pool engine queries
+    with Invalid_argument msg ->
+      Format.eprintf "rejected batch: %s@." msg;
+      exit 2
+  in
+  Array.iteri
+    (fun i answer ->
+      (match queries.(i) with
+      | Serve.Engine.Output_label v -> Format.printf "label %d" v
+      | Serve.Engine.Edge_member (v, e) -> Format.printf "member %d %d" v e
+      | Serve.Engine.Advice_bits v -> Format.printf "bits %d" v);
+      match answer with
+      | Serve.Engine.Label s -> Format.printf " -> %s@." s
+      | Serve.Engine.Member b -> Format.printf " -> %b@." b
+      | Serve.Engine.Bits s -> Format.printf " -> %s@." s)
+    answers;
+  Format.printf "served %d queries at radius %d (advice %S)@."
+    (Array.length queries) (Serve.Engine.radius engine)
+    (Serve.Engine.advice_name engine)
+
+let serve_listen engine domains pool host port write_budget =
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.host;
+      port;
+      write_budget;
+      domains;
+      pool;
+    }
+  in
+  let server =
+    try Net.Server.create ~config engine
+    with Unix.Unix_error (err, _, _) ->
+      Format.eprintf "cannot listen on %s:%d: %s@." host port
+        (Unix.error_message err);
+      exit 2
+  in
+  let g = Serve.Engine.graph engine in
+  Format.printf "listening on %s:%d (n=%d m=%d radius=%d protocol v%d%s)@."
+    host (Net.Server.port server) (Graph.n g) (Graph.m g)
+    (Serve.Engine.radius engine) Net.Protocol.version
+    (if Serve.Engine.degraded engine then ", degraded" else "");
+  (* Flush before blocking: scripts scrape the port from this line. *)
+  Format.print_flush ();
+  let stop _ = Net.Server.shutdown server in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Net.Server.run server;
+  let find k = List.assoc_opt k (Net.Server.stats server) in
+  let count k = Option.value ~default:0 (find k) in
+  Format.printf
+    "server drained: %d connection(s), %d request(s), %d query(ies), %d \
+     error frame(s)@."
+    (count "net.accepted") (count "net.requests") (count "net.queries")
+    (count "net.errors")
+
 let serve_cmd =
-  let run path batch domains cache shards pool salvage metrics =
+  let run path batch listen host port write_budget domains cache shards pool
+      salvage metrics =
     or_corrupt @@ fun () ->
     with_metrics metrics @@ fun () ->
     let engine =
@@ -338,37 +437,27 @@ let serve_cmd =
         Serve.Engine.create ~cache_capacity:cache ?shards
           (Store.Snapshot.of_file path)
     in
-    (* Read-to-EOF on a binary channel: --batch <(...) hands us a pipe,
-       where in_channel_length is useless. *)
-    let text = Store.Io.read_file batch in
-    let queries = Array.of_list (parse_queries text) in
-    let answers =
-      try Serve.Engine.batch ?domains ~pool engine queries
-      with Invalid_argument msg ->
-        Format.eprintf "rejected batch: %s@." msg;
+    match (listen, batch) with
+    | true, Some _ ->
+        Format.eprintf "serve: --listen and --batch are mutually exclusive@.";
         exit 2
-    in
-    Array.iteri
-      (fun i answer ->
-        (match queries.(i) with
-        | Serve.Engine.Output_label v -> Format.printf "label %d" v
-        | Serve.Engine.Edge_member (v, e) -> Format.printf "member %d %d" v e
-        | Serve.Engine.Advice_bits v -> Format.printf "bits %d" v);
-        match answer with
-        | Serve.Engine.Label s -> Format.printf " -> %s@." s
-        | Serve.Engine.Member b -> Format.printf " -> %b@." b
-        | Serve.Engine.Bits s -> Format.printf " -> %s@." s)
-      answers;
-    Format.printf "served %d queries at radius %d (advice %S)@."
-      (Array.length queries) (Serve.Engine.radius engine)
-      (Serve.Engine.advice_name engine)
+    | true, None -> serve_listen engine domains pool host port write_budget
+    | false, Some b -> serve_batch engine domains pool b
+    | false, None ->
+        Format.eprintf
+          "serve: nothing to do — pass --batch FILE ('-' for stdin) or \
+           --listen@.";
+        exit 2
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Answer a batch of per-node queries from a snapshot by \
-             decoding only each node's certified-radius ball.")
+       ~doc:"Answer per-node queries from a snapshot by decoding only each \
+             node's certified-radius ball: one-shot with --batch (a file \
+             or '-' for stdin), or as a long-lived TCP server with \
+             --listen.")
     Term.(
-      const run $ snapshot_arg $ batch_term $ domains_term $ cache_term
+      const run $ snapshot_arg $ batch_term $ listen_term $ host_term
+      $ port_term $ write_budget_term $ domains_term $ cache_term
       $ shards_term $ pool_term $ salvage_term $ metrics_term)
 
 let default = Term.(ret (const (`Help (`Pager, None))))

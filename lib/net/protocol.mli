@@ -1,0 +1,145 @@
+(** Versioned binary wire protocol for long-lived [advice_store] serving.
+
+    Every message travelling in either direction is one {e frame}:
+
+    {v
+    magic:u8 (0xC4)  version:u8  tag:u8  length:varint  payload  crc32:u32
+    v}
+
+    built from the same primitives as the snapshot format ({!Store.Codec}:
+    little-endian fixed-width integers, canonical LEB128 varints,
+    varint-length-prefixed strings).  Unlike a snapshot section, the
+    checksum covers the {e whole frame} from the magic byte through the
+    last payload byte — the header carries routing information (tag,
+    length) that no inner CRC would protect, and a single flipped header
+    bit must never reinterpret a request.  CRC-32 detects every burst
+    error up to 32 bits, so any single corrupted byte anywhere in a frame
+    is caught deterministically.
+
+    Requests carry ball-local questions (the paper's C4 decompression
+    queries) or service control (ping, stats); responses carry the
+    positionally matching answers, or an explicit {e error frame} — a
+    malformed request is answered, never ignored, so a client is never
+    left waiting on a frame the server silently dropped.
+
+    {b Version policy.}  The version byte is checked before anything
+    else in the payload is trusted.  A server speaks exactly
+    {!version}; a frame carrying any other version is answered with a
+    {!Bad_version} error frame whose message names the supported
+    version, and the connection is closed — the client is expected to
+    reconnect speaking the older protocol or give up loudly.  The
+    version is bumped on any change to the frame layout, the tag table,
+    or a payload encoding; new tags within a version are {e not} added
+    retroactively (an unknown tag is {!Bad_tag}, a fatal error), so a
+    version number fully determines the wire grammar. *)
+
+val version : int
+(** The protocol version this build speaks (and the only one it
+    accepts): 1. *)
+
+val magic : int
+(** First byte of every frame: 0xC4, after the paper's C4 workload. *)
+
+val default_max_frame : int
+(** Default cap on a frame's total encoded size (1 MiB).  Parsers reject
+    larger announcements with {!Too_large} before buffering them, so a
+    corrupted length cannot make a peer allocate unboundedly. *)
+
+(** {1 Messages} *)
+
+(** One client request. *)
+type request =
+  | Ping  (** liveness probe; answered with {!Pong} *)
+  | Stats  (** server counters; answered with {!Stats_reply} *)
+  | Query of Serve.Engine.query  (** one ball-local question *)
+  | Batch of Serve.Engine.query array
+      (** many questions in one frame, answered positionally in one
+          {!Answers} frame and dispatched through the sharded parallel
+          batch path *)
+
+(** Why a frame or request was rejected.  The numeric code on the wire
+    is {!error_code_to_int}. *)
+type error_code =
+  | Bad_magic  (** first byte was not {!magic}: stream desync *)
+  | Bad_version  (** peer speaks a different protocol version *)
+  | Bad_frame  (** checksum mismatch or malformed frame structure *)
+  | Bad_tag  (** unknown frame tag for this direction *)
+  | Bad_request  (** well-framed but malformed payload *)
+  | Rejected  (** valid request refused by the engine (bad node id...) *)
+  | Too_large  (** announced frame size exceeds the parser's cap *)
+  | Shutting_down  (** server is draining; no new requests accepted *)
+
+(** One server response. *)
+type response =
+  | Pong
+  | Stats_reply of (string * int) list
+      (** counter name/value pairs, sorted by name; includes
+          [serve.degraded] so a client can see it is being answered
+          from a damaged snapshot *)
+  | Answer of Serve.Engine.answer
+  | Answers of Serve.Engine.answer array
+  | Error of error_code * string
+      (** explicit error frame: code plus a human-readable diagnostic *)
+
+val error_code_to_int : error_code -> int
+(** Stable wire encoding of an error code (1..8). *)
+
+val error_code_of_int : int -> error_code option
+(** Inverse of {!error_code_to_int}; [None] on an unknown code. *)
+
+val error_code_name : error_code -> string
+(** Lower-case symbolic name, e.g. ["bad-version"] — used in logs and
+    error-frame messages. *)
+
+(** Whether an error ends the connection.  Frame-level damage
+    ({!Bad_magic}, {!Bad_version}, {!Bad_frame}, {!Bad_tag},
+    {!Too_large}) is fatal: the byte stream can no longer be trusted to
+    be in sync, so the server sends the error frame and closes.
+    Request-level damage ({!Bad_request}, {!Rejected}) is answered and
+    the connection continues — the framing was intact, only the
+    question was bad. *)
+val error_is_fatal : error_code -> bool
+
+(** {1 Encoding} *)
+
+val write_request : Store.Codec.writer -> request -> unit
+(** Append one request frame. *)
+
+val write_response : Store.Codec.writer -> response -> unit
+(** Append one response frame.  @raise Invalid_argument when a label or
+    stats key exceeds the frame cap (not reachable from engine
+    output). *)
+
+val request_to_string : request -> string
+(** One request as a standalone frame. *)
+
+val response_to_string : response -> string
+(** One response as a standalone frame. *)
+
+(** {1 Incremental decoding}
+
+    Parsers consume frames from the front of a caller-owned buffer
+    window and never raise on wire input: every outcome, including
+    corruption, is a constructor.  This is the event loop's only entry
+    point for bytes read off a socket. *)
+
+(** Outcome of trying to parse one frame from a buffer window. *)
+type 'a parse =
+  | Need of int
+      (** incomplete: at least this many more bytes are required (a
+          lower bound — re-parse after the next read) *)
+  | Done of 'a * int
+      (** one whole message parsed, consuming this many bytes *)
+  | Fail of { code : error_code; message : string; consumed : int }
+      (** rejected: answer with an error frame.  When
+          [error_is_fatal code], [consumed] is meaningless (close the
+          connection); otherwise skip [consumed] bytes and continue
+          parsing at the next frame boundary. *)
+
+val parse_request : ?max_frame:int -> Bytes.t -> pos:int -> len:int -> request parse
+(** [parse_request buf ~pos ~len] tries to decode one request frame
+    from [buf.[pos .. pos+len-1]].  [max_frame] defaults to
+    {!default_max_frame}. *)
+
+val parse_response : ?max_frame:int -> Bytes.t -> pos:int -> len:int -> response parse
+(** Same, for the client side of the connection. *)

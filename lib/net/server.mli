@@ -1,0 +1,91 @@
+(** Single-threaded [Unix.select] event loop serving {!Serve.Engine}
+    queries over TCP — the long-lived form of [advice_store serve].
+
+    One loop iteration selects over the listening socket, a self-pipe
+    (the cross-domain shutdown signal), and every connection that wants
+    IO per its {!Conn} state machine; then accepts, reads and parses
+    pipelined request frames, dispatches them (batches through the
+    sharded parallel {!Serve.Engine.batch} path), and flushes write
+    queues.  Dispatch is synchronous on the loop thread: one enormous
+    batch delays other connections rather than racing them, which is the
+    deliberate trade — the engine's own domain pool is where parallelism
+    lives, and the loop stays free of locks entirely.
+
+    {b Backpressure} is per connection ({!Conn}): a peer whose response
+    queue exceeds the write budget stops being read until the queue
+    drains, so slow readers throttle themselves through TCP flow control
+    instead of growing server memory.  When {!config.max_conns} peers
+    are connected the listener stops accepting; further connects wait in
+    the kernel backlog.
+
+    {b Graceful shutdown.}  {!shutdown} may be called from any domain or
+    from a signal handler: it writes one byte to the self-pipe.  The
+    loop then stops accepting, closes the listener (freeing the port),
+    appends a {!Protocol.Shutting_down} error frame to every open
+    connection (ordered {e after} all queued answers, so a pipelining
+    client can tell exactly which requests made the cut), drains every
+    write queue, closes the sockets, and returns from {!run}.  Requests
+    fully received before the shutdown byte are answered; bytes arriving
+    after it are never parsed.
+
+    {b Degraded serving} needs no special handling here: an engine built
+    by {!Serve.Engine.create_salvaged} answers like any other, and the
+    stats frame exposes [engine.degraded] / [serve.degraded] so clients
+    can see they are being served best-effort from a damaged snapshot.
+
+    Obs: [net.accepted], [net.closed], [net.requests], [net.queries],
+    [net.batches], [net.errors], [net.bytes_in], [net.bytes_out]
+    counters and the [net.batch_size] histogram. *)
+
+(** Loop parameters; {!default_config} is the baseline. *)
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** TCP port; [0] asks the kernel for an ephemeral one *)
+  backlog : int;  (** listen backlog, default 64 *)
+  max_conns : int;  (** accepted-connection cap, default 1024 *)
+  max_frame : int;  (** per-frame byte cap, {!Protocol.default_max_frame} *)
+  write_budget : int;
+      (** per-connection queued-response bound (bytes) above which the
+          connection stops being read, default 256 KiB *)
+  domains : int option;  (** batch fan-out, forwarded to the engine *)
+  pool : Serve.Pool.variant;  (** batch pool discipline *)
+}
+
+val default_config : config
+(** Loopback host, ephemeral port, and the defaults listed above. *)
+
+type t
+(** A bound, listening server (not yet running its loop). *)
+
+val create : ?config:config -> Serve.Engine.t -> t
+(** [create engine] opens, binds and listens the socket immediately, so
+    {!port} is known before {!run} is entered — a test can bind port 0,
+    read the assigned port, and only then start the loop in another
+    domain.  @raise Unix.Unix_error when binding fails (address in use,
+    permission). *)
+
+val port : t -> int
+(** The actually bound TCP port (resolves port [0] requests). *)
+
+val engine : t -> Serve.Engine.t
+(** The engine this server answers from. *)
+
+val run : t -> unit
+(** Run the event loop until {!shutdown} completes its drain.  Must be
+    called at most once.  @raise Invalid_argument on a second call or on
+    a server that was already shut down. *)
+
+val shutdown : t -> unit
+(** Request graceful shutdown: async-signal-safe and callable from any
+    domain (it writes the self-pipe and returns without waiting).
+    Idempotent.  {!run} returns once every connection has drained. *)
+
+val stats : t -> (string * int) list
+(** The counter pairs a {!Protocol.Stats} request is answered with,
+    sorted by name: engine facts ([engine.n], [engine.m],
+    [engine.radius], [engine.shards], [engine.degraded],
+    [engine.trusted] as 0/1 flags and sizes), loop counters
+    ([net.accepted], [net.active], [net.requests], [net.queries],
+    [net.batches], [net.errors], [net.pings], [net.bytes_in],
+    [net.bytes_out]) and [serve.degraded] — the count of queries
+    answered while the engine was degraded, 0 on a healthy one. *)

@@ -1,0 +1,607 @@
+(* Wire-protocol and event-loop coverage for lib/net: QCheck frame
+   round-trips in both directions, every-prefix truncation and
+   every-byte-flip fuzz (a single flipped bit must never reinterpret a
+   frame — the whole-frame CRC guarantees it), socketless Conn state
+   machine checks, and loopback integration against a live server —
+   including one answering from a salvaged snapshot. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let make_packed n seed =
+  let rng = Prng.create seed in
+  let g = Builders.cycle n in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let snapshot, _cert = Serve.Pack.edge_compression g x in
+  (g, snapshot)
+
+(* A deterministic mixed workload over the snapshot graph: labels, edge
+   memberships (node paired with one of its own incident edges, the
+   LOCAL reading of C4), and raw advice reads. *)
+let workload g count =
+  let n = Graph.n g in
+  Array.init count (fun i ->
+      let v = (i * 7919) mod n in
+      match i mod 3 with
+      | 0 -> Serve.Engine.Output_label v
+      | 1 ->
+          let nbrs = Graph.neighbors g v in
+          Serve.Engine.Edge_member (v, Graph.edge_id g v nbrs.(i mod Array.length nbrs))
+      | _ -> Serve.Engine.Advice_bits v)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck generators *)
+
+let query_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Serve.Engine.Output_label v) (int_bound 100_000);
+        map2 (fun v e -> Serve.Engine.Edge_member (v, e)) (int_bound 100_000)
+          (int_bound 1_000_000);
+        map (fun v -> Serve.Engine.Advice_bits v) (int_bound 100_000);
+      ])
+
+let request_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Net.Protocol.Ping);
+        (1, return Net.Protocol.Stats);
+        (4, map (fun q -> Net.Protocol.Query q) query_gen);
+        ( 4,
+          map
+            (fun qs -> Net.Protocol.Batch (Array.of_list qs))
+            (list_size (int_bound 8) query_gen) );
+      ])
+
+(* Full byte range: string payloads must survive arbitrary bytes. *)
+let raw_string_gen = QCheck.Gen.(string_size ~gen:(char_range '\000' '\255') (int_bound 40))
+
+let answer_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Serve.Engine.Label s) raw_string_gen;
+        map (fun b -> Serve.Engine.Member b) bool;
+        map (fun s -> Serve.Engine.Bits s) raw_string_gen;
+      ])
+
+let all_error_codes =
+  Net.Protocol.
+    [
+      Bad_magic; Bad_version; Bad_frame; Bad_tag; Bad_request; Rejected;
+      Too_large; Shutting_down;
+    ]
+
+let response_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Net.Protocol.Pong);
+        ( 2,
+          map
+            (fun kvs -> Net.Protocol.Stats_reply kvs)
+            (list_size (int_bound 6)
+               (pair (string_size ~gen:printable (int_bound 24)) (int_bound 1_000_000))) );
+        (3, map (fun a -> Net.Protocol.Answer a) answer_gen);
+        ( 3,
+          map
+            (fun az -> Net.Protocol.Answers (Array.of_list az))
+            (list_size (int_bound 8) answer_gen) );
+        ( 2,
+          map2
+            (fun c m -> Net.Protocol.Error (c, m))
+            (oneofl all_error_codes)
+            (string_size ~gen:printable (int_bound 60)) );
+      ])
+
+let request_arb =
+  QCheck.make ~print:(fun r -> Net.Protocol.request_to_string r |> String.escaped) request_gen
+
+let response_arb =
+  QCheck.make ~print:(fun r -> Net.Protocol.response_to_string r |> String.escaped) response_gen
+
+(* ------------------------------------------------------------------ *)
+(* Frame round-trips *)
+
+let parse_full_request s =
+  Net.Protocol.parse_request (Bytes.of_string s) ~pos:0 ~len:(String.length s)
+
+let parse_full_response s =
+  Net.Protocol.parse_response (Bytes.of_string s) ~pos:0 ~len:(String.length s)
+
+let request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request frame round-trip" request_arb (fun rq ->
+      let s = Net.Protocol.request_to_string rq in
+      match parse_full_request s with
+      | Net.Protocol.Done (rq', consumed) -> rq' = rq && consumed = String.length s
+      | _ -> false)
+
+let response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"response frame round-trip" response_arb (fun rs ->
+      let s = Net.Protocol.response_to_string rs in
+      match parse_full_response s with
+      | Net.Protocol.Done (rs', consumed) -> rs' = rs && consumed = String.length s
+      | _ -> false)
+
+let error_code_table () =
+  List.iter
+    (fun c ->
+      check_int
+        (Printf.sprintf "code %s survives the wire" (Net.Protocol.error_code_name c))
+        (Net.Protocol.error_code_to_int c)
+        (match Net.Protocol.error_code_of_int (Net.Protocol.error_code_to_int c) with
+        | Some c' when c' = c -> Net.Protocol.error_code_to_int c'
+        | _ -> -1))
+    all_error_codes;
+  check "0 is not a code" true (Net.Protocol.error_code_of_int 0 = None);
+  check "9 is not a code" true (Net.Protocol.error_code_of_int 9 = None)
+
+(* A fixed set of frames covering every tag in both directions, for the
+   exhaustive (every prefix, every byte) corruption sweeps. *)
+let sample_requests =
+  Net.Protocol.
+    [
+      Ping;
+      Stats;
+      Query (Serve.Engine.Output_label 3);
+      Query (Serve.Engine.Edge_member (5, 9));
+      Query (Serve.Engine.Advice_bits 0);
+      Batch
+        [|
+          Serve.Engine.Output_label 1; Serve.Engine.Edge_member (2, 4);
+          Serve.Engine.Advice_bits 7;
+        |];
+      Batch [||];
+    ]
+
+let sample_responses =
+  Net.Protocol.
+    [
+      Pong;
+      Stats_reply [ ("net.requests", 12); ("serve.degraded", 0) ];
+      Answer (Serve.Engine.Label "0110");
+      Answer (Serve.Engine.Member true);
+      Answer (Serve.Engine.Bits "01");
+      Answers [| Serve.Engine.Label ""; Serve.Engine.Member false |];
+      Error (Bad_request, "edge 9 out of range");
+    ]
+
+let request_frames = List.map Net.Protocol.request_to_string sample_requests
+let response_frames = List.map Net.Protocol.response_to_string sample_responses
+
+(* Every strict prefix of a valid frame parses as Need — truncation is
+   always "wait for more bytes", never an error and never a crash. *)
+let prefix_truncation parse frames () =
+  List.iter
+    (fun s ->
+      let b = Bytes.of_string s in
+      for len = 0 to String.length s - 1 do
+        match parse b ~pos:0 ~len with
+        | Net.Protocol.Need more ->
+            check
+              (Printf.sprintf "Need is a positive lower bound at len %d" len)
+              true
+              (more > 0 && len + more <= String.length s)
+        | Net.Protocol.Done _ ->
+            Alcotest.failf "prefix of length %d parsed as a whole frame" len
+        | Net.Protocol.Fail { message; _ } ->
+            Alcotest.failf "prefix of length %d rejected: %s" len message
+      done)
+    frames
+
+(* Flipping any single byte of a valid frame must never yield a parsed
+   message: the whole-frame CRC catches every <=32-bit burst, so the
+   outcome is an explicit Fail (answered with an error frame) or a Need
+   (a grown length announcement — resolved to a clean close at EOF by
+   the Conn test below), and never an exception. *)
+let byte_flip_never_parses parse frames () =
+  List.iter
+    (fun s ->
+      let n = String.length s in
+      List.iter
+        (fun mask ->
+          for i = 0 to n - 1 do
+            let b = Bytes.of_string s in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+            match parse b ~pos:0 ~len:n with
+            | Net.Protocol.Done _ ->
+                Alcotest.failf "flip at byte %d (mask 0x%02x) still parsed" i mask
+            | Net.Protocol.Need _ | Net.Protocol.Fail _ -> ()
+          done)
+        [ 0x01; 0x80; 0xFF ])
+    frames
+
+(* Requests parsed on the response side (and vice versa) are Bad_tag:
+   the tag ranges are disjoint, so a stream plugged into the wrong
+   parser fails loudly instead of misreading. *)
+let direction_confusion () =
+  List.iter
+    (fun rq ->
+      match parse_full_response (Net.Protocol.request_to_string rq) with
+      | Net.Protocol.Fail { code = Net.Protocol.Bad_tag; _ } -> ()
+      | _ -> Alcotest.fail "request frame accepted by the response parser")
+    sample_requests;
+  List.iter
+    (fun rs ->
+      match parse_full_request (Net.Protocol.response_to_string rs) with
+      | Net.Protocol.Fail { code = Net.Protocol.Bad_tag; _ } -> ()
+      | _ -> Alcotest.fail "response frame accepted by the request parser")
+    sample_responses
+
+let oversized_rejected () =
+  let big = Net.Protocol.Query (Serve.Engine.Output_label 1) in
+  let s = Net.Protocol.request_to_string big in
+  match
+    Net.Protocol.parse_request ~max_frame:4 (Bytes.of_string s) ~pos:0
+      ~len:(String.length s)
+  with
+  | Net.Protocol.Fail { code = Net.Protocol.Too_large; _ } -> ()
+  | _ -> Alcotest.fail "oversized frame was not rejected with too-large"
+
+(* ------------------------------------------------------------------ *)
+(* Conn state machine (no sockets) *)
+
+let drain_frames conn =
+  (* Flush the write queue in awkward chunk sizes and reparse the byte
+     stream as responses — exactly what a client would see. *)
+  let buf = Buffer.create 256 in
+  let rec flush () =
+    match Net.Conn.pending conn with
+    | None -> ()
+    | Some (chunk, off) ->
+        let k = min 3 (String.length chunk - off) in
+        Buffer.add_substring buf chunk off k;
+        Net.Conn.wrote conn k;
+        flush ()
+  in
+  flush ();
+  let s = Buffer.contents buf in
+  let b = Bytes.of_string s in
+  let rec parse pos acc =
+    if pos >= String.length s then List.rev acc
+    else
+      match Net.Protocol.parse_response b ~pos ~len:(String.length s - pos) with
+      | Net.Protocol.Done (rs, consumed) -> parse (pos + consumed) (rs :: acc)
+      | Net.Protocol.Need _ -> Alcotest.fail "conn queued a truncated frame"
+      | Net.Protocol.Fail { message; _ } ->
+          Alcotest.failf "conn queued an unparseable frame: %s" message
+  in
+  parse 0 []
+
+let feed_string ?on_error conn s dispatch =
+  (* Byte-at-a-time: exercises the header/body resume path of the
+     parser on every boundary. *)
+  String.iter
+    (fun c ->
+      let b = Bytes.make 1 c in
+      Net.Conn.feed ?on_error conn b 1 dispatch)
+    s
+
+let echo_dispatch calls rq =
+  calls := rq :: !calls;
+  match rq with
+  | Net.Protocol.Ping -> Net.Protocol.Pong
+  | Net.Protocol.Stats -> Net.Protocol.Stats_reply []
+  | Net.Protocol.Query _ -> Net.Protocol.Answer (Serve.Engine.Member true)
+  | Net.Protocol.Batch qs ->
+      Net.Protocol.Answers (Array.map (fun _ -> Serve.Engine.Member false) qs)
+
+let test_conn_pipelining () =
+  let conn = Net.Conn.create () in
+  let calls = ref [] in
+  let reqs =
+    Net.Protocol.
+      [ Ping; Query (Serve.Engine.Output_label 2); Batch [| Serve.Engine.Advice_bits 1 |] ]
+  in
+  let stream = String.concat "" (List.map Net.Protocol.request_to_string reqs) in
+  feed_string conn stream (echo_dispatch calls);
+  check_int "all pipelined requests dispatched" 3 (List.length !calls);
+  check "dispatch order is arrival order" true (List.rev !calls = reqs);
+  check "still open" true (Net.Conn.state conn = Net.Conn.Open);
+  (match drain_frames conn with
+  | [ Net.Protocol.Pong; Net.Protocol.Answer _; Net.Protocol.Answers _ ] -> ()
+  | _ -> Alcotest.fail "responses not queued in request order");
+  (* EOF with everything flushed: ready to close. *)
+  Net.Conn.feed conn (Bytes.create 0) 0 (echo_dispatch calls);
+  check "finished after EOF + flush" true (Net.Conn.finished conn);
+  Net.Conn.close conn;
+  check "closed" true (Net.Conn.state conn = Net.Conn.Closed)
+
+let test_conn_fuzz_flipped_frames () =
+  (* Any single-byte flip of any request frame: the dispatch function is
+     never reached, an explicit error frame (or a clean close at EOF)
+     comes back, and nothing crashes or wedges. *)
+  List.iter
+    (fun rq ->
+      let s = Net.Protocol.request_to_string rq in
+      for i = 0 to String.length s - 1 do
+        let conn = Net.Conn.create () in
+        let calls = ref [] in
+        let errors = ref [] in
+        let on_error c = errors := c :: !errors in
+        let b = Bytes.of_string s in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+        Net.Conn.feed ~on_error conn b (Bytes.length b) (echo_dispatch calls);
+        Net.Conn.feed ~on_error conn (Bytes.create 0) 0 (echo_dispatch calls);
+        check_int
+          (Printf.sprintf "no dispatch after flip at byte %d" i)
+          0 (List.length !calls);
+        let frames = drain_frames conn in
+        check
+          (Printf.sprintf "error frame or silent close after flip at byte %d" i)
+          true
+          (match frames with
+          | [] -> !errors = []  (* grown length: Need until EOF, clean close *)
+          | [ Net.Protocol.Error (code, _) ] ->
+              Net.Protocol.error_is_fatal code && !errors = [ code ]
+          | _ -> false);
+        check
+          (Printf.sprintf "connection wound down after flip at byte %d" i)
+          true (Net.Conn.finished conn)
+      done)
+    sample_requests
+
+let test_conn_garbage_then_eof () =
+  let conn = Net.Conn.create () in
+  let calls = ref [] in
+  feed_string conn "GET / HTTP/1.1\r\n\r\n" (echo_dispatch calls);
+  check_int "no dispatch on garbage" 0 (List.length !calls);
+  check "fatal error drains the connection" true
+    (Net.Conn.state conn = Net.Conn.Draining);
+  (match drain_frames conn with
+  | [ Net.Protocol.Error (Net.Protocol.Bad_magic, _) ] -> ()
+  | _ -> Alcotest.fail "garbage was not answered with a bad-magic frame");
+  check "finished once the error frame is flushed" true (Net.Conn.finished conn)
+
+let test_conn_backpressure () =
+  let conn = Net.Conn.create ~write_budget:64 () in
+  let calls = ref [] in
+  let big rq =
+    ignore (echo_dispatch calls rq);
+    Net.Protocol.Answer (Serve.Engine.Label (String.make 200 '1'))
+  in
+  check "reads wanted while under budget" true (Net.Conn.wants_read conn);
+  let s = Net.Protocol.request_to_string (Net.Protocol.Query (Serve.Engine.Output_label 0)) in
+  Net.Conn.feed conn (Bytes.of_string s) (String.length s) big;
+  check "over budget: reading pauses" false (Net.Conn.wants_read conn);
+  check "over budget: writing wanted" true (Net.Conn.wants_write conn);
+  ignore (drain_frames conn);
+  check "under budget again: reading resumes" true (Net.Conn.wants_read conn);
+  check_int "queue empty after drain" 0 (Net.Conn.queued_bytes conn)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback integration *)
+
+let with_server engine f =
+  let config = { Net.Server.default_config with port = 0 } in
+  let server = Net.Server.create ~config engine in
+  let d = Domain.spawn (fun () -> Net.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Server.shutdown server;
+      Domain.join d)
+    (fun () -> f server (Net.Server.port server))
+
+let with_client port f =
+  let c = Net.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Net.Client.close c) (fun () -> f c)
+
+let test_loopback_pipelined () =
+  let g, snapshot = make_packed 180 23 in
+  (* A second, independent engine over the same snapshot is the ground
+     truth: sharing one engine across domains would race its caches. *)
+  let direct = Serve.Engine.create snapshot in
+  with_server (Serve.Engine.create snapshot) @@ fun _server port ->
+  with_client port @@ fun c ->
+  Net.Client.ping c;
+  let qs = workload g 300 in
+  (* Full pipeline: every request on the wire before the first read. *)
+  Array.iter (fun q -> Net.Client.send c (Net.Protocol.Query q)) qs;
+  check_int "all requests in flight" (Array.length qs) (Net.Client.in_flight c);
+  Array.iter
+    (fun q ->
+      let expect = Serve.Engine.query direct q in
+      match Net.Client.recv c with
+      | Net.Protocol.Answer a ->
+          check "pipelined answer is byte-identical to the direct engine" true
+            (a = expect)
+      | _ -> Alcotest.fail "query answered with a non-answer frame")
+    qs;
+  (* Batch path: positionally identical to the direct batch. *)
+  let batch_qs = workload g 97 in
+  let got = Net.Client.batch c batch_qs in
+  let expect = Serve.Engine.batch direct batch_qs in
+  check "batch over TCP equals direct batch" true (got = expect);
+  (* A rejected request answers with an error frame and leaves the
+     connection usable. *)
+  (match Net.Client.query c (Serve.Engine.Output_label 10_000_000) with
+  | exception Net.Client.Server_error { code = Net.Protocol.Rejected; _ } -> ()
+  | _ -> Alcotest.fail "out-of-range query was not rejected");
+  Net.Client.ping c;
+  let stats = Net.Client.stats c in
+  let stat name =
+    match List.assoc_opt name stats with
+    | Some v -> v
+    | None -> Alcotest.failf "stats frame is missing %s" name
+  in
+  check_int "healthy engine" 0 (stat "engine.degraded");
+  check_int "no degraded serving" 0 (stat "serve.degraded");
+  check_int "engine.n matches" (Graph.n g) (stat "engine.n");
+  check "requests counted" true (stat "net.requests" > 300);
+  check "errors counted" true (stat "net.errors" >= 1);
+  check "bytes flowed" true (stat "net.bytes_in" > 0 && stat "net.bytes_out" > 0)
+
+let test_loopback_raw_garbage () =
+  let _, snapshot = make_packed 60 5 in
+  with_server (Serve.Engine.create snapshot) @@ fun _server port ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let junk = "definitely not a frame" in
+  ignore (Unix.write_substring fd junk 0 (String.length junk));
+  (* The server answers with an explicit bad-magic error frame, then
+     closes — read to EOF and parse what came back. *)
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 256 in
+  let rec slurp () =
+    match Unix.read fd chunk 0 256 with
+    | 0 -> ()
+    | k ->
+        Buffer.add_subbytes buf chunk 0 k;
+        slurp ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> slurp ()
+  in
+  slurp ();
+  let s = Buffer.contents buf in
+  match Net.Protocol.parse_response (Bytes.of_string s) ~pos:0 ~len:(String.length s) with
+  | Net.Protocol.Done (Net.Protocol.Error (Net.Protocol.Bad_magic, _), _) -> ()
+  | _ -> Alcotest.fail "garbage connection did not get a bad-magic error frame"
+
+let test_loopback_two_clients () =
+  let g, snapshot = make_packed 90 41 in
+  let direct = Serve.Engine.create snapshot in
+  with_server (Serve.Engine.create snapshot) @@ fun _server port ->
+  with_client port @@ fun c1 ->
+  with_client port @@ fun c2 ->
+  (* Interleaved pipelining on two connections: per-connection FIFO
+     order holds independently. *)
+  let q1 = workload g 40 in
+  let q2 = Array.map (fun q -> q) (workload g 40) in
+  Array.iteri
+    (fun i q ->
+      Net.Client.send c1 (Net.Protocol.Query q);
+      Net.Client.send c2 (Net.Protocol.Query q2.(i)))
+    q1;
+  Array.iteri
+    (fun i q ->
+      let a1 =
+        match Net.Client.recv c1 with
+        | Net.Protocol.Answer a -> a
+        | _ -> Alcotest.fail "c1: non-answer"
+      in
+      let a2 =
+        match Net.Client.recv c2 with
+        | Net.Protocol.Answer a -> a
+        | _ -> Alcotest.fail "c2: non-answer"
+      in
+      check "c1 in order" true (a1 = Serve.Engine.query direct q);
+      check "c2 in order" true (a2 = Serve.Engine.query direct q2.(i)))
+    q1
+
+(* ------------------------------------------------------------------ *)
+(* Degraded serving over TCP *)
+
+let flip_advice_payload bytes =
+  let sections = Store.Snapshot.sections bytes in
+  let s = List.find (fun s -> s.Store.Codec.tag = Store.Snapshot.tag_advice) sections in
+  let b = Bytes.of_string bytes in
+  (* Last payload byte (after tag:u8 and length:u32): deep in the bit
+     data, so the section stays structurally parseable — quarantined,
+     not lost — and the engine serves it untrusted. *)
+  let pos = s.Store.Codec.offset + 5 + s.Store.Codec.length - 1 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+  Bytes.to_string b
+
+let test_loopback_salvage () =
+  let g, snapshot = make_packed 120 17 in
+  let damaged = flip_advice_payload (Store.Snapshot.write snapshot) in
+  let sv = Store.Snapshot.read_salvage damaged in
+  let engine = Serve.Engine.create_salvaged sv in
+  let direct = Serve.Engine.create_salvaged sv in
+  check "salvaged engine is degraded" true (Serve.Engine.degraded engine);
+  with_server engine @@ fun server port ->
+  with_client port @@ fun c ->
+  let qs = workload g 60 in
+  Array.iter (fun q -> Net.Client.send c (Net.Protocol.Query q)) qs;
+  Array.iter
+    (fun q ->
+      match Net.Client.recv c with
+      | Net.Protocol.Answer a ->
+          check "degraded answers still match the direct salvaged engine" true
+            (a = Serve.Engine.query direct q)
+      | _ -> Alcotest.fail "non-answer frame from the degraded server")
+    qs;
+  let stats = Net.Client.stats c in
+  check_int "stats expose engine.degraded" 1 (List.assoc "engine.degraded" stats);
+  check "stats count degraded serving" true (List.assoc "serve.degraded" stats > 0);
+  (* The same facts through the server's own accessor. *)
+  check_int "server stats agree" 1 (List.assoc "engine.degraded" (Net.Server.stats server))
+
+let test_loopback_shutdown_drains () =
+  let g, snapshot = make_packed 80 3 in
+  let config = { Net.Server.default_config with port = 0 } in
+  let server = Net.Server.create ~config (Serve.Engine.create snapshot) in
+  let d = Domain.spawn (fun () -> Net.Server.run server) in
+  let c = Net.Client.connect ~port:(Net.Server.port server) () in
+  let qs = workload g 25 in
+  Array.iter (fun q -> Net.Client.send c (Net.Protocol.Query q)) qs;
+  (* Collect every answer, then shut down: requests received before the
+     shutdown byte are answered, and run returns. *)
+  Array.iter (fun _ -> ignore (Net.Client.recv c)) qs;
+  Net.Server.shutdown server;
+  Net.Server.shutdown server (* idempotent *);
+  Domain.join d;
+  (* The goodbye frame is on the wire; the socket then reaches EOF. *)
+  (Net.Client.send c Net.Protocol.Ping;
+   match Net.Client.recv c with
+   | Net.Protocol.Error (Net.Protocol.Shutting_down, _) -> ()
+   | exception Net.Client.Protocol_error _ -> ()
+   | _ -> Alcotest.fail "draining server did not say shutting-down");
+  Net.Client.close c
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest request_roundtrip;
+          QCheck_alcotest.to_alcotest response_roundtrip;
+          Alcotest.test_case "error code table" `Quick error_code_table;
+          Alcotest.test_case "every-prefix truncation (requests)" `Quick
+            (prefix_truncation (fun b ~pos ~len -> Net.Protocol.parse_request b ~pos ~len) request_frames);
+          Alcotest.test_case "every-prefix truncation (responses)" `Quick
+            (prefix_truncation (fun b ~pos ~len -> Net.Protocol.parse_response b ~pos ~len) response_frames);
+          Alcotest.test_case "every-byte-flip never parses (requests)" `Quick
+            (byte_flip_never_parses (fun b ~pos ~len -> Net.Protocol.parse_request b ~pos ~len) request_frames);
+          Alcotest.test_case "every-byte-flip never parses (responses)" `Quick
+            (byte_flip_never_parses (fun b ~pos ~len -> Net.Protocol.parse_response b ~pos ~len) response_frames);
+          Alcotest.test_case "direction confusion is bad-tag" `Quick
+            direction_confusion;
+          Alcotest.test_case "oversized frames rejected" `Quick oversized_rejected;
+        ] );
+      ( "conn",
+        [
+          Alcotest.test_case "pipelined dispatch, ordered responses" `Quick
+            test_conn_pipelining;
+          Alcotest.test_case "byte-flip fuzz: no dispatch, clean error" `Slow
+            test_conn_fuzz_flipped_frames;
+          Alcotest.test_case "garbage answered with bad-magic" `Quick
+            test_conn_garbage_then_eof;
+          Alcotest.test_case "write budget throttles reading" `Quick
+            test_conn_backpressure;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "pipelined queries match the direct engine" `Slow
+            test_loopback_pipelined;
+          Alcotest.test_case "raw garbage gets an error frame" `Quick
+            test_loopback_raw_garbage;
+          Alcotest.test_case "two clients, independent FIFO order" `Slow
+            test_loopback_two_clients;
+          Alcotest.test_case "salvaged snapshot served live" `Slow
+            test_loopback_salvage;
+          Alcotest.test_case "graceful shutdown drains in-flight" `Quick
+            test_loopback_shutdown_drains;
+        ] );
+    ]

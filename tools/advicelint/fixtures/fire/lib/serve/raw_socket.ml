@@ -1,0 +1,11 @@
+(* io-hygiene fixture: raw Unix socket IO outside lib/net.  Expected to
+   fire R8 four times (and R4 for the missing .mli) — socket bytes must
+   flow through Net.Conn / Net.Server / Net.Client. *)
+
+let serve_forever handler =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 7411));
+  let buf = Bytes.create 4096 in
+  let k = Unix.read fd buf 0 4096 in
+  let reply = handler (Bytes.sub_string buf 0 k) in
+  ignore (Unix.write_substring fd reply 0 (String.length reply))

@@ -22,7 +22,12 @@
      io-hygiene         R8  bare open_out / open_out_bin / Out_channel
                             writers in lib/ outside Store.Io — library
                             writes must go through the crash-consistent
-                            choke point (temp file + fsync + rename) *)
+                            choke point (temp file + fsync + rename);
+                            raw Unix socket calls (socket, bind, listen,
+                            accept, connect, read, write, send, recv) in
+                            lib/ outside lib/net — byte IO on sockets
+                            belongs to the event loop and client, where
+                            framing, backpressure and error frames live *)
 
 open Parsetree
 module SSet = Callgraph.SSet
@@ -657,11 +662,27 @@ let r8_banned lid =
       Some f
   | _ -> None
 
+(* Socket-level byte IO: creating, wiring up, or reading/writing raw
+   file descriptors.  Unix.openfile / fsync / close stay legal — they
+   are file plumbing, not socket traffic. *)
+let r8_socket_banned lid =
+  match Longident.flatten lid with
+  | [
+      ("Unix" | "UnixLabels");
+      (("socket" | "socketpair" | "bind" | "listen" | "accept" | "connect"
+       | "read" | "write" | "write_substring" | "single_write"
+       | "single_write_substring" | "send" | "send_substring" | "sendto"
+       | "recv" | "recvfrom") as f);
+    ] ->
+      Some f
+  | _ -> None
+
 let run_io_hygiene ctx str =
-  (* Only library code is held to the choke point, and Store.Io itself
-     is the sanctioned writer. *)
+  (* Only library code is held to the choke points: Store.Io is the
+     sanctioned file writer, lib/net the sanctioned socket owner. *)
   if r8_path_contains ctx.file "lib/" && not (r8_path_contains ctx.file "store/io.ml")
   then
+    let in_net = r8_path_contains ctx.file "net/" in
     iter_expressions str (fun e ->
         match e.pexp_desc with
         | Pexp_ident { txt; loc } -> (
@@ -674,7 +695,19 @@ let run_io_hygiene ctx str =
                       fsync + atomic rename) so a crash never leaves a torn \
                       file"
                      f)
-            | None -> ())
+            | None -> (
+                if not in_net then
+                  match r8_socket_banned txt with
+                  | Some f ->
+                      ctx.emit ~rule:"io-hygiene" ~loc
+                        (Printf.sprintf
+                           "raw Unix.%s outside lib/net; socket byte IO \
+                            belongs to the event loop and client (Net.Conn / \
+                            Net.Server / Net.Client), where frame parsing, \
+                            backpressure and error frames live — ad-hoc \
+                            socket code bypasses all three"
+                           f)
+                  | None -> ()))
         | _ -> ())
 
 (* ------------------------------------------------------------------ *)

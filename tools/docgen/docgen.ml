@@ -17,7 +17,7 @@ let usage = "docgen [--check-only] DIR...\n"
 let strict_dirs =
   [
     "lib/obs"; "lib/local"; "lib/advice"; "lib/store"; "lib/serve";
-    "lib/shim"; "lib/check";
+    "lib/net"; "lib/shim"; "lib/check";
   ]
 
 (* dune wraps each library; the user-facing path of lib/<dir>/<m>.mli is
@@ -34,6 +34,7 @@ let library_of_dir =
     ("obs", "Obs");
     ("store", "Store");
     ("serve", "Serve");
+    ("net", "Net");
     ("shim", "Shim");
     ("check", "Check");
   ]
