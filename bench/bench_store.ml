@@ -362,6 +362,210 @@ let bench_pool ~smoke =
       ],
     not_slower && crossed_ok )
 
+(* ------------------------------------------------------------------ *)
+(* Sharded container (version 2): pack scaling mono vs. sharded at
+   matched certification work, cold-first-answer through the lazy
+   router (prefix + manifest + ONE shard) vs. a full monolithic load,
+   and resident-byte churn under a two-frame budget while a round-robin
+   sweep forces the LRU to evict on almost every query.  Acceptances:
+   shard_pack_not_slower (parallel per-shard packing must not lose to
+   the monolith — 10% slack when the host folds to one effective
+   domain, where the fan-out is pure overhead) and
+   lazy_load_bounded_resident (the sweep's resident peak stays within
+   the budget, the budget is genuinely smaller than the container, and
+   the lazily served answer is byte-identical to the monolith's). *)
+
+type shard_row = {
+  h_n : int;
+  h_shards : int;
+  h_radius : int;
+  h_requested : int;
+  h_effective : int;
+  mono_pack_seconds : float;
+  mono_bytes : int;
+  shard_pack_seconds : float;
+  shard_bytes : int;
+  widest_frame : int;
+  budget : int;
+  cold_first_seconds : float;
+  full_first_seconds : float;
+  first_identical : bool;
+  sweep_queries : int;
+  sweep_loads : int;
+  sweep_evictions : int;
+  resident_peak : int;
+}
+
+let bench_shard_row ~domains ~shards n =
+  let g = Builders.cycle n in
+  let rng = Prng.create (n + 43) in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let effective = Localmodel.View.effective_domains ~requested:domains () in
+  (* Both sides certify identically (same sample budget); the comparison
+     isolates serialization — one monolithic body vs. S framed shard
+     bodies fanned across the pool.  Interleaved min-of-reps, like
+     bench_io: single-shot pack timings on a shared host swing by far
+     more than the margin under test. *)
+  let reps = if n >= 1_000_000 then 2 else 3 in
+  let mono = ref "" and mono_best = ref infinity in
+  let sharded = ref None and shard_best = ref infinity in
+  for _ = 1 to reps do
+    let mb, mt =
+      Bench_util.time_once (fun () ->
+          let s, _ = Serve.Pack.edge_compression ~sample:64 g x in
+          Store.Snapshot.write s)
+    in
+    if mt < !mono_best then begin
+      mono_best := mt;
+      mono := mb
+    end;
+    let sc, st =
+      Bench_util.time_once (fun () ->
+          Serve.Pack.edge_compression_sharded ~sample:64 ~shards
+            ~domains:effective g x)
+    in
+    if st < !shard_best then begin
+      shard_best := st;
+      sharded := Some sc
+    end
+  done;
+  let mono_bytes = !mono and mono_t = !mono_best in
+  let (container, cert), shard_t = (Option.get !sharded, !shard_best) in
+  let path = Printf.sprintf "bench_shard_%d.ladv" n in
+  Store.Io.write_file path container;
+  let widest =
+    let man = Store.Shard.manifest (Store.Shard.open_file path) in
+    Array.fold_left
+      (fun acc i -> max acc i.Store.Shard.i_bytes)
+      0 man.Store.Shard.m_shards
+  in
+  let budget = 2 * widest in
+  let q0 = Serve.Engine.Output_label 0 in
+  (* Cold first answer: open the container (file prefix + manifest
+     only), route, load exactly one shard, decode one ball. *)
+  let cold_ans, cold_t =
+    Bench_util.time_once (fun () ->
+        let r =
+          Serve.Router.create ~resident_budget:budget
+            (Store.Shard.open_file path)
+        in
+        Serve.Router.query r q0)
+  in
+  (* The version-1 route to the same first byte: decode everything,
+     then answer. *)
+  let full_ans, full_t =
+    Bench_util.time_once (fun () ->
+        let e = Serve.Engine.create (Store.Snapshot.read mono_bytes) in
+        Serve.Engine.query e q0)
+  in
+  let first_identical =
+    Marshal.to_string cold_ans [] = Marshal.to_string full_ans []
+  in
+  (* Round-robin across shards: consecutive queries always hit different
+     shards, so a two-frame budget evicts on nearly every load — the
+     worst realistic churn, and the peak must still respect the
+     budget. *)
+  let router =
+    Serve.Router.create ~resident_budget:budget (Store.Shard.open_file path)
+  in
+  let sweep = 4 * shards in
+  let span = max 1 (n / shards) in
+  let peak = ref 0 in
+  for i = 0 to sweep - 1 do
+    let v = ((i mod shards) * span) + (i / shards * 131 mod span) in
+    ignore (Serve.Router.query router (Serve.Engine.Output_label (v mod n)));
+    peak := max !peak (Serve.Router.resident_bytes router)
+  done;
+  let loads = Serve.Router.loads router
+  and evictions = Serve.Router.evictions router in
+  (try Sys.remove path with Sys_error _ -> ());
+  {
+    h_n = n;
+    h_shards = shards;
+    h_radius = cert.Serve.Pack.radius;
+    h_requested = domains;
+    h_effective = effective;
+    mono_pack_seconds = mono_t;
+    mono_bytes = String.length mono_bytes;
+    shard_pack_seconds = shard_t;
+    shard_bytes = String.length container;
+    widest_frame = widest;
+    budget;
+    cold_first_seconds = cold_t;
+    full_first_seconds = full_t;
+    first_identical;
+    sweep_queries = sweep;
+    sweep_loads = loads;
+    sweep_evictions = evictions;
+    resident_peak = !peak;
+  }
+
+let json_of_shard_row r =
+  J.Obj
+    [
+      ("family", J.Str "cycle");
+      ("n", J.Int r.h_n);
+      ("shards", J.Int r.h_shards);
+      ("serve_radius", J.Int r.h_radius);
+      ("requested_domains", J.Int r.h_requested);
+      ("effective_domains", J.Int r.h_effective);
+      ("mono_pack_seconds", J.Float r.mono_pack_seconds);
+      ("mono_bytes", J.Int r.mono_bytes);
+      ("shard_pack_seconds", J.Float r.shard_pack_seconds);
+      ("shard_bytes", J.Int r.shard_bytes);
+      ( "shard_pack_speedup",
+        J.Float (r.mono_pack_seconds /. r.shard_pack_seconds) );
+      ("widest_frame_bytes", J.Int r.widest_frame);
+      ("resident_budget_bytes", J.Int r.budget);
+      ("cold_first_answer_seconds", J.Float r.cold_first_seconds);
+      ("full_load_first_answer_seconds", J.Float r.full_first_seconds);
+      ( "cold_over_full_speedup",
+        J.Float (r.full_first_seconds /. r.cold_first_seconds) );
+      ("first_answer_identical", J.Bool r.first_identical);
+      ("sweep_queries", J.Int r.sweep_queries);
+      ("sweep_shard_loads", J.Int r.sweep_loads);
+      ("sweep_evictions", J.Int r.sweep_evictions);
+      ("resident_peak_bytes", J.Int r.resident_peak);
+    ]
+
+let shard_row_pack_ok r =
+  let slack = if r.h_effective >= 2 then 1.0 else 1.1 in
+  r.shard_pack_seconds <= r.mono_pack_seconds *. slack
+
+let shard_row_resident_ok r =
+  r.resident_peak <= r.budget
+  && r.budget < r.shard_bytes
+  && r.first_identical
+
+let bench_shard ~smoke ~domains =
+  let sizes =
+    if smoke then [ 10_000 ] else [ 100_000; 400_000; 1_000_000 ]
+  in
+  let shards = 8 in
+  let rows =
+    List.map
+      (fun n ->
+        let r = bench_shard_row ~domains ~shards n in
+        Printf.printf
+          "store  shard n=%-7d S=%d  pack mono %6.2fs  sharded %6.2fs \
+           (%4.2fx)  first answer cold %6.1f ms  full %7.1f ms  peak \
+           %8d B / budget %8d B  [%s]\n\
+           %!"
+          r.h_n r.h_shards r.mono_pack_seconds r.shard_pack_seconds
+          (r.mono_pack_seconds /. r.shard_pack_seconds)
+          (Bench_util.ms r.cold_first_seconds)
+          (Bench_util.ms r.full_first_seconds)
+          r.resident_peak r.budget
+          (if shard_row_pack_ok r && shard_row_resident_ok r then "ok"
+           else "FAIL");
+        r)
+      sizes
+  in
+  let pack_ok = List.for_all shard_row_pack_ok rows in
+  let lazy_ok = List.for_all shard_row_resident_ok rows in
+  (J.Obj [ ("results", J.List (List.map json_of_shard_row rows)) ], pack_ok, lazy_ok)
+
 let block ~smoke ~domains =
   let sizes = if smoke then [ 2_000 ] else [ 20_000; 100_000 ] in
   let rows =
@@ -384,16 +588,20 @@ let block ~smoke ~domains =
   in
   let io_json, io_ok = bench_io ~smoke in
   let pool_json, pool_ok = bench_pool ~smoke in
+  let shard_json, shard_pack_ok, shard_lazy_ok = bench_shard ~smoke ~domains in
   J.Obj
     [
       ("results", J.List (List.map json_of_row rows));
       ("io", io_json);
       ("pool", pool_json);
+      ("shard", shard_json);
       ( "acceptance",
         J.Obj
           [
             ("warm_cache_beats_cold", J.Bool warm_beats_cold);
             ("faults_disabled_overhead_ok", J.Bool io_ok);
             ("batch_par_not_slower", J.Bool pool_ok);
+            ("shard_pack_not_slower", J.Bool shard_pack_ok);
+            ("lazy_load_bounded_resident", J.Bool shard_lazy_ok);
           ] );
     ]

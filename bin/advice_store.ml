@@ -94,18 +94,30 @@ let sample_term =
         ~doc:"Certify the serve radius on $(docv) evenly spaced nodes \
               instead of every node (0 = exhaustive).")
 
+let pack_shards_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:"Write a version-2 sharded container: the node-id space \
+              splits into $(docv) contiguous ranges, each serialized \
+              (in parallel across --domains) with a halo deep enough \
+              that every interior ball decodes shard-locally.  Omitted: \
+              the monolithic version-1 snapshot.")
+
+let domains_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D" ~doc:"Domains for the parallel ball fan-out.")
+
 let pack_cmd =
-  let run kind n seed input out sample metrics =
+  let run kind n seed input out sample shards domains metrics =
     with_metrics metrics @@ fun () ->
     let g = build ?input kind n in
     let rng = Prng.create seed in
     let x = Bitset.create (Graph.m g) in
     Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
-    let snapshot, cert = Serve.Pack.edge_compression ~sample g x in
-    (* Serialize exactly once: a second Snapshot.write just to learn the
-       size would double-count store.bytes_written. *)
-    let bytes = Store.Snapshot.write snapshot in
-    Store.Io.write_file out bytes;
     let budget =
       Graph.fold_nodes
         (fun v acc -> acc + Schemas.Edge_compression.bits_bound (Graph.degree g v))
@@ -113,9 +125,36 @@ let pack_cmd =
     in
     Format.printf "packed: n=%d m=%d subset=%d edges@." (Graph.n g) (Graph.m g)
       (Bitset.cardinal x);
-    Format.printf "advice: %d bits on the wire (paper budget Σ⌈d/2⌉+1 = %d)@."
-      (Store.Snapshot.advice_payload_bits snapshot ~name:"c4")
-      budget;
+    let bytes, cert =
+      match shards with
+      | None ->
+          let snapshot, cert = Serve.Pack.edge_compression ~sample g x in
+          (* Serialize exactly once: a second Snapshot.write just to learn
+             the size would double-count store.bytes_written. *)
+          let bytes = Store.Snapshot.write snapshot in
+          Format.printf
+            "advice: %d bits on the wire (paper budget Σ⌈d/2⌉+1 = %d)@."
+            (Store.Snapshot.advice_payload_bits snapshot ~name:"c4")
+            budget;
+          (bytes, cert)
+      | Some s ->
+          let bytes, cert =
+            Serve.Pack.edge_compression_sharded ~sample ~shards:s ?domains g x
+          in
+          let man =
+            Store.Shard.manifest (Store.Shard.open_bytes bytes)
+          in
+          let widest =
+            Array.fold_left
+              (fun acc i -> max acc i.Store.Shard.i_bytes)
+              0 man.Store.Shard.m_shards
+          in
+          Format.printf
+            "sharded: %d shard(s), halo %d, widest frame %d bytes@." s
+            man.Store.Shard.m_halo widest;
+          (bytes, cert)
+    in
+    Store.Io.write_file out bytes;
     Format.printf "certified: serve radius %d (%s of %d nodes checked)@."
       cert.Serve.Pack.radius
       (if cert.Serve.Pack.exhaustive then "all" else "sample")
@@ -125,10 +164,11 @@ let pack_cmd =
   Cmd.v
     (Cmd.info "pack"
        ~doc:"Compress a seeded random edge subset of a graph into a \
-             snapshot with a certified serve radius (C4).")
+             snapshot with a certified serve radius (C4); --shards writes \
+             the sharded lazily-loadable container instead.")
     Term.(
       const run $ graph_term $ n_term $ seed_term $ input_term $ out_term
-      $ sample_term $ metrics_term)
+      $ sample_term $ pack_shards_term $ domains_term $ metrics_term)
 
 (* ------------------------------------------------------------------ *)
 (* inspect *)
@@ -187,8 +227,97 @@ let print_health raw =
     (List.length sv.Store.Snapshot.partial.Store.Snapshot.advice)
     (List.length sv.Store.Snapshot.recovered)
 
+let shard_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard" ] ~docv:"K"
+        ~doc:"Decode and describe one shard of a sharded (version-2) \
+              container; without it inspect reports every shard from the \
+              manifest alone, reading no body bytes.")
+
+(* v2 honesty: everything below the per-shard lines comes from the
+   manifest frame — offsets, sizes and CRCs are reported without
+   touching (or decoding) a single body byte. *)
+let print_manifest path man =
+  let open Store.Shard in
+  Format.printf "container: %d bytes, version %d, %d shard(s), halo %d@."
+    (Store.Io.file_size path) version
+    (Array.length man.m_shards)
+    man.m_halo;
+  Format.printf "graph: n=%d m=%d@." man.m_n man.m_m;
+  List.iter (fun name -> Format.printf "advice %S (per shard)@." name) man.m_advice;
+  List.iter (fun (k, v) -> Format.printf "meta %s = %s@." k v) man.m_meta;
+  Array.iter
+    (fun i ->
+      Format.printf
+        "  shard %-3d nodes [%d,%d) local n=%-6d m=%-6d offset=%-8d \
+         length=%-8d crc=%08x@."
+        i.i_index i.i_lo i.i_hi i.i_local_n i.i_local_m i.i_offset i.i_bytes
+        i.i_crc)
+    man.m_shards
+
+let print_shard store k =
+  let open Store.Shard in
+  let man = manifest store in
+  if k < 0 || k >= Array.length man.m_shards then begin
+    Format.eprintf "inspect: shard %d out of range (container has %d)@." k
+      (Array.length man.m_shards);
+    exit 2
+  end;
+  let loaded = load store k in
+  let ids = loaded.l_ids in
+  Format.printf "shard %d: nodes [%d,%d), %d local node(s) (%d halo), %d \
+                 local edge(s)@."
+    k loaded.l_lo loaded.l_hi (Array.length ids)
+    (Array.length ids - (loaded.l_hi - loaded.l_lo))
+    (Graph.m loaded.l_graph);
+  if Array.length ids > 0 then
+    Format.printf "ids: %d..%d (global)@." ids.(0) ids.(Array.length ids - 1);
+  List.iter
+    (fun (name, a) ->
+      Format.printf "advice %S: %d bits over the local nodes@." name
+        (Advice.Assignment.total_bits a))
+    loaded.l_advice
+
+let print_shard_health store =
+  let man = Store.Shard.manifest store in
+  let healthy = ref 0 and lost = ref 0 in
+  Array.iter
+    (fun i ->
+      let k = i.Store.Shard.i_index in
+      match Store.Shard.load store k with
+      | _ ->
+          incr healthy;
+          Format.printf "  shard %d nodes [%d,%d): healthy@." k
+            i.Store.Shard.i_lo i.Store.Shard.i_hi
+      | exception Store.Codec.Corrupt msg ->
+          incr lost;
+          Format.printf "  shard %d nodes [%d,%d): lost — %s@." k
+            i.Store.Shard.i_lo i.Store.Shard.i_hi msg)
+    man.Store.Shard.m_shards;
+  Format.printf "health: %d healthy, %d lost of %d shard(s)@." !healthy !lost
+    (Array.length man.Store.Shard.m_shards)
+
+let inspect_v2 path health shard =
+  or_corrupt @@ fun () ->
+  let store = Store.Shard.open_file path in
+  match (health, shard) with
+  | true, _ -> print_shard_health store
+  | false, Some k -> print_shard store k
+  | false, None -> print_manifest path (Store.Shard.manifest store)
+
 let inspect_cmd =
-  let run path health =
+  let run path health shard =
+    if Store.Shard.peek_version path = Store.Shard.version then
+      inspect_v2 path health shard
+    else begin
+    (match shard with
+    | Some _ ->
+        Format.eprintf "inspect: --shard applies to sharded (version-2) \
+                        containers only@.";
+        exit 2
+    | None -> ());
     or_corrupt @@ fun () ->
     let raw = Store.Io.read_file path in
     if health then print_health raw
@@ -228,13 +357,17 @@ let inspect_cmd =
       (fun (k, v) -> Format.printf "meta %s = %s@." k v)
       snapshot.Store.Snapshot.meta
     end
+    end
   in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Dump a snapshot's framing (sections, lengths, checksums) and \
-             its bits-per-node statistics against the paper's bound; \
-             $(b,--health) salvage-reads damaged snapshots instead.")
-    Term.(const run $ snapshot_arg $ health_term)
+             its bits-per-node statistics against the paper's bound.  On a \
+             sharded (version-2) container the report comes from the \
+             manifest alone — no body bytes are decoded — and $(b,--shard) \
+             decodes a single shard; $(b,--health) salvage-reads damaged \
+             snapshots (per shard on version 2) instead.")
+    Term.(const run $ snapshot_arg $ health_term $ shard_term)
 
 (* ------------------------------------------------------------------ *)
 (* serve *)
@@ -247,12 +380,6 @@ let batch_term =
         ~doc:"Query list: one of 'label V', 'member V E', 'bits V' per \
               line; '#' starts a comment.  '-' reads the queries from \
               standard input (the same convention as --metrics -).")
-
-let domains_term =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "domains" ] ~docv:"D" ~doc:"Domains for the parallel ball fan-out.")
 
 let cache_term =
   Arg.(
@@ -348,14 +475,27 @@ let write_budget_term =
               stops reading that connection until its responses drain \
               (backpressure).")
 
-let serve_batch engine domains pool batch =
-  (* '-' follows the --metrics convention: the query list arrives on
-     stdin.  Both paths read to EOF on a binary channel, so pipes and
-     process substitutions work identically. *)
+(* '-' follows the --metrics convention: the query list arrives on
+   stdin.  Both paths read to EOF on a binary channel, so pipes and
+   process substitutions work identically. *)
+let read_batch batch =
   let text =
     if batch = "-" then Store.Io.read_to_eof stdin else Store.Io.read_file batch
   in
-  let queries = Array.of_list (parse_queries text) in
+  Array.of_list (parse_queries text)
+
+let print_query = function
+  | Serve.Engine.Output_label v -> Format.printf "label %d" v
+  | Serve.Engine.Edge_member (v, e) -> Format.printf "member %d %d" v e
+  | Serve.Engine.Advice_bits v -> Format.printf "bits %d" v
+
+let print_answer = function
+  | Serve.Engine.Label s -> Format.printf " -> %s@." s
+  | Serve.Engine.Member b -> Format.printf " -> %b@." b
+  | Serve.Engine.Bits s -> Format.printf " -> %s@." s
+
+let serve_batch engine domains pool batch =
+  let queries = read_batch batch in
   let answers =
     try Serve.Engine.batch ?domains ~pool engine queries
     with Invalid_argument msg ->
@@ -364,20 +504,40 @@ let serve_batch engine domains pool batch =
   in
   Array.iteri
     (fun i answer ->
-      (match queries.(i) with
-      | Serve.Engine.Output_label v -> Format.printf "label %d" v
-      | Serve.Engine.Edge_member (v, e) -> Format.printf "member %d %d" v e
-      | Serve.Engine.Advice_bits v -> Format.printf "bits %d" v);
-      match answer with
-      | Serve.Engine.Label s -> Format.printf " -> %s@." s
-      | Serve.Engine.Member b -> Format.printf " -> %b@." b
-      | Serve.Engine.Bits s -> Format.printf " -> %s@." s)
+      print_query queries.(i);
+      print_answer answer)
     answers;
   Format.printf "served %d queries at radius %d (advice %S)@."
     (Array.length queries) (Serve.Engine.radius engine)
     (Serve.Engine.advice_name engine)
 
-let serve_listen engine domains pool host port write_budget =
+(* The sharded path reports per-query outcomes: a lost shard degrades
+   only the queries aimed at its node range. *)
+let serve_batch_router router domains pool batch =
+  let queries = read_batch batch in
+  let results =
+    try Serve.Router.batch_results ?domains ~pool router queries
+    with Invalid_argument msg ->
+      Format.eprintf "rejected batch: %s@." msg;
+      exit 2
+  in
+  let failed = ref 0 in
+  Array.iteri
+    (fun i result ->
+      print_query queries.(i);
+      match result with
+      | Ok answer -> print_answer answer
+      | Error msg ->
+          incr failed;
+          Format.printf " -> error: %s@." msg)
+    results;
+  Format.printf "served %d queries at radius %d (advice %S, %d shard(s)%s)@."
+    (Array.length queries) (Serve.Router.radius router)
+    (Serve.Router.advice_name router)
+    (Serve.Router.shard_count router)
+    (if !failed > 0 then Printf.sprintf ", %d failed" !failed else "")
+
+let serve_listen backend domains pool host port write_budget =
   let config =
     {
       Net.Server.default_config with
@@ -389,17 +549,18 @@ let serve_listen engine domains pool host port write_budget =
     }
   in
   let server =
-    try Net.Server.create ~config engine
+    try Net.Server.create_backend ~config backend
     with Unix.Unix_error (err, _, _) ->
       Format.eprintf "cannot listen on %s:%d: %s@." host port
         (Unix.error_message err);
       exit 2
   in
-  let g = Serve.Engine.graph engine in
+  let facts = backend.Net.Server.b_stats () in
+  let fact k = Option.value ~default:0 (List.assoc_opt k facts) in
   Format.printf "listening on %s:%d (n=%d m=%d radius=%d protocol v%d%s)@."
-    host (Net.Server.port server) (Graph.n g) (Graph.m g)
-    (Serve.Engine.radius engine) Net.Protocol.version
-    (if Serve.Engine.degraded engine then ", degraded" else "");
+    host (Net.Server.port server) (fact "engine.n") (fact "engine.m")
+    (fact "engine.radius") Net.Protocol.version
+    (if backend.Net.Server.b_degraded () then ", degraded" else "");
   (* Flush before blocking: scripts scrape the port from this line. *)
   Format.print_flush ();
   let stop _ = Net.Server.shutdown server in
@@ -414,51 +575,95 @@ let serve_listen engine domains pool host port write_budget =
     (count "net.accepted") (count "net.requests") (count "net.queries")
     (count "net.errors")
 
+let resident_mb_term =
+  Arg.(
+    value & opt int 0
+    & info [ "resident-mb" ] ~docv:"MB"
+        ~doc:"Sharded containers only: bound resident shards to $(docv) \
+              MiB of serialized bytes, loading lazily and evicting \
+              least-recently-used (0 = unbounded).")
+
 let serve_cmd =
   let run path batch listen host port write_budget domains cache shards pool
-      salvage metrics =
+      salvage resident_mb metrics =
     or_corrupt @@ fun () ->
     with_metrics metrics @@ fun () ->
-    let engine =
-      if salvage then begin
-        let sv = Store.Snapshot.read_salvage (Store.Io.read_file path) in
-        let e = Serve.Engine.create_salvaged ~cache_capacity:cache ?shards sv in
-        List.iter
-          (fun line -> Format.printf "salvage: %s@." line)
-          (Serve.Engine.quarantined_sections e);
-        if Serve.Engine.degraded e then
-          Format.printf "serving degraded from %S%s@."
-            (Serve.Engine.advice_name e)
-            (if Serve.Engine.serving_trusted e then ""
-             else " (quarantined advice: answers are best-effort)");
-        e
-      end
-      else
-        Serve.Engine.create ~cache_capacity:cache ?shards
-          (Store.Snapshot.of_file path)
+    let mode =
+      match (listen, batch) with
+      | true, Some _ ->
+          Format.eprintf "serve: --listen and --batch are mutually exclusive@.";
+          exit 2
+      | true, None -> `Listen
+      | false, Some b -> `Batch b
+      | false, None ->
+          Format.eprintf
+            "serve: nothing to do — pass --batch FILE ('-' for stdin) or \
+             --listen@.";
+          exit 2
     in
-    match (listen, batch) with
-    | true, Some _ ->
-        Format.eprintf "serve: --listen and --batch are mutually exclusive@.";
-        exit 2
-    | true, None -> serve_listen engine domains pool host port write_budget
-    | false, Some b -> serve_batch engine domains pool b
-    | false, None ->
+    if Store.Shard.peek_version path = Store.Shard.version then begin
+      (* Sharded container: route through lazily loaded per-shard
+         engines.  --salvage degrades per node range instead of
+         fail-stopping on the first damaged shard. *)
+      let router =
+        Serve.Router.create ~cache_capacity:cache
+          ~resident_budget:(resident_mb * 1024 * 1024)
+          ~salvage (Store.Shard.open_file path)
+      in
+      Format.printf "sharded container: %d shard(s)%s%s@."
+        (Serve.Router.shard_count router)
+        (if resident_mb > 0 then Printf.sprintf ", resident budget %d MiB" resident_mb
+         else "")
+        (if salvage then ", salvage on" else "");
+      match mode with
+      | `Listen ->
+          serve_listen (Net.Server.of_router router) domains pool host port
+            write_budget
+      | `Batch b -> serve_batch_router router domains pool b
+    end
+    else begin
+      if resident_mb > 0 then
         Format.eprintf
-          "serve: nothing to do — pass --batch FILE ('-' for stdin) or \
-           --listen@.";
-        exit 2
+          "serve: --resident-mb ignored — %s is a monolithic (version-1) \
+           snapshot@."
+          path;
+      let engine =
+        if salvage then begin
+          let sv = Store.Snapshot.read_salvage (Store.Io.read_file path) in
+          let e = Serve.Engine.create_salvaged ~cache_capacity:cache ?shards sv in
+          List.iter
+            (fun line -> Format.printf "salvage: %s@." line)
+            (Serve.Engine.quarantined_sections e);
+          if Serve.Engine.degraded e then
+            Format.printf "serving degraded from %S%s@."
+              (Serve.Engine.advice_name e)
+              (if Serve.Engine.serving_trusted e then ""
+               else " (quarantined advice: answers are best-effort)");
+          e
+        end
+        else
+          Serve.Engine.create ~cache_capacity:cache ?shards
+            (Store.Snapshot.of_file path)
+      in
+      match mode with
+      | `Listen ->
+          serve_listen (Net.Server.of_engine engine) domains pool host port
+            write_budget
+      | `Batch b -> serve_batch engine domains pool b
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Answer per-node queries from a snapshot by decoding only each \
              node's certified-radius ball: one-shot with --batch (a file \
              or '-' for stdin), or as a long-lived TCP server with \
-             --listen.")
+             --listen.  A sharded (version-2) container serves through \
+             lazy per-shard loads bounded by --resident-mb.")
     Term.(
       const run $ snapshot_arg $ batch_term $ listen_term $ host_term
       $ port_term $ write_budget_term $ domains_term $ cache_term
-      $ shards_term $ pool_term $ salvage_term $ metrics_term)
+      $ shards_term $ pool_term $ salvage_term $ resident_mb_term
+      $ metrics_term)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 

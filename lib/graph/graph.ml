@@ -25,12 +25,20 @@ let find_in_sorted (arr : int array) x =
 
 (* Adjacency-aligned incident-edge ids: for every edge, locate each
    endpoint in the other's sorted neighbor array. *)
+(* [edges] is lexicographic and every [adj.(v)] sorted, so scanning the
+   edges in id order visits each node's adjacency positions in order:
+   node [v] first sees the edges [(w, v)] with [w < v] in increasing [w]
+   (the prefix of [adj.(v)]), then the edges [(v, u)] in increasing [u]
+   (the suffix) — one cursor per node, no searches. *)
 let incident_of_adj adj edges =
   let incident = Array.map (fun nb -> Array.make (Array.length nb) 0) adj in
+  let cursor = Array.make (Array.length adj) 0 in
   Array.iteri
     (fun e (u, v) ->
-      incident.(u).(find_in_sorted adj.(u) v) <- e;
-      incident.(v).(find_in_sorted adj.(v) u) <- e)
+      incident.(u).(cursor.(u)) <- e;
+      cursor.(u) <- cursor.(u) + 1;
+      incident.(v).(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1)
     edges;
   incident
 
@@ -177,6 +185,67 @@ let induced g nodes =
   let to_sub = Array.make g.n (-1) in
   Array.iteri (fun i v -> to_sub.(v) <- i) to_orig;
   (sub, to_sub, to_orig)
+
+(* Induced subgraph on a strictly increasing id array, numbering sub
+   nodes by array position.  The monotone numbering is what makes this
+   cheap: each member's sorted neighbor array maps to a sorted local
+   array and the lexicographic edge order is preserved, so nothing is
+   re-sorted.  Global→local translation is an offset-indexed rank array
+   over the ids' span [ids.(0) .. ids.(count-1)] — O(1) membership with
+   scratch proportional to the span, which for locality-friendly id
+   sets (a shard's interior range plus its halo) is barely more than
+   [count], and never exceeds the old O(n) map. *)
+let induced_sorted g ids =
+  let count = Array.length ids in
+  if count = 0 then { n = 0; adj = [||]; edges = [||]; incident = [||] }
+  else begin
+    Array.iteri
+      (fun i v ->
+        if v < 0 || v >= g.n then
+          invalid_arg "Graph.induced_sorted: node id out of range";
+        if i > 0 && ids.(i - 1) >= v then
+          invalid_arg "Graph.induced_sorted: ids not strictly increasing")
+      ids;
+    let base = ids.(0) in
+    let span = ids.(count - 1) - base + 1 in
+    let rank = Array.make span (-1) in
+    Array.iteri (fun i v -> rank.(v - base) <- i) ids;
+    let local u =
+      if u < base || u - base >= span then -1 else rank.(u - base)
+    in
+    let adj =
+      Array.init count (fun i ->
+          let nb = g.adj.(ids.(i)) in
+          let d = ref 0 in
+          Array.iter (fun u -> if local u >= 0 then incr d) nb;
+          let out = Array.make !d 0 in
+          let fill = ref 0 in
+          Array.iter
+            (fun u ->
+              let j = local u in
+              if j >= 0 then begin
+                out.(!fill) <- j;
+                incr fill
+              end)
+            nb;
+          out)
+    in
+    let sub_m =
+      Array.fold_left (fun acc nb -> acc + Array.length nb) 0 adj / 2
+    in
+    let edges = Array.make sub_m (0, 0) in
+    let next = ref 0 in
+    for i = 0 to count - 1 do
+      Array.iter
+        (fun j ->
+          if i < j then begin
+            edges.(!next) <- (i, j);
+            incr next
+          end)
+        adj.(i)
+    done;
+    { n = count; adj; edges; incident = incident_of_adj adj edges }
+  end
 
 let remove_nodes g removed =
   let kept = fold_nodes (fun v acc -> if Bitset.mem removed v then acc else v :: acc) g [] in

@@ -70,6 +70,23 @@ val induced_ball : t -> Workspace.t -> t * int array
     ids) and coincides with {!induced} applied to the stamped nodes in
     stamp order. *)
 
+val induced_sorted : t -> int array -> t
+(** [induced_sorted g ids] is the subgraph induced by the strictly
+    increasing node-id array [ids], numbering sub node [i] as
+    [ids.(i)] — the translation table {e is} the input, so none is
+    returned.  Because the numbering is monotone, sorted neighbor
+    arrays and the lexicographic edge order carry over without
+    re-sorting, and global→local translation is an O(1) lookup in a
+    rank array spanning [ids.(0) .. ids.(count-1)] — scratch
+    proportional to the ids' {e span} (≈ [count] for an interval-plus-
+    halo set, ≤ [n] always) rather than to the host graph.
+    Coincides with {!induced} on [Array.to_list ids].  This is the
+    reference semantics for the sharded snapshot packer
+    ({!Store.Shard}), whose fused serializer emits the same subgraph
+    without materializing it — the two are property-tested against each
+    other.  @raise Invalid_argument when [ids] is not strictly
+    increasing or an id is out of range. *)
+
 val remove_nodes : t -> Bitset.t -> t * int array * int array
 (** Subgraph induced by the complement of the given node set; same mapping
     convention as {!induced}. *)

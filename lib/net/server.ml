@@ -53,9 +53,86 @@ type counters = {
   mutable degraded_answers : int;
 }
 
+(* What the loop needs from whatever answers queries: an engine, a
+   sharded router, or anything else.  Answering closures return [Error]
+   diagnostics instead of raising, so dispatch stays total and the
+   select loop cannot be killed by a backend exception. *)
+type backend = {
+  b_stats : unit -> (string * int) list;
+  b_degraded : unit -> bool;
+  b_query : Engine.query -> (Engine.answer, string) result;
+  b_batch :
+    domains:int option ->
+    pool:Serve.Pool.variant ->
+    Engine.query array ->
+    (Engine.answer array, string) result;
+}
+
+let of_engine e =
+  let flag b = if b then 1 else 0 in
+  {
+    b_stats =
+      (fun () ->
+        let g = Engine.graph e in
+        [
+          ("engine.degraded", flag (Engine.degraded e));
+          ("engine.trusted", flag (Engine.serving_trusted e));
+          ("engine.n", Netgraph.Graph.n g);
+          ("engine.m", Netgraph.Graph.m g);
+          ("engine.radius", Engine.radius e);
+          ("engine.shards", Engine.shard_count e);
+        ]);
+    b_degraded = (fun () -> Engine.degraded e);
+    b_query =
+      (fun q ->
+        match Engine.query e q with
+        | a -> Ok a
+        | exception Invalid_argument msg -> Error msg);
+    b_batch =
+      (fun ~domains ~pool qs ->
+        match Engine.batch ?domains ~pool e qs with
+        | az -> Ok az
+        | exception Invalid_argument msg -> Error msg);
+  }
+
+let of_router r =
+  let flag b = if b then 1 else 0 in
+  let guard f =
+    match f () with
+    | v -> Ok v
+    | exception Invalid_argument msg -> Error msg
+    | exception Serve.Router.Shard_lost { shard; reason } ->
+        Error (Printf.sprintf "shard %d lost: %s" shard reason)
+    | exception Store.Codec.Corrupt msg -> Error msg
+    | exception Sys_error msg -> Error msg
+  in
+  {
+    b_stats =
+      (fun () ->
+        [
+          ("engine.degraded", flag (Serve.Router.degraded r));
+          ("engine.trusted", 1);
+          ("engine.n", Serve.Router.n r);
+          ("engine.m", Serve.Router.m r);
+          ("engine.radius", Serve.Router.radius r);
+          ("engine.shards", Serve.Router.shard_count r);
+          ("store.shard.resident", Serve.Router.resident_shards r);
+          ("store.shard.resident_bytes", Serve.Router.resident_bytes r);
+          ("store.shard.loads", Serve.Router.loads r);
+          ("store.shard.evictions", Serve.Router.evictions r);
+          ("store.shard.lost", List.length (Serve.Router.lost_shards r));
+        ]);
+    b_degraded = (fun () -> Serve.Router.degraded r);
+    b_query = (fun q -> guard (fun () -> Serve.Router.query r q));
+    b_batch =
+      (fun ~domains ~pool qs ->
+        guard (fun () -> Serve.Router.batch ?domains ~pool r qs));
+  }
+
 type t = {
   config : config;
-  engine : Engine.t;
+  backend : backend;
+  engine : Engine.t option;
   listen_fd : Unix.file_descr;
   bound_port : int;
   (* Self-pipe: shutdown () writes one byte from any domain or signal
@@ -68,7 +145,7 @@ type t = {
   c : counters;
 }
 
-let create ?(config = default_config) engine =
+let create_backend ?(config = default_config) ?engine backend =
   (* A peer that disappears mid-write must surface as EPIPE on the
      write call, not as a process-killing signal. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -92,6 +169,7 @@ let create ?(config = default_config) engine =
   Unix.set_nonblock pipe_w;
   {
     config;
+    backend;
     engine;
     listen_fd = fd;
     bound_port;
@@ -116,8 +194,14 @@ let create ?(config = default_config) engine =
       };
   }
 
+let create ?config engine = create_backend ?config ~engine (of_engine engine)
 let port t = t.bound_port
-let engine t = t.engine
+
+let engine t =
+  match t.engine with
+  | Some e -> e
+  | None ->
+      invalid_arg "Server.engine: this server answers from a custom backend"
 
 let shutdown t =
   (* Async-signal-safe: one nonblocking write, no allocation beyond the
@@ -127,17 +211,10 @@ let shutdown t =
     ()
 
 let stats t =
-  let g = Engine.graph t.engine in
-  let flag b = if b then 1 else 0 in
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    [
-      ("engine.degraded", flag (Engine.degraded t.engine));
-      ("engine.trusted", flag (Engine.serving_trusted t.engine));
-      ("engine.n", Netgraph.Graph.n g);
-      ("engine.m", Netgraph.Graph.m g);
-      ("engine.radius", Engine.radius t.engine);
-      ("engine.shards", Engine.shard_count t.engine);
+    (t.backend.b_stats ()
+    @ [
       ("net.accepted", t.c.accepted);
       ("net.active", List.length t.conns);
       ("net.closed", t.c.closed);
@@ -150,13 +227,17 @@ let stats t =
       ("net.bytes_in", t.c.bytes_in);
       ("net.bytes_out", t.c.bytes_out);
       ("serve.degraded", t.c.degraded_answers);
-    ]
+    ])
 
 let note_answered t count =
   t.c.queries <- t.c.queries + count;
   Obs.Metrics.add m_queries count;
-  if Engine.degraded t.engine then
+  if t.backend.b_degraded () then
     t.c.degraded_answers <- t.c.degraded_answers + count
+
+let note_rejected t =
+  t.c.errors <- t.c.errors + 1;
+  Obs.Metrics.incr m_errors
 
 let dispatch t rq =
   t.c.requests <- t.c.requests + 1;
@@ -169,28 +250,24 @@ let dispatch t rq =
       t.c.stats_reqs <- t.c.stats_reqs + 1;
       Protocol.Stats_reply (stats t)
   | Protocol.Query q -> (
-      match Engine.query t.engine q with
-      | a ->
+      match t.backend.b_query q with
+      | Ok a ->
           note_answered t 1;
           Protocol.Answer a
-      | exception Invalid_argument msg ->
-          t.c.errors <- t.c.errors + 1;
-          Obs.Metrics.incr m_errors;
+      | Error msg ->
+          note_rejected t;
           Protocol.Error (Protocol.Rejected, msg))
   | Protocol.Batch qs -> (
       t.c.batches <- t.c.batches + 1;
       Obs.Metrics.incr m_batches;
       if Obs.Metrics.enabled () then
         Obs.Metrics.observe m_batch_size (Array.length qs);
-      match
-        Engine.batch ?domains:t.config.domains ~pool:t.config.pool t.engine qs
-      with
-      | az ->
+      match t.backend.b_batch ~domains:t.config.domains ~pool:t.config.pool qs with
+      | Ok az ->
           note_answered t (Array.length az);
           Protocol.Answers az
-      | exception Invalid_argument msg ->
-          t.c.errors <- t.c.errors + 1;
-          Obs.Metrics.incr m_errors;
+      | Error msg ->
+          note_rejected t;
           Protocol.Error (Protocol.Rejected, msg))
 
 let close_conn t fd conn =

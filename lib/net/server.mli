@@ -54,6 +54,34 @@ type config = {
 val default_config : config
 (** Loopback host, ephemeral port, and the defaults listed above. *)
 
+type backend = {
+  b_stats : unit -> (string * int) list;
+      (** backend facts merged into {!stats} (the [engine.*] /
+          [store.shard.*] rows) *)
+  b_degraded : unit -> bool;  (** whether answers are best-effort *)
+  b_query : Serve.Engine.query -> (Serve.Engine.answer, string) result;
+  b_batch :
+    domains:int option ->
+    pool:Serve.Pool.variant ->
+    Serve.Engine.query array ->
+    (Serve.Engine.answer array, string) result;
+}
+(** What the loop needs from whatever answers queries.  Answering
+    closures return [Error] diagnostics instead of raising (an [Error]
+    becomes a non-fatal {!Protocol.Rejected} frame), so a backend
+    exception can never kill the select loop. *)
+
+val of_engine : Serve.Engine.t -> backend
+(** A monolithic in-memory engine: [Invalid_argument] → [Error]. *)
+
+val of_router : Serve.Router.t -> backend
+(** A sharded lazy-loading router: {!stats} additionally reports
+    [store.shard.resident], [store.shard.resident_bytes],
+    [store.shard.loads], [store.shard.evictions] and [store.shard.lost];
+    a {!Serve.Router.Shard_lost} or [Codec.Corrupt] surfaces as a
+    per-request [Rejected] frame and the server keeps serving the
+    healthy node ranges. *)
+
 type t
 (** A bound, listening server (not yet running its loop). *)
 
@@ -61,14 +89,20 @@ val create : ?config:config -> Serve.Engine.t -> t
 (** [create engine] opens, binds and listens the socket immediately, so
     {!port} is known before {!run} is entered — a test can bind port 0,
     read the assigned port, and only then start the loop in another
-    domain.  @raise Unix.Unix_error when binding fails (address in use,
+    domain.  Equivalent to [create_backend (of_engine engine)].
+    @raise Unix.Unix_error when binding fails (address in use,
     permission). *)
+
+val create_backend : ?config:config -> ?engine:Serve.Engine.t -> backend -> t
+(** Like {!create} but serving from an arbitrary {!backend} (e.g.
+    {!of_router}).  [engine] only feeds the {!engine} accessor. *)
 
 val port : t -> int
 (** The actually bound TCP port (resolves port [0] requests). *)
 
 val engine : t -> Serve.Engine.t
-(** The engine this server answers from. *)
+(** The engine this server answers from.  @raise Invalid_argument on a
+    server over a custom backend with no engine. *)
 
 val run : t -> unit
 (** Run the event loop until {!shutdown} completes its drain.  Must be

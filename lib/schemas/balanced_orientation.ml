@@ -39,6 +39,26 @@ let decode_anchor g v s =
     | _ -> None
     | exception Invalid_argument _ -> None
 
+(* Nearest-anchor queries against a sorted position array.  For a query
+   position i the nearest anchor by trail distance is always among four
+   candidates: the last position <= i, its successor (the direct
+   neighbors), and the two extreme positions (which minimize the
+   wrap-around distance on closed trails) — any other anchor is strictly
+   farther on both metrics.  Scanning positions in ascending query order
+   keeps the neighbor pointer monotone, so a whole-trail sweep costs
+   O(len + anchors) instead of the O(len × anchors) fold that made
+   million-node packs quadratic. *)
+let nearest_candidates ps j i =
+  let a = Array.length ps in
+  let j = ref j in
+  while !j + 1 < a && ps.(!j + 1) <= i do
+    incr j
+  done;
+  let cands =
+    if !j + 1 < a then [ !j; !j + 1; 0; a - 1 ] else [ !j; 0; a - 1 ]
+  in
+  (!j, cands)
+
 (* Trail-distance from every position to the nearest anchor position,
    respecting wrap-around on closed trails. *)
 let cover_of_positions (t : Orientation.trail) anchor_positions =
@@ -46,14 +66,19 @@ let cover_of_positions (t : Orientation.trail) anchor_positions =
   match anchor_positions with
   | [] -> max_int
   | _ ->
+      let ps = Array.of_list anchor_positions in
+      Array.sort Int.compare ps;
       let best = ref 0 in
+      let j = ref 0 in
       for i = 0 to len do
         let d p =
           let direct = abs (i - p) in
           if t.Orientation.closed then min direct (len - direct) else direct
         in
+        let j', cands = nearest_candidates ps !j i in
+        j := j';
         let nearest =
-          List.fold_left (fun acc p -> min acc (d p)) max_int anchor_positions
+          List.fold_left (fun acc c -> min acc (d ps.(c))) max_int cands
         in
         best := max !best nearest
       done;
@@ -184,17 +209,54 @@ let decode_general ~strict ?(params = default_params) g assignment =
             | d :: rest when List.for_all (fun x -> x = d) rest -> ()
             | _ -> fail "conflicting anchors on one trail"
           end;
+          (* Distinct sorted positions, each carrying the earliest entry
+             (lowest list index) at that position: a later duplicate can
+             never win the nearest-anchor selection, whose tie-break is
+             list order. *)
+          let entries =
+            Array.of_list
+              (List.mapi (fun idx (p, f) -> (p, idx, f)) anchor_list)
+          in
+          Array.sort
+            (fun (p1, i1, _) (p2, i2, _) ->
+              if p1 <> p2 then Int.compare p1 p2 else Int.compare i1 i2)
+            entries;
+          let a = Array.length entries in
+          let distinct = ref 0 in
+          for k = 0 to a - 1 do
+            let p, _, _ = entries.(k) in
+            let keep =
+              !distinct = 0
+              ||
+              let q, _, _ = entries.(!distinct - 1) in
+              q <> p
+            in
+            if keep then begin
+              entries.(!distinct) <- entries.(k);
+              incr distinct
+            end
+          done;
+          let ps = Array.init !distinct (fun k -> let p, _, _ = entries.(k) in p) in
+          let j = ref 0 in
           for i = 0 to len - 1 do
             let dist p =
               let direct = abs (i - p) in
               if t.Orientation.closed then min direct (len - direct)
               else direct
             in
-            let _, forward =
+            (* Nearest anchor; equally distant candidates resolve to the
+               earliest list entry, exactly as the former whole-list fold
+               did. *)
+            let j', cands = nearest_candidates ps !j i in
+            j := j';
+            let _, _, forward =
               List.fold_left
-                (fun (bd, bf) (p, f) ->
-                  if dist p < bd then (dist p, f) else (bd, bf))
-                (max_int, true) anchor_list
+                (fun (bd, bi, bf) c ->
+                  let p, idx, f = entries.(c) in
+                  let d = dist p in
+                  if d < bd || (d = bd && idx < bi) then (d, idx, f)
+                  else (bd, bi, bf))
+                (max_int, max_int, true) cands
             in
             let a = t.Orientation.nodes.(i)
             and b = t.Orientation.nodes.(i + 1) in

@@ -42,3 +42,11 @@ val insert : t -> int -> string -> unit
 
 val clear : t -> unit
 (** Drop every entry, keeping the arrays. *)
+
+val split : total:int -> shards:int -> int array
+(** [split ~total ~shards] divides an entry budget exactly: the returned
+    capacities sum to precisely [total] and differ pairwise by at most
+    one.  Small budgets leave trailing shards with capacity 0 (the no-op
+    cache) rather than inflating the total — the engine's per-shard
+    budgets, and anything accounting bytes on top of them, stay exact.
+    @raise Invalid_argument when [total < 0] or [shards < 1]. *)

@@ -126,10 +126,21 @@ let resolve_radius ?radius snapshot =
         "Engine.create: snapshot metadata has no serve.radius and no \
          ~radius override was given"
 
-let build ~cache_capacity ~shards ~radius ~degraded ~trusted ~quarantined
+let build ~cache_capacity ~shards ~radius ~ids ~degraded ~trusted ~quarantined
     snapshot name advice =
   let graph = snapshot.Store.Snapshot.graph in
   let n = Graph.n graph in
+  let ids =
+    match ids with
+    | None -> Localmodel.Ids.identity graph
+    | Some ids ->
+        if Array.length ids <> n then
+          fail "Engine.create: ids array has %d entries for a %d-node graph"
+            (Array.length ids) n;
+        if not (Localmodel.Ids.is_valid graph ids) then
+          fail "Engine.create: ids are not distinct positive identifiers";
+        ids
+  in
   let s =
     match shards with
     | Some s when s < 1 -> fail "Engine.create: shard count %d must be positive" s
@@ -138,15 +149,14 @@ let build ~cache_capacity ~shards ~radius ~degraded ~trusted ~quarantined
   in
   if cache_capacity < 0 then
     fail "Engine.create: negative cache capacity %d" cache_capacity;
-  (* Split the cache budget evenly, rounding up so a positive budget
-     never silently becomes a no-op cache on any shard. *)
-  let per_shard_cap =
-    if cache_capacity = 0 then 0 else (cache_capacity + s - 1) / s
-  in
+  (* Exact balanced split: the per-shard capacities sum to precisely the
+     configured budget (small budgets leave trailing shards uncached
+     rather than overshooting the total). *)
+  let caps = Cache.split ~total:cache_capacity ~shards:s in
   let bounds = Array.init (s + 1) (fun k -> k * n / s) in
   let caches =
     Array.init s (fun k ->
-        Cache.create ~capacity:per_shard_cap ~n:(bounds.(k + 1) - bounds.(k)))
+        Cache.create ~capacity:caps.(k) ~n:(bounds.(k + 1) - bounds.(k)))
   in
   {
     graph;
@@ -154,7 +164,7 @@ let build ~cache_capacity ~shards ~radius ~degraded ~trusted ~quarantined
     advice;
     params = params_of_meta snapshot;
     radius;
-    ids = Localmodel.Ids.identity graph;
+    ids;
     bounds;
     caches;
     degraded;
@@ -162,7 +172,7 @@ let build ~cache_capacity ~shards ~radius ~degraded ~trusted ~quarantined
     quarantined;
   }
 
-let create ?(cache_capacity = 1024) ?shards ?radius ?name snapshot =
+let create ?(cache_capacity = 1024) ?shards ?radius ?ids ?name snapshot =
   let name, advice =
     match (name, snapshot.Store.Snapshot.advice) with
     | None, (n, a) :: _ -> (n, a)
@@ -173,7 +183,7 @@ let create ?(cache_capacity = 1024) ?shards ?radius ?name snapshot =
         | None -> fail "Engine.create: snapshot has no advice section %S" n)
   in
   let radius = resolve_radius ?radius snapshot in
-  build ~cache_capacity ~shards ~radius ~degraded:false ~trusted:true
+  build ~cache_capacity ~shards ~radius ~ids ~degraded:false ~trusted:true
     ~quarantined:[] snapshot name advice
 
 (* Degraded construction from a salvage report: prefer checksum-clean
@@ -190,7 +200,7 @@ let describe_damage (r : Store.Snapshot.section_report) =
   | Store.Snapshot.Quarantined msg -> Some (where ^ " quarantined: " ^ msg)
   | Store.Snapshot.Lost msg -> Some (where ^ " lost: " ^ msg)
 
-let create_salvaged ?(cache_capacity = 1024) ?shards ?radius ?name
+let create_salvaged ?(cache_capacity = 1024) ?shards ?radius ?ids ?name
     (sv : Store.Snapshot.salvage) =
   let snapshot = sv.Store.Snapshot.partial in
   let find sections n = List.find_opt (fun (k, _) -> String.equal k n) sections in
@@ -219,8 +229,8 @@ let create_salvaged ?(cache_capacity = 1024) ?shards ?radius ?name
   let degraded =
     (not trusted) || (match quarantined with [] -> false | _ :: _ -> true)
   in
-  build ~cache_capacity ~shards ~radius ~degraded ~trusted ~quarantined snapshot
-    name advice
+  build ~cache_capacity ~shards ~radius ~ids ~degraded ~trusted ~quarantined
+    snapshot name advice
 
 let graph t = t.graph
 let radius t = t.radius

@@ -52,25 +52,29 @@ type t
     sharded ball caches. *)
 
 val create :
-  ?cache_capacity:int -> ?shards:int -> ?radius:int -> ?name:string ->
-  Store.Snapshot.t -> t
+  ?cache_capacity:int -> ?shards:int -> ?radius:int ->
+  ?ids:Localmodel.Ids.t -> ?name:string -> Store.Snapshot.t -> t
 (** [create snapshot] builds an engine over the snapshot's graph and the
     advice section called [name] (default: the snapshot's first advice
     section).  The serve radius and orientation parameters are read from
     the snapshot metadata ([serve.radius], [params.*]) as written by
     {!Pack.edge_compression}; [?radius] overrides the stored value.
     [cache_capacity] bounds the ball caches' {e total} budget, split
-    evenly across shards rounding up (default 1024 entries; 0 disables
-    caching on every shard).  [shards] fixes the shard count (clamped to
-    the node count); the default is
+    exactly across shards ({!Cache.split}; default 1024 entries; 0
+    disables caching on every shard).  [shards] fixes the shard count
+    (clamped to the node count); the default is
     {!Localmodel.View.effective_domains}[ ()], one shard per domain the
-    host can actually run.  @raise Invalid_argument when the snapshot
-    has no usable advice section, no radius is available, or [shards]
-    is not positive. *)
+    host can actually run.  [ids] overrides the identifier assignment
+    the decoder orders fragments by (default: the identity [v + 1]) —
+    {!Router} hands each per-shard engine its {e global} ids, which is
+    what makes shard-local answers byte-identical to a whole-graph
+    engine's.  @raise Invalid_argument when the snapshot has no usable
+    advice section, no radius is available, [shards] is not positive,
+    or [ids] is not a valid assignment for the graph. *)
 
 val create_salvaged :
-  ?cache_capacity:int -> ?shards:int -> ?radius:int -> ?name:string ->
-  Store.Snapshot.salvage -> t
+  ?cache_capacity:int -> ?shards:int -> ?radius:int ->
+  ?ids:Localmodel.Ids.t -> ?name:string -> Store.Snapshot.salvage -> t
 (** [create_salvaged sv] builds a (possibly degraded) engine from a
     salvage result: the advice section called [name] (default: first
     surviving) is taken from the intact sections when possible and from

@@ -18,14 +18,53 @@ let check_nodes g sample =
   if sample <= 0 || sample >= n then Array.init n (fun v -> v)
   else Array.init sample (fun i -> i * n / sample)
 
-let edge_compression ?(params = Balanced_orientation.onebit_params)
-    ?(name = "c4") ?max_radius ?(sample = 0) g x =
+(* Geometric probe up, then binary search down; the returned radius is
+   always one that was verified directly via [passes]. *)
+let certify_radius ~passes ~max_radius ~checked =
+  let rec up r = if passes r then r else if r >= max_radius then -1 else up (min (2 * r) max_radius) in
+  let hi = up (min 2 max_radius) in
+  if hi < 0 then
+    fail
+      "Pack.edge_compression: no radius up to %d serves all %d checked \
+       nodes correctly"
+      max_radius checked;
+  let rec tighten lo hi =
+    (* invariant: [passes hi] holds, [lo < hi] candidates remain *)
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if passes mid then tighten lo mid else tighten (mid + 1) hi
+  in
+  tighten (max 2 ((hi / 2) + 1)) hi
+
+let pack_meta ~params ~radius ~nodes g =
+  [
+    ("schema", "edge_compression");
+    ("params.short_threshold", string_of_int params.Balanced_orientation.short_threshold);
+    ("params.cover", string_of_int params.Balanced_orientation.cover);
+    ("params.spacing", string_of_int params.Balanced_orientation.spacing);
+    ("serve.radius", string_of_int radius);
+    ( "serve.certified",
+      if Array.length nodes = Graph.n g then "all"
+      else Printf.sprintf "sample=%d" (Array.length nodes) );
+  ]
+
+(* The shared front half: encode the advice, compute the direct decoder's
+   expected labels, pick the checked nodes.  [certify] then drives the
+   radius search with either the sequential or the domain-parallel ball
+   mapper — the probe is embarrassingly parallel across checked nodes. *)
+let encode_for_pack ~params g x =
   if Bitset.length x <> Graph.m g then
     fail "Pack.edge_compression: edge set is over %d edges, graph has %d"
       (Bitset.length x) (Graph.m g);
-  let max_radius = match max_radius with Some r -> r | None -> Graph.n g in
   let assignment = Edge_compression.encode ~params g x in
   let expected = expected_labels g (Edge_compression.decode ~params g assignment) in
+  (assignment, expected)
+
+let edge_compression ?(params = Balanced_orientation.onebit_params)
+    ?(name = "c4") ?max_radius ?(sample = 0) g x =
+  let max_radius = match max_radius with Some r -> r | None -> Graph.n g in
+  let assignment, expected = encode_for_pack ~params g x in
   let nodes = check_nodes g sample in
   let ids = Localmodel.Ids.identity g in
   let passes r =
@@ -35,36 +74,44 @@ let edge_compression ?(params = Balanced_orientation.onebit_params)
     in
     Array.for_all2 (fun v s -> String.equal expected.(v) s) nodes got
   in
-  (* Geometric probe up, then binary search down; the returned radius is
-     always one that was verified directly. *)
-  let rec up r = if passes r then r else if r >= max_radius then -1 else up (min (2 * r) max_radius) in
-  let hi = up (min 2 max_radius) in
-  if hi < 0 then
-    fail
-      "Pack.edge_compression: no radius up to %d serves all %d checked \
-       nodes correctly"
-      max_radius (Array.length nodes);
-  let rec tighten lo hi =
-    (* invariant: [passes hi] holds, [lo < hi] candidates remain *)
-    if lo >= hi then hi
-    else
-      let mid = (lo + hi) / 2 in
-      if passes mid then tighten lo mid else tighten (mid + 1) hi
+  let radius = certify_radius ~passes ~max_radius ~checked:(Array.length nodes) in
+  ( { Store.Snapshot.graph = g;
+      advice = [ (name, assignment) ];
+      meta = pack_meta ~params ~radius ~nodes g },
+    {
+      radius;
+      checked = Array.length nodes;
+      exhaustive = Array.length nodes = Graph.n g;
+    } )
+
+let edge_compression_sharded ?(params = Balanced_orientation.onebit_params)
+    ?(name = "c4") ?max_radius ?(sample = 0) ?(shards = 1) ?domains
+    ?(pool = Pool.default_variant) g x =
+  let max_radius = match max_radius with Some r -> r | None -> Graph.n g in
+  let assignment, expected = encode_for_pack ~params g x in
+  let nodes = check_nodes g sample in
+  let ids = Localmodel.Ids.identity g in
+  (* Certification runs on the *global* graph: the halo invariant then
+     transfers the certified radius to every shard for free (interior
+     balls are identical in the local and global graphs). *)
+  let passes r =
+    let got =
+      View.map_subset_par ?domains ~advice:assignment g ~ids ~radius:r ~nodes
+        (fun view -> Engine.label_of_view ~params view)
+    in
+    Array.for_all2 (fun v s -> String.equal expected.(v) s) nodes got
   in
-  let radius = tighten (max 2 ((hi / 2) + 1)) hi in
-  let meta =
-    [
-      ("schema", "edge_compression");
-      ("params.short_threshold", string_of_int params.Balanced_orientation.short_threshold);
-      ("params.cover", string_of_int params.Balanced_orientation.cover);
-      ("params.spacing", string_of_int params.Balanced_orientation.spacing);
-      ("serve.radius", string_of_int radius);
-      ( "serve.certified",
-        if Array.length nodes = Graph.n g then "all"
-        else Printf.sprintf "sample=%d" (Array.length nodes) );
-    ]
+  let radius = certify_radius ~passes ~max_radius ~checked:(Array.length nodes) in
+  let snapshot =
+    { Store.Snapshot.graph = g;
+      advice = [ (name, assignment) ];
+      meta = pack_meta ~params ~radius ~nodes g }
   in
-  ( { Store.Snapshot.graph = g; advice = [ (name, assignment) ]; meta },
+  let map f ks = Pool.run ~variant:pool ?domains f ks in
+  let bytes =
+    Store.Shard.build ~map ~shards ~halo:(max radius 1) snapshot
+  in
+  ( bytes,
     {
       radius;
       checked = Array.length nodes;

@@ -44,3 +44,29 @@ val edge_compression :
     underlying schema cannot encode the graph.
     @raise Invalid_argument when no radius up to [max_radius] passes, or
     [x] is not an edge set of [g]. *)
+
+val edge_compression_sharded :
+  ?params:Schemas.Balanced_orientation.params ->
+  ?name:string ->
+  ?max_radius:int ->
+  ?sample:int ->
+  ?shards:int ->
+  ?domains:int ->
+  ?pool:Pool.variant ->
+  Netgraph.Graph.t ->
+  Netgraph.Bitset.t ->
+  string * certification
+(** [edge_compression_sharded ~shards:s g x] is {!edge_compression}
+    followed by a version-2 sharded serialization
+    ({!Store.Shard.build}), returning the container bytes ready for
+    {!Store.Io.write_file}.  Both halves of the pack fan out: the
+    certification probe maps checked balls with
+    {!Localmodel.View.map_subset_par} (the probe is embarrassingly
+    parallel, and it runs on the {e global} graph — the halo invariant
+    transfers the certified radius to every shard), and the per-shard
+    body serialization runs one {!Pool.run} task per shard.  The
+    container's halo depth is [max radius 1], the minimum that serves
+    the certified radius.  [?domains] and [?pool] control both
+    fan-outs; [shards] defaults to 1 (still a valid v2 container).
+    @raise as {!edge_compression}, plus [Invalid_argument] when
+    [shards < 1]. *)

@@ -1,0 +1,372 @@
+module Shard = Store.Shard
+
+let m_loads = Obs.Metrics.counter "store.shard.loads"
+let m_evictions = Obs.Metrics.counter "store.shard.evictions"
+let m_lost = Obs.Metrics.counter "store.shard.lost"
+let m_resident_peak = Obs.Metrics.gauge "store.shard.resident_bytes"
+
+exception Shard_lost of { shard : int; reason : string }
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+(* One resident shard: its private engine (whose decoder orders
+   fragments by the shard's *global* identifiers — the byte-identity
+   mechanism), the global→local translation tables, and its cost in the
+   byte-budget accounting (the serialized frame size from the manifest:
+   stable, observable via inspect, and proportional to the decoded
+   footprint). *)
+type resident = {
+  engine : Engine.t;
+  ids : int array;
+  edge_ids : int array;
+  bytes : int;
+  mutable stamp : int;  (* LRU recency, from the router clock *)
+}
+
+type slot = Unloaded | Resident of resident | Lost of string
+
+type t = {
+  store : Shard.t;
+  man : Shard.manifest;
+  salvage : bool;
+  name : string option;
+  cache_capacity : int;
+  budget : int;  (* resident-byte budget; 0 = unbounded *)
+  radius : int;
+  slots : slot array;
+  mutable resident_bytes : int;
+  mutable clock : int;
+  mutable loads : int;
+  mutable evictions : int;
+  mutable lost : int;
+}
+
+let meta_int man key =
+  match List.find_opt (fun (k, _) -> String.equal k key) man.Shard.m_meta with
+  | None -> None
+  | Some (_, s) -> (
+      match int_of_string_opt s with
+      | Some v -> Some v
+      | None -> fail "Router.create: metadata %s is not an integer: %S" key s)
+
+let create ?(cache_capacity = 1024) ?(resident_budget = 0) ?(salvage = false)
+    ?radius ?name store =
+  let man = Shard.manifest store in
+  let radius =
+    match (radius, meta_int man "serve.radius") with
+    | Some r, _ | None, Some r ->
+        if r < 0 then fail "Router.create: negative serve radius %d" r else r
+    | None, None ->
+        fail
+          "Router.create: container metadata has no serve.radius and no \
+           ~radius override was given"
+  in
+  if man.Shard.m_halo < max radius 1 then
+    fail
+      "Router.create: container halo %d cannot serve radius %d (needs at \
+       least %d) — repack with a deeper halo"
+      man.Shard.m_halo radius (max radius 1);
+  if resident_budget < 0 then
+    fail "Router.create: negative resident budget %d" resident_budget;
+  (match name with
+  | Some n when not (List.exists (String.equal n) man.Shard.m_advice) ->
+      fail "Router.create: container has no advice section %S" n
+  | _ -> ());
+  (match man.Shard.m_advice with
+  | [] -> fail "Router.create: container has no advice section"
+  | _ :: _ -> ());
+  {
+    store;
+    man;
+    salvage;
+    name;
+    cache_capacity;
+    budget = resident_budget;
+    radius;
+    slots = Array.make (Array.length man.Shard.m_shards) Unloaded;
+    resident_bytes = 0;
+    clock = 0;
+    loads = 0;
+    evictions = 0;
+    lost = 0;
+  }
+
+let manifest t = t.man
+let n t = t.man.Shard.m_n
+let m t = t.man.Shard.m_m
+let radius t = t.radius
+let shard_count t = Array.length t.slots
+let resident_bytes t = t.resident_bytes
+let loads t = t.loads
+let evictions t = t.evictions
+
+let resident_shards t =
+  Array.fold_left
+    (fun acc s -> match s with Resident _ -> acc + 1 | _ -> acc)
+    0 t.slots
+
+let lost_shards t =
+  let out = ref [] in
+  Array.iteri
+    (fun k s -> match s with Lost msg -> out := (k, msg) :: !out | _ -> ())
+    t.slots;
+  List.rev !out
+
+let degraded t = t.lost > 0
+
+let advice_name t =
+  match (t.name, t.man.Shard.m_advice) with
+  | Some n, _ -> n
+  | None, n :: _ -> n
+  | None, [] ->
+      (* create rejects advice-free containers, so this is unreachable
+         for any router that was successfully constructed. *)
+      invalid_arg "Router.advice_name: container has no advice sections"
+
+let shard_of t v = Shard.shard_of_node t.man v
+
+let touch t r =
+  t.clock <- t.clock + 1;
+  r.stamp <- t.clock
+
+(* Evict least-recently-used residents until [needed] more bytes fit the
+   budget.  [pinned.(k)] protects the current batch wave; when nothing
+   evictable remains the load proceeds anyway — a single shard larger
+   than the whole budget must still serve. *)
+let evict_for t ~pinned needed =
+  let continue = ref true in
+  while
+    t.budget > 0 && t.resident_bytes + needed > t.budget && !continue
+  do
+    let victim = ref (-1) in
+    let best = ref max_int in
+    Array.iteri
+      (fun k slot ->
+        match slot with
+        | Resident r when (not pinned.(k)) && r.stamp < !best ->
+            victim := k;
+            best := r.stamp
+        | _ -> ())
+      t.slots;
+    if !victim < 0 then continue := false
+    else begin
+      (match t.slots.(!victim) with
+      | Resident r -> t.resident_bytes <- t.resident_bytes - r.bytes
+      | _ -> ());
+      t.slots.(!victim) <- Unloaded;
+      t.evictions <- t.evictions + 1;
+      Obs.Metrics.incr m_evictions
+    end
+  done
+
+let mark_lost t k reason =
+  (match t.slots.(k) with
+  | Resident r -> t.resident_bytes <- t.resident_bytes - r.bytes
+  | _ -> ());
+  t.slots.(k) <- Lost reason;
+  t.lost <- t.lost + 1;
+  Obs.Metrics.incr m_lost
+
+(* Load shard [k]: fetch + decode its byte range, hand the local graph
+   and advice slices to a fresh single-shard engine whose ids are the
+   global node ids shifted to the identifier space (gid + 1 = the
+   identity assignment a whole-graph engine uses), so every fragment
+   relabeling — and therefore every answer byte — matches the
+   monolithic engine's. *)
+let load_resident t ~pinned k =
+  let info = t.man.Shard.m_shards.(k) in
+  let loaded = Shard.load t.store k in
+  let snapshot =
+    {
+      Store.Snapshot.graph = loaded.Shard.l_graph;
+      advice = loaded.Shard.l_advice;
+      meta = t.man.Shard.m_meta;
+    }
+  in
+  let ids = Array.map (fun gid -> gid + 1) loaded.Shard.l_ids in
+  let engine =
+    Engine.create ~cache_capacity:t.cache_capacity ~shards:1 ~radius:t.radius
+      ~ids ?name:t.name snapshot
+  in
+  let r =
+    {
+      engine;
+      ids = loaded.Shard.l_ids;
+      edge_ids = loaded.Shard.l_edge_ids;
+      bytes = info.Shard.i_bytes;
+      stamp = 0;
+    }
+  in
+  evict_for t ~pinned r.bytes;
+  t.slots.(k) <- Resident r;
+  t.resident_bytes <- t.resident_bytes + r.bytes;
+  Obs.Metrics.gauge_max m_resident_peak t.resident_bytes;
+  t.loads <- t.loads + 1;
+  Obs.Metrics.incr m_loads;
+  touch t r;
+  r
+
+let no_pin t = Array.make (Array.length t.slots) false
+
+(* Resident shard [k], loading (and evicting) as needed.  A shard whose
+   bytes are damaged becomes [Lost]: with [~salvage] the caller gets
+   {!Shard_lost} and every other node range keeps serving; without it
+   the codec's diagnostic propagates — the operator asked for fail-stop. *)
+let ensure t ~pinned k =
+  match t.slots.(k) with
+  | Resident r ->
+      touch t r;
+      r
+  | Lost reason ->
+      if t.salvage then raise (Shard_lost { shard = k; reason })
+      else raise (Store.Codec.Corrupt reason)
+  | Unloaded -> (
+      match load_resident t ~pinned k with
+      | r -> r
+      | exception Store.Codec.Corrupt reason ->
+          mark_lost t k reason;
+          if t.salvage then raise (Shard_lost { shard = k; reason })
+          else raise (Store.Codec.Corrupt reason)
+      | exception Sys_error reason ->
+          mark_lost t k reason;
+          if t.salvage then raise (Shard_lost { shard = k; reason })
+          else raise (Sys_error reason))
+
+(* Global → local query translation (binary searches in the resident
+   shard's sorted id tables).  Interior nodes always translate; an edge
+   id that is not stored in the owner shard cannot be incident to the
+   queried node, which is exactly the engine's endpoint precondition. *)
+
+let bsearch (arr : int array) (x : int) =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  if Array.length arr = 0 then -1
+  else begin
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if arr.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    if arr.(!lo) = x then !lo else -1
+  end
+
+let check_node t what v =
+  if v < 0 || v >= n t then
+    fail "Engine: %s names node %d outside 0..%d" what v (n t - 1)
+
+let validate t = function
+  | Engine.Output_label v -> check_node t "Output_label" v
+  | Engine.Advice_bits v -> check_node t "Advice_bits" v
+  | Engine.Edge_member (v, e) ->
+      check_node t "Edge_member" v;
+      if e < 0 || e >= m t then
+        fail "Engine: Edge_member names edge %d outside 0..%d" e (m t - 1)
+
+let translate (r : resident) = function
+  | Engine.Output_label v -> Engine.Output_label (bsearch r.ids v)
+  | Engine.Advice_bits v -> Engine.Advice_bits (bsearch r.ids v)
+  | Engine.Edge_member (v, e) ->
+      let le = bsearch r.edge_ids e in
+      if le < 0 then
+        fail "Engine: Edge_member node %d is not an endpoint of edge %d" v e;
+      Engine.Edge_member (bsearch r.ids v, le)
+
+let query_node = function
+  | Engine.Output_label v | Engine.Edge_member (v, _) | Engine.Advice_bits v ->
+      v
+
+let query t q =
+  validate t q;
+  let k = shard_of t (query_node q) in
+  let r = ensure t ~pinned:(no_pin t) k in
+  Engine.query r.engine (translate r q)
+
+(* ------------------------------------------------------------------ *)
+(* Batch: group queries by owner shard, then serve in *waves* — the
+   largest prefix of needed shards whose bytes fit the resident budget
+   loads together and fans across the pool (one task per shard, the
+   engine's own ownership discipline), then the next wave replaces it. *)
+
+let plan_shards t qs =
+  let nshards = Array.length t.slots in
+  let counts = Array.make nshards 0 in
+  Array.iter
+    (fun q -> counts.(shard_of t (query_node q)) <- counts.(shard_of t (query_node q)) + 1)
+    qs;
+  let idxs =
+    Array.init nshards (fun k -> if counts.(k) = 0 then [||] else Array.make counts.(k) 0)
+  in
+  let fill = Array.make nshards 0 in
+  Array.iteri
+    (fun i q ->
+      let k = shard_of t (query_node q) in
+      idxs.(k).(fill.(k)) <- i;
+      fill.(k) <- fill.(k) + 1)
+    qs;
+  idxs
+
+let batch_results ?domains ?(pool = Pool.default_variant) t qs =
+  Array.iter (validate t) qs;
+  let idxs = plan_shards t qs in
+  let results = Array.make (Array.length qs) (Error "unserved") in
+  let needed = ref [] in
+  Array.iteri
+    (fun k is -> if Array.length is > 0 then needed := k :: !needed)
+    idxs;
+  let remaining = ref (List.rev !needed) in
+  let non_empty = function [] -> false | _ :: _ -> true in
+  while non_empty !remaining do
+    (* Greedy wave: shards in id order while their summed frame bytes
+       fit the budget (at least one always proceeds). *)
+    let pinned = no_pin t in
+    let wave = ref [] in
+    let wave_bytes = ref 0 in
+    let rec take = function
+      | [] -> []
+      | k :: rest ->
+          let b = t.man.Shard.m_shards.(k).Shard.i_bytes in
+          (* wave_bytes = 0 iff the wave is empty: every frame carries
+             at least its 9 header bytes. *)
+          if !wave_bytes = 0 || t.budget = 0 || !wave_bytes + b <= t.budget
+          then begin
+            wave := k :: !wave;
+            wave_bytes := !wave_bytes + b;
+            pinned.(k) <- true;
+            take rest
+          end
+          else k :: rest
+    in
+    remaining := take !remaining;
+    (* Load the wave (salvage failures fail only their own queries) and
+       translate its queries on this domain, so pool tasks are pure
+       engine calls on pre-validated local queries. *)
+    let tasks = ref [] in
+    List.iter
+      (fun k ->
+        match ensure t ~pinned k with
+        | r ->
+            let local =
+              Array.map (fun i -> translate r qs.(i)) idxs.(k)
+            in
+            tasks := (k, r, local) :: !tasks
+        | exception Shard_lost { shard; reason } ->
+            let msg = Printf.sprintf "shard %d lost: %s" shard reason in
+            Array.iter (fun i -> results.(i) <- Error msg) idxs.(k))
+      (List.rev !wave);
+    let tasks = Array.of_list (List.rev !tasks) in
+    let parts =
+      Pool.run ~variant:pool ?domains
+        (fun (_, r, local) -> Array.map (Engine.query r.engine) local)
+        tasks
+    in
+    Array.iteri
+      (fun j (k, _, _) ->
+        Array.iteri (fun p i -> results.(i) <- Ok parts.(j).(p)) idxs.(k))
+      tasks
+  done;
+  results
+
+let batch ?domains ?pool t qs =
+  Array.map
+    (function
+      | Ok a -> a
+      | Error msg -> raise (Store.Codec.Corrupt msg))
+    (batch_results ?domains ?pool t qs)

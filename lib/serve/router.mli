@@ -1,0 +1,144 @@
+(** Sharded query routing over a version-2 container: node → owner
+    shard → per-shard engine, with lazy loads and LRU eviction under a
+    resident-byte budget.
+
+    A {!t} opens a {!Store.Shard} container and keeps at most a
+    byte-budget's worth of shards resident.  Each resident shard is a
+    private single-shard {!Engine} over the shard's local graph and
+    advice slices, constructed with the shard's {e global} node ids as
+    its identifier assignment — the decoder orders ball fragments by
+    identifier, so a shard-local ball (identical to the global ball by
+    the halo invariant, see {!Store.Shard}) decodes to the {e same
+    bytes} a whole-graph engine would produce.  Global queries translate
+    to shard-local ones by binary search in the shard's sorted id
+    tables; an edge id absent from the owner shard cannot be incident to
+    the queried node, so translation doubles as the endpoint check.
+
+    {b Eviction contract.}  Residency is accounted in {e serialized
+    frame bytes} (the manifest's [frame-bytes] per shard): stable,
+    inspectable without loading, and proportional to the decoded
+    footprint.  A load that would exceed the budget first evicts
+    least-recently-used resident shards (never ones pinned by the
+    current batch wave); when a single shard alone exceeds the budget it
+    loads anyway — the budget bounds steady-state residency, not the
+    feasibility of serving.  Budget 0 means unbounded.
+
+    {b Batches} group queries by owner shard and serve them in waves:
+    the longest prefix of needed shards whose summed bytes fit the
+    budget loads together, fans one task per shard across {!Pool.run}
+    (the engine's single-worker-per-cache ownership discipline), and is
+    then replaced by the next wave.  Answers are byte-identical to a
+    monolithic {!Engine} over the same snapshot, for every shard count,
+    budget, domain count, and pool variant.
+
+    {b Salvage.}  With [~salvage:true], a shard whose bytes are damaged
+    (checksum, structure, or I/O) is marked [Lost]: queries for {e its}
+    interior raise {!Shard_lost} (surfaced per-query by
+    {!batch_results}), and every other node range keeps serving —
+    corruption degrades exactly one shard's range.  Without it, the
+    first damaged shard propagates its [Codec.Corrupt] — fail-stop.
+
+    Obs: [store.shard.loads], [store.shard.evictions],
+    [store.shard.lost] counters and the [store.shard.resident_bytes]
+    peak gauge (plus everything the per-shard engines record). *)
+
+type t
+(** A router: an open container, a resident-shard table with its LRU
+    state, and one lazily built {!Engine} per resident shard. *)
+
+exception Shard_lost of { shard : int; reason : string }
+(** Raised (in salvage mode) when the owner shard of a queried node
+    range could not be loaded.  Other shards keep serving. *)
+
+val create :
+  ?cache_capacity:int ->
+  ?resident_budget:int ->
+  ?salvage:bool ->
+  ?radius:int ->
+  ?name:string ->
+  Store.Shard.t ->
+  t
+(** [create store] builds a router over an open container.
+    [cache_capacity] is the ball-cache budget of {e each} resident
+    shard's engine (default 1024; eviction drops the cache with the
+    shard).  [resident_budget] bounds resident shards in serialized
+    bytes (default 0 = unbounded).  [salvage] selects degraded serving
+    over fail-stop.  [radius] overrides the container's [serve.radius]
+    metadata; [name] selects an advice section.  @raise Invalid_argument
+    when no radius is available, the container's halo is too shallow for
+    the radius ([halo >= max radius 1] is the byte-identity
+    precondition), the budget is negative, or the named advice section
+    does not exist. *)
+
+val manifest : t -> Store.Shard.manifest
+(** The underlying container's parsed manifest. *)
+
+val n : t -> int
+(** Global node count. *)
+
+val m : t -> int
+(** Global edge count. *)
+
+val radius : t -> int
+(** The serve radius every query decodes at. *)
+
+val shard_count : t -> int
+(** Number of shards in the container. *)
+
+val advice_name : t -> string
+(** The advice section queries are answered from. *)
+
+val shard_of : t -> int -> int
+(** Owner shard of a global node id.  @raise Invalid_argument out of
+    range. *)
+
+val resident_bytes : t -> int
+(** Serialized bytes of currently resident shards — the quantity the
+    budget bounds. *)
+
+val resident_shards : t -> int
+(** How many shards are currently resident. *)
+
+val loads : t -> int
+(** Shard loads performed since creation (first touches + reloads). *)
+
+val evictions : t -> int
+(** Shards evicted under the budget since creation. *)
+
+val lost_shards : t -> (int * string) list
+(** Shards marked [Lost], with their diagnostics, in shard order. *)
+
+val degraded : t -> bool
+(** Whether any shard has been lost. *)
+
+val query : t -> Engine.query -> Engine.answer
+(** Answer one query through the owner shard, loading it on first touch
+    (and evicting under the budget).  Byte-identical to a monolithic
+    engine's answer.  @raise Invalid_argument on an out-of-range id or
+    an [Edge_member] whose node is not an endpoint of its edge;
+    @raise Shard_lost (salvage) / [Codec.Corrupt] (fail-stop) when the
+    owner shard cannot be loaded. *)
+
+val batch_results :
+  ?domains:int ->
+  ?pool:Pool.variant ->
+  t ->
+  Engine.query array ->
+  (Engine.answer, string) result array
+(** Answer a batch, one result per query in request order: [Ok] answers
+    are byte-identical to the monolithic engine's; [Error] carries the
+    owner shard's loss diagnostic (salvage mode) and appears only for
+    queries whose node range was lost.  Shards load in budget-bounded
+    waves and serve one pool task per shard.  @raise Invalid_argument on
+    malformed queries (range checks before any work; the
+    endpoint check, which needs the owner shard, during its wave). *)
+
+val batch :
+  ?domains:int ->
+  ?pool:Pool.variant ->
+  t ->
+  Engine.query array ->
+  Engine.answer array
+(** {!batch_results} with losses re-raised: the first [Error] becomes a
+    [Codec.Corrupt] carrying its diagnostic.  Convenient when the caller
+    treats any loss as fatal. *)

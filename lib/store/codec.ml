@@ -44,11 +44,11 @@ let str w s =
   varint w (String.length s);
   raw w s
 
-let section w ~tag payload =
+let section w ~tag ?crc payload =
   u8 w tag;
   u32 w (String.length payload);
   raw w payload;
-  u32 w (Crc32.of_string payload)
+  u32 w (match crc with Some c -> c | None -> Crc32.of_string payload)
 
 (* Reader *)
 

@@ -48,9 +48,12 @@ val str : writer -> string -> unit
 val raw : writer -> string -> unit
 (** Raw bytes, no framing. *)
 
-val section : writer -> tag:int -> string -> unit
+val section : writer -> tag:int -> ?crc:int -> string -> unit
 (** [section w ~tag payload] frames and appends one section:
-    [tag:u8, length:u32, payload, crc32(payload):u32]. *)
+    [tag:u8, length:u32, payload, crc32(payload):u32].  [?crc] lets a
+    caller that already computed [Crc32.of_string payload] (e.g. for a
+    manifest copy) supply it instead of paying for a second pass — it
+    is written verbatim, so it must be that exact value. *)
 
 (** {1 Reader} *)
 

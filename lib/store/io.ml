@@ -217,3 +217,106 @@ let read_file path =
   Obs.Metrics.incr m_files_read;
   Obs.Metrics.add m_bytes_read (String.length s);
   if Faults.enabled () then apply_read_fault s else s
+
+(* Bounded range reads.  Shard loading fetches individual byte windows of
+   a big snapshot file; the whole point is never materializing the file,
+   so these paths must not fall back to [read_file]. *)
+
+type read_method = Pread | Mmap
+
+let m_range_reads = Obs.Metrics.counter "io.range_reads"
+let m_range_bytes = Obs.Metrics.counter "io.range_bytes"
+
+let file_size path =
+  match Unix.stat path with
+  | st -> st.Unix.st_size
+  | exception Unix.Unix_error (err, _, _) ->
+      raise
+        (Sys_error
+           (Printf.sprintf "Store.Io.file_size: %s: %s" path
+              (Unix.error_message err)))
+
+(* The same armed plan that hits whole-file reads, re-expressed in file
+   coordinates so lazy and eager readers observe one consistent injured
+   file: [Truncate_at k] cuts the file at absolute byte [k] (a window
+   past the cut comes back empty), and [Flip_byte] damages the byte at
+   [at_byte mod file_size] for whichever window covers it.  With
+   [pos = 0] and a window spanning the file this coincides with
+   [apply_read_fault]. *)
+let apply_range_fault ~pos ~size s =
+  match (!Faults.armed).Faults.plan.Faults.read with
+  | None -> s
+  | Some (Faults.Truncate_at k) ->
+      Obs.Metrics.incr m_fault_read;
+      let keep = min (String.length s) (max 0 (max k 0 - pos)) in
+      String.sub s 0 keep
+  | Some (Faults.Flip_byte { at_byte; mask }) ->
+      let mask = mask land 0xFF in
+      if size <= 0 || mask = 0 then s
+      else begin
+        let a = max at_byte 0 mod size in
+        if a < pos || a >= pos + String.length s then s
+        else begin
+          Obs.Metrics.incr m_fault_read;
+          let b = Bytes.of_string s in
+          let i = a - pos in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+          Bytes.unsafe_to_string b
+        end
+      end
+
+let with_fd path f =
+  let fd =
+    match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+    | fd -> fd
+    | exception Unix.Unix_error (err, _, _) ->
+        raise
+          (Sys_error
+             (Printf.sprintf "Store.Io.read_range: %s: %s" path
+                (Unix.error_message err)))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let pread_window fd ~pos ~len =
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let k = Unix.read fd buf !got (len - !got) in
+    if k = 0 then eof := true else got := !got + k
+  done;
+  Bytes.sub_string buf 0 !got
+
+let mmap_window fd ~size ~pos ~len =
+  if len = 0 then ""
+  else begin
+    let map =
+      Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |]
+    in
+    let arr = Bigarray.array1_of_genarray map in
+    String.init len (fun i -> Bigarray.Array1.get arr (pos + i))
+  end
+
+let read_range ?(how = Pread) path ~pos ~len =
+  if pos < 0 || len < 0 then
+    invalid_arg
+      (Printf.sprintf "Store.Io.read_range: negative window %d+%d" pos len);
+  let s, size =
+    with_fd path (fun fd ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        (* Short windows read short, like [read_to_eof]: a truncated file
+           is a condition for the codec to diagnose, not a crash here. *)
+        let len = min len (max 0 (size - pos)) in
+        let s =
+          match how with
+          | Pread -> pread_window fd ~pos ~len
+          | Mmap -> mmap_window fd ~size ~pos ~len
+        in
+        (s, size))
+  in
+  Obs.Metrics.incr m_range_reads;
+  Obs.Metrics.add m_range_bytes (String.length s);
+  if Faults.enabled () then apply_range_fault ~pos ~size s else s

@@ -132,3 +132,27 @@ val read_to_eof : in_channel -> string
 val temp_path : string -> string
 (** The staging path {!write_file} uses for a destination (exposed so
     tests and salvage tooling can find crash leftovers). *)
+
+(** How {!read_range} fetches a byte window.  [Pread] seeks and reads on
+    a descriptor opened for the call; [Mmap] maps the file read-only and
+    copies the window out ([Unix.map_file] lives here and {e only} here —
+    the io-hygiene lint bans it outside [store/]). *)
+type read_method = Pread | Mmap
+
+val file_size : string -> int
+(** Size of [path] in bytes ([Unix.stat]).  @raise Sys_error when the
+    file cannot be stat'ed. *)
+
+val read_range : ?how:read_method -> string -> pos:int -> len:int -> string
+(** [read_range path ~pos ~len] reads the byte window
+    [\[pos, pos + len)] of [path] without materializing the rest of the
+    file — the primitive under lazy shard loading.  A window extending
+    past end-of-file reads short (like {!read_to_eof}, truncation is the
+    codec's diagnosis to make, not an error here); [len = 0] or a [pos]
+    at/past EOF reads empty.  An armed read fault is applied in {e file}
+    coordinates, so lazy and eager readers observe the same injured
+    file: [Truncate_at k] cuts the file at absolute byte [k], and
+    [Flip_byte] damages byte [at_byte mod file_size] for whichever
+    window covers it.  Counted by [io.range_reads] / [io.range_bytes].
+    @raise Invalid_argument on a negative [pos] or [len].
+    @raise Sys_error when the file cannot be opened or read. *)

@@ -1,0 +1,192 @@
+(** Version-2 sharded snapshot container: pack once, load by the shard.
+
+    A version-1 {!Snapshot} is one monolithic file — reading any byte of
+    it decodes all of it.  The paper's locality result says that is
+    wasteful: a node's answer depends only on its radius-r ball plus its
+    own advice bits, so the graph can be cut into [S] contiguous
+    node-range shards, each stored with a {e halo} of depth
+    [max (serve_radius, 1)] around its interior, and every interior ball
+    then decodes shard-locally — no cross-shard hop, ever.  This module
+    is that layout: a self-describing manifest up front, followed by one
+    independently framed, independently checksummed body per shard, so a
+    reader can open a million-node snapshot by fetching a few hundred
+    manifest bytes and then page shards in and out on demand
+    ({!Io.read_range} underneath — the file is never materialized).
+
+    Wire layout (all integers little-endian, varints LEB128; framing and
+    payload encodings are shared with {!Snapshot} — one codec, two
+    containers):
+
+    {v
+    magic "LADV"  version:u16 = 2  section-count:varint = 1 + S
+    manifest section   (tag 4)     framed tag:u8 len:u32 payload crc32:u32
+    shard section * S  (tag 5)     framed the same way
+    v}
+
+    Manifest payload:
+
+    {v
+    n:varint m:varint halo:varint shard-count:varint
+    advice-count:varint  name:str *
+    meta-count:varint    (key:str value:str) *
+    per shard:  lo:varint hi:varint local-n:varint local-m:varint
+                rel-offset:varint frame-bytes:varint crc32:u32
+    v}
+
+    [rel-offset] is relative to the first byte after the manifest frame
+    (storing absolute offsets would make the manifest's own length
+    circular); [frame-bytes] spans the shard's whole frame including tag,
+    length and checksum, and the manifest's copy of each shard checksum
+    lets [inspect] report per-shard integrity without touching a single
+    body byte.
+
+    Shard payload (tag 5):
+
+    {v
+    index:varint lo:varint hi:varint local-n:varint local-m:varint
+    ids:       local-n varints, delta-encoded (first absolute, then
+               strictly positive gaps) — sorted global ids of the
+               shard's nodes (interior plus halo)
+    graph:     str — a {!Snapshot.graph_payload} of the induced local
+               subgraph, nodes in [ids] order
+    edge-ids:  local-m varints, delta-encoded — the global edge id of
+               each local edge, in local edge-id order (monotone:
+               local node order is monotone in global order, and both
+               edge-id spaces are lexicographic in their endpoints)
+    advice-count:varint  ({!Snapshot.advice_payload} of the local
+               slice, as a str) *
+    v}
+
+    {b Halo invariant.}  A shard stores the subgraph induced by the
+    nodes within distance [halo] of its interior range.  For
+    [halo >= r], every path of
+    length at most [r] from an interior node stays inside the stored
+    node set, so the radius-[r] ball of an interior node in the local
+    graph is {e identical} to its ball in the global graph; [halo >= 1]
+    additionally keeps every interior node's full incident edge list
+    local (the C4 [Edge_member] queries).  {!build} therefore requires
+    [halo >= 1], and serving at radius [r] requires a container built
+    with [halo >= max r 1].
+
+    Obs: [store.shard.packed_bytes] on {!build},
+    [store.shard.bytes_read] on {!load}. *)
+
+(** {1 Writing} *)
+
+val version : int
+(** The container version this module writes and reads (2). *)
+
+val tag_manifest : int
+(** Tag byte of the manifest section (4). *)
+
+val tag_shard : int
+(** Tag byte of shard body sections (5). *)
+
+val plan : n:int -> shards:int -> (int * int) array
+(** [plan ~n ~shards] is the contiguous interior partition
+    [[| (0, n/S); ...; ((S-1)*n/S, n) |]] (after clamping [shards] to
+    [1..max 1 n]) — the same balanced cut {!Serve.Engine}'s batch
+    planner uses, so engine shards and storage shards can align.
+    @raise Invalid_argument when [shards < 1] or [n < 0]. *)
+
+val build :
+  ?map:((int -> string) -> int array -> string array) ->
+  shards:int ->
+  halo:int ->
+  Snapshot.t ->
+  string
+(** [build ~shards ~halo snapshot] serializes the snapshot as a
+    version-2 container with [shards] interior ranges ({!plan}) and a
+    halo of depth [halo] around each.  Per-shard body serialization
+    (halo BFS, induced subgraph, advice slicing, payload encoding) is
+    independent across shards; [?map] is the fan-out hook — it receives
+    the payload function and the shard indices and must return the
+    payloads in index order (default: sequential [Array.map]; the serve
+    layer passes {!Serve.Pool.run} to pack shards in parallel).
+    @raise Invalid_argument when [shards < 1], [halo < 1], or the
+    snapshot trips {!Snapshot.write}'s own validation. *)
+
+(** {1 Reading} *)
+
+type info = {
+  i_index : int;  (** shard position, [0..S-1] *)
+  i_lo : int;  (** interior range start (inclusive) *)
+  i_hi : int;  (** interior range end (exclusive) *)
+  i_local_n : int;  (** stored nodes: interior + halo *)
+  i_local_m : int;  (** stored edges *)
+  i_offset : int;  (** absolute byte offset of the shard's frame *)
+  i_bytes : int;  (** whole-frame length: tag + len + payload + crc *)
+  i_crc : int;  (** the frame payload's checksum, as recorded *)
+}
+(** Manifest row for one shard — everything [inspect] and the lazy
+    loader need, with no body byte read. *)
+
+type manifest = {
+  m_n : int;  (** global node count *)
+  m_m : int;  (** global edge count *)
+  m_halo : int;  (** halo depth every shard was built with *)
+  m_advice : string list;  (** advice section names, in order *)
+  m_meta : (string * string) list;  (** snapshot metadata, verbatim *)
+  m_shards : info array;
+  m_header_bytes : int;
+      (** bytes before the first shard frame (file prefix + manifest) *)
+}
+(** A parsed, checksum-verified manifest: the global facts plus one
+    {!info} row per shard — everything reachable without body bytes. *)
+
+type t
+(** An open container: a bounded-fetch closure plus its parsed, verified
+    manifest.  Opening reads {e only} the file prefix and the manifest
+    frame; shard bodies stay on disk until {!load}. *)
+
+type loaded = {
+  l_index : int;
+  l_lo : int;
+  l_hi : int;
+  l_graph : Netgraph.Graph.t;  (** induced local subgraph, [ids] order *)
+  l_ids : int array;  (** local node id -> global node id (sorted) *)
+  l_edge_ids : int array;  (** local edge id -> global edge id (sorted) *)
+  l_advice : (string * Advice.Assignment.t) list;
+      (** advice slices, local node order *)
+}
+(** One decoded shard.  [l_ids] and [l_edge_ids] are the translation
+    tables a router needs: both are strictly increasing, so global→local
+    is a binary search. *)
+
+val peek_version : ?how:Io.read_method -> string -> int
+(** [peek_version path] reads the 6-byte file prefix ({!Io.read_range})
+    and returns the container version — the dispatch point between
+    {!Snapshot.of_file} (1) and {!open_file} (2) without reading either
+    body.  @raise Codec.Corrupt on a short file or bad magic;
+    @raise Sys_error on I/O failure. *)
+
+val open_file : ?how:Io.read_method -> string -> t
+(** Open a version-2 container lazily: fetch the prefix, locate the
+    manifest frame, verify its checksum, parse it.  [?how] selects the
+    {!Io.read_range} method for this and for every later {!load}
+    (default [Pread]).  @raise Codec.Corrupt on a version-1 file (with
+    a hint to use {!Snapshot}), bad magic, or a damaged manifest;
+    @raise Sys_error on I/O failure. *)
+
+val open_bytes : string -> t
+(** Same, over an in-memory container image (tests, and callers that
+    already hold the bytes).  Fetches are substring reads; read faults
+    do not apply. *)
+
+val manifest : t -> manifest
+(** The container's parsed manifest (verified at {!open_file} time). *)
+
+val shard_of_node : manifest -> int -> int
+(** Owner shard of a global node id: the unique [k] with
+    [i_lo <= v < i_hi].  @raise Invalid_argument when [v] is outside
+    [0..n-1]. *)
+
+val load : t -> int -> loaded
+(** [load t k] fetches shard [k]'s byte range — and nothing else — and
+    decodes it, verifying the frame checksum against both the payload
+    and the manifest's recorded copy, the id tables' sortedness and
+    ranges, and that the interior [\[lo, hi)] is fully present.
+    @raise Invalid_argument when [k] is out of range;
+    @raise Codec.Corrupt when the shard's bytes are damaged (other
+    shards remain loadable — that is the point);
+    @raise Sys_error on I/O failure. *)

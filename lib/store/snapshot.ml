@@ -167,7 +167,11 @@ let read_header r =
   if m <> magic then corrupt "bad magic %S (expected %S)" m magic;
   let v = Codec.read_u16 r in
   if v <> version then
-    corrupt "unsupported snapshot version %d (this build reads %d)" v version;
+    if v = 2 then
+      corrupt
+        "snapshot version 2 is a sharded container — open it with \
+         Store.Shard (or advice_store, which dispatches on the version)"
+    else corrupt "unsupported snapshot version %d (this build reads %d)" v version;
   Codec.read_varint r
 
 let read s =

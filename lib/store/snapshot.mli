@@ -47,8 +47,14 @@ type t = {
           radius...); order is preserved. *)
 }
 
+val magic : string
+(** The 4-byte file magic ["LADV"], shared with the version-2 sharded
+    container ({!Shard}). *)
+
 val version : int
-(** The format version this build writes and the only one it reads. *)
+(** The format version this build writes and the only one this module
+    reads.  Version 2 is the sharded container: {!read} rejects it with
+    a diagnostic pointing at {!Shard}. *)
 
 val tag_graph : int
 (** Tag byte of the graph section (exposed for tooling and tests). *)
@@ -135,3 +141,34 @@ val advice_payload_bits : t -> name:string -> int
 (** Total packed advice bits the named assignment occupies on the wire
     (the sum of per-node bit lengths, excluding varint framing).
     @raise Not_found when no section has that name. *)
+
+(** {1 Section payload codecs}
+
+    The raw per-section encoders/decoders, exposed so the version-2
+    sharded container ({!Shard}) stores shard-local graphs and advice
+    slices in {e exactly} the version-1 payload encodings — one codec,
+    two framings. *)
+
+val graph_payload : Netgraph.Graph.t -> string
+(** The graph section payload: [n m degrees neighbor-deltas], all
+    varints (see the module docs). *)
+
+val read_graph : string -> Netgraph.Graph.t
+(** Parse a graph section payload, verifying symmetry, sortedness, and
+    the degree sum.  @raise Codec.Corrupt on malformed input. *)
+
+val advice_payload : int -> string * Advice.Assignment.t -> string
+(** [advice_payload n (name, a)] is the advice section payload for an
+    [n]-node graph.  @raise Invalid_argument when the assignment length
+    differs from [n] or the name contains a NUL byte. *)
+
+val read_advice : n:int -> string -> string * Advice.Assignment.t
+(** Parse an advice section payload for an [n]-node graph.
+    @raise Codec.Corrupt on malformed input or a node-count mismatch. *)
+
+val meta_payload : (string * string) list -> string
+(** The metadata section payload.  @raise Invalid_argument on a NUL byte
+    in a key. *)
+
+val read_meta : string -> (string * string) list
+(** Parse a metadata section payload.  @raise Codec.Corrupt. *)

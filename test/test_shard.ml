@@ -1,0 +1,618 @@
+(* Sharded snapshot container (Store.Shard) + sharded routing
+   (Serve.Router): wire round-trips, lazy loads under a resident-byte
+   budget, byte-identity of sharded answers against the monolithic
+   engine across families × shard counts × budgets, one-shard
+   corruption quarantine, v1/v2 version compatibility, bounded range
+   reads with fault injection, and the exact cache split. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Builders shared by the tests *)
+
+let random_advice rng g =
+  Array.init (Graph.n g) (fun _ ->
+      String.init (Prng.int rng 9) (fun _ -> if Prng.bool rng then '1' else '0'))
+
+let random_queries rng g count =
+  Array.init count (fun _ ->
+      let v = Prng.int rng (Graph.n g) in
+      match Prng.int rng 3 with
+      | 0 -> Serve.Engine.Output_label v
+      | 1 ->
+          let es = Graph.incident_edges g v in
+          if Array.length es = 0 then Serve.Engine.Advice_bits v
+          else Serve.Engine.Edge_member (v, es.(Prng.int rng (Array.length es)))
+      | _ -> Serve.Engine.Advice_bits v)
+
+let cycle_snapshot n seed =
+  let rng = Prng.create seed in
+  let g = Builders.cycle n in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  let snapshot, cert = Serve.Pack.edge_compression g x in
+  (g, snapshot, cert)
+
+(* A mono engine and a router over the *same* snapshot state.  The
+   router serves from a sharded serialization with halo = max radius 1;
+   byte-identity of every answer is the contract under test. *)
+let mono_and_router ?(budget = 0) ~radius ~shards snapshot =
+  let mono = Serve.Engine.create ~shards:1 ~radius snapshot in
+  let bytes = Store.Shard.build ~shards ~halo:(max radius 1) snapshot in
+  let store = Store.Shard.open_bytes bytes in
+  let router =
+    Serve.Router.create ~resident_budget:budget ~salvage:true ~radius store
+  in
+  (mono, router)
+
+(* Decoders over arbitrary advice may raise; identical balls + ids +
+   advice must then raise identically, so compare *outcomes*. *)
+let outcome f =
+  match f () with
+  | a -> Ok (Marshal.to_string a [])
+  | exception e -> Error (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Wire round-trip *)
+
+let test_round_trip () =
+  let _g, snapshot, cert = cycle_snapshot 64 7 in
+  let bytes =
+    Store.Shard.build ~shards:3 ~halo:(max cert.Serve.Pack.radius 1) snapshot
+  in
+  let store = Store.Shard.open_bytes bytes in
+  let man = Store.Shard.manifest store in
+  check_int "n" 64 man.Store.Shard.m_n;
+  check_int "m" 64 man.Store.Shard.m_m;
+  check_int "shards" 3 (Array.length man.Store.Shard.m_shards);
+  check "advice names" true (man.Store.Shard.m_advice = [ "c4" ]);
+  check "meta carried" true
+    (List.mem_assoc "serve.radius" man.Store.Shard.m_meta);
+  let seen = Array.make 64 false in
+  Array.iteri
+    (fun k info ->
+      let loaded = Store.Shard.load store k in
+      check_int "index" k loaded.Store.Shard.l_index;
+      check_int "local n" info.Store.Shard.i_local_n
+        (Array.length loaded.Store.Shard.l_ids);
+      check_int "local graph n" info.Store.Shard.i_local_n
+        (Graph.n loaded.Store.Shard.l_graph);
+      check_int "local m" info.Store.Shard.i_local_m
+        (Array.length loaded.Store.Shard.l_edge_ids);
+      (* ids strictly increasing and interior covered *)
+      Array.iteri
+        (fun i v ->
+          if i > 0 then
+            check "ids sorted" true (v > loaded.Store.Shard.l_ids.(i - 1)))
+        loaded.Store.Shard.l_ids;
+      for v = info.Store.Shard.i_lo to info.Store.Shard.i_hi - 1 do
+        check "interior present" true
+          (Array.exists (Int.equal v) loaded.Store.Shard.l_ids);
+        check "owner" true (Store.Shard.shard_of_node man v = k);
+        seen.(v) <- true
+      done)
+    man.Store.Shard.m_shards;
+  check "interiors partition the nodes" true (Array.for_all Fun.id seen);
+  (* The manifest's byte ranges tile the file exactly. *)
+  let last = man.Store.Shard.m_shards.(2) in
+  check_int "frames end at EOF" (String.length bytes)
+    (last.Store.Shard.i_offset + last.Store.Shard.i_bytes)
+
+let test_version_dispatch () =
+  let _g, snapshot, cert = cycle_snapshot 32 3 in
+  let v1 = Store.Snapshot.write snapshot in
+  let v2 =
+    Store.Shard.build ~shards:2 ~halo:(max cert.Serve.Pack.radius 1) snapshot
+  in
+  (* v1 still loads through Snapshot — the compatibility regression. *)
+  let round = Store.Snapshot.read v1 in
+  check_string "v1 re-pack byte-identical" v1 (Store.Snapshot.write round);
+  (* Each reader rejects the other container with a pointed hint. *)
+  (match Store.Snapshot.read v2 with
+  | _ -> Alcotest.fail "Snapshot.read accepted a v2 container"
+  | exception Store.Codec.Corrupt msg ->
+      check "v2 hint names Store.Shard" true
+        (String.length msg > 0
+        && Option.is_some
+             (String.index_opt msg 'S' (* crude: message mentions Shard *))));
+  (match Store.Shard.open_bytes v1 with
+  | _ -> Alcotest.fail "Shard.open_bytes accepted a v1 snapshot"
+  | exception Store.Codec.Corrupt msg ->
+      check "v1 hint names Store.Snapshot" true
+        (String.length msg > 0));
+  (* In-file version peek drives the CLI dispatch. *)
+  let dir = Filename.temp_file "shardv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let p1 = Filename.concat dir "a.ladv" and p2 = Filename.concat dir "b.ladv" in
+  Store.Io.write_file p1 v1;
+  Store.Io.write_file p2 v2;
+  check_int "peek v1" 1 (Store.Shard.peek_version p1);
+  check_int "peek v2" 2 (Store.Shard.peek_version p2);
+  let store = Store.Shard.open_file p2 in
+  let router = Serve.Router.create store in
+  check_int "router radius from metadata" cert.Serve.Pack.radius
+    (Serve.Router.radius router);
+  Sys.remove p1;
+  Sys.remove p2;
+  Unix.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity: router answers = monolithic engine answers *)
+
+type family = Cycle | Grid | Regular
+
+let family_name = function Cycle -> "cycle" | Grid -> "grid" | Regular -> "regular"
+
+let family_state family rng =
+  match family with
+  | Cycle ->
+      let _g, snapshot, cert =
+        cycle_snapshot (20 + (2 * Prng.int rng 40)) (Prng.int rng 1000)
+      in
+      (snapshot, cert.Serve.Pack.radius)
+  | Grid ->
+      let g = Builders.grid (2 + Prng.int rng 5) (2 + Prng.int rng 5) in
+      ( { Store.Snapshot.graph = g;
+          advice = [ ("c4", random_advice rng g) ];
+          meta = [] },
+        2 )
+  | Regular ->
+      let g = Builders.random_regular rng (2 * (4 + Prng.int rng 12)) 3 in
+      ( { Store.Snapshot.graph = g;
+          advice = [ ("c4", random_advice rng g) ];
+          meta = [] },
+        2 )
+
+let identity_case_gen =
+  QCheck.Gen.(
+    tup4 (int_bound 100_000)
+      (oneofl [ Cycle; Grid; Regular ])
+      (oneofl [ 1; 2; 3; 8 ])
+      (oneofl [ 0; 1 ] (* resident budget: unbounded / one-shard thrash *)))
+
+let identity_case_print (seed, family, shards, budget) =
+  Printf.sprintf "seed=%d family=%s shards=%d budget=%d" seed
+    (family_name family) shards budget
+
+let prop_query_identity =
+  QCheck.Test.make ~count:60 ~name:"router query outcomes = mono engine"
+    (QCheck.make ~print:identity_case_print identity_case_gen)
+    (fun (seed, family, shards, budget) ->
+      let rng = Prng.create (seed + 17) in
+      let snapshot, radius = family_state family rng in
+      let mono, router = mono_and_router ~budget ~radius ~shards snapshot in
+      let g = snapshot.Store.Snapshot.graph in
+      let qs = random_queries rng g 40 in
+      Array.for_all
+        (fun q ->
+          outcome (fun () -> Serve.Engine.query mono q)
+          = outcome (fun () -> Serve.Router.query router q))
+        qs)
+
+let batch_case_gen =
+  QCheck.Gen.(
+    tup5 (int_bound 100_000)
+      (oneofl [ 1; 2; 3; 8 ])
+      (oneofl [ 0; 1 ])
+      (int_range 1 3)
+      bool)
+
+let batch_case_print (seed, shards, budget, domains, lockless) =
+  Printf.sprintf "seed=%d shards=%d budget=%d domains=%d pool=%s" seed shards
+    budget domains
+    (if lockless then "lockless" else "mutex")
+
+let prop_batch_identity =
+  QCheck.Test.make ~count:40
+    ~name:"router batch = mono batch (certified cycles), byte for byte"
+    (QCheck.make ~print:batch_case_print batch_case_gen)
+    (fun (seed, shards, budget, domains, lockless) ->
+      let pool = if lockless then Serve.Pool.Lockless else Serve.Pool.Locked in
+      let rng = Prng.create (seed + 23) in
+      let snapshot, radius = family_state Cycle rng in
+      let mono, router = mono_and_router ~budget ~radius ~shards snapshot in
+      let g = snapshot.Store.Snapshot.graph in
+      let qs = random_queries rng g 60 in
+      let expect = Serve.Engine.batch ~domains ~pool mono qs in
+      let got = Serve.Router.batch ~domains ~pool router qs in
+      Marshal.to_string expect [] = Marshal.to_string got [])
+
+let prop_pack_sharded_identity =
+  QCheck.Test.make ~count:25
+    ~name:"edge_compression_sharded container serves = mono pack"
+    (QCheck.make
+       ~print:(fun (seed, shards) -> Printf.sprintf "seed=%d shards=%d" seed shards)
+       QCheck.Gen.(tup2 (int_bound 100_000) (oneofl [ 1; 2; 5 ])))
+    (fun (seed, shards) ->
+      let rng = Prng.create seed in
+      let n = 24 + (2 * Prng.int rng 30) in
+      let g = Builders.cycle n in
+      let x = Bitset.create (Graph.m g) in
+      Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+      let snapshot, cert_mono = Serve.Pack.edge_compression g x in
+      let bytes, cert_sharded =
+        Serve.Pack.edge_compression_sharded ~shards ~domains:2 g x
+      in
+      let mono = Serve.Engine.create ~shards:1 snapshot in
+      let router = Serve.Router.create (Store.Shard.open_bytes bytes) in
+      let qs = random_queries rng g 40 in
+      cert_mono.Serve.Pack.radius = cert_sharded.Serve.Pack.radius
+      && Marshal.to_string (Serve.Engine.batch ~domains:1 mono qs) []
+         = Marshal.to_string (Serve.Router.batch ~domains:1 router qs) [])
+
+(* The packer's fast induction path: [Graph.induced_sorted] must agree
+   with the general [Graph.induced] on every sorted node subset — same
+   adjacency, same edge enumeration, same incident tables. *)
+let prop_induced_sorted_identity =
+  QCheck.Test.make ~count:80
+    ~name:"induced_sorted = induced on sorted subsets"
+    (QCheck.make
+       ~print:(fun (seed, fam) -> Printf.sprintf "seed=%d family=%d" seed fam)
+       QCheck.Gen.(tup2 (int_bound 100_000) (int_bound 2)))
+    (fun (seed, fam) ->
+      let rng = Prng.create (seed + 71) in
+      let g =
+        match fam with
+        | 0 -> Builders.cycle (8 + Prng.int rng 60)
+        | 1 ->
+            let side = 3 + Prng.int rng 6 in
+            Builders.grid side side
+        | _ -> Builders.random_regular rng (2 * (8 + Prng.int rng 10)) 4
+      in
+      let picked =
+        List.filter (fun _ -> Prng.bool rng)
+          (List.init (Graph.n g) (fun v -> v))
+      in
+      let ids = Array.of_list picked in
+      let fast = Graph.induced_sorted g ids in
+      let slow, _to_sub, to_orig = Graph.induced g picked in
+      let adj_of h = Array.init (Graph.n h) (fun v -> Graph.neighbors h v) in
+      Array.for_all2 (fun a b -> a = b) to_orig ids
+      && Graph.n fast = Graph.n slow
+      && Graph.m fast = Graph.m slow
+      && adj_of fast = adj_of slow
+      && Graph.edges fast = Graph.edges slow
+      && Array.init (Graph.n fast) (fun v -> Graph.incident_edges fast v)
+         = Array.init (Graph.n slow) (fun v -> Graph.incident_edges slow v))
+
+(* The writer serializes each shard's subgraph in a fused pass over the
+   host graph (no local Graph.t is built); what comes back from [load]
+   must still be exactly [induced_sorted] of the shard's id table, with
+   every edge id agreeing with the host graph's numbering. *)
+let prop_fused_writer_matches_induced =
+  QCheck.Test.make ~count:40
+    ~name:"loaded shard graph = induced_sorted of its ids"
+    (QCheck.make
+       ~print:(fun (seed, shards) -> Printf.sprintf "seed=%d shards=%d" seed shards)
+       QCheck.Gen.(tup2 (int_bound 100_000) (oneofl [ 1; 3; 4; 7 ])))
+    (fun (seed, shards) ->
+      let rng = Prng.create (seed + 19) in
+      let g =
+        if Prng.bool rng then Builders.cycle (16 + Prng.int rng 60)
+        else
+          let side = 4 + Prng.int rng 5 in
+          Builders.grid side side
+      in
+      let x = Bitset.create (Graph.m g) in
+      Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+      let snapshot, _ = Serve.Pack.edge_compression g x in
+      let halo = 1 + Prng.int rng 3 in
+      let bytes = Store.Shard.build ~shards ~halo snapshot in
+      let store = Store.Shard.open_bytes bytes in
+      let man = Store.Shard.manifest store in
+      Array.for_all
+        (fun info ->
+          let l = Store.Shard.load store info.Store.Shard.i_index in
+          let h = Graph.induced_sorted g l.Store.Shard.l_ids in
+          let adj_of k = Array.init (Graph.n k) (fun v -> Graph.neighbors k v) in
+          Graph.n l.Store.Shard.l_graph = Graph.n h
+          && Graph.m l.Store.Shard.l_graph = Graph.m h
+          && adj_of l.Store.Shard.l_graph = adj_of h
+          && Graph.edges l.Store.Shard.l_graph = Graph.edges h
+          && Array.for_all2
+               (fun gid (u, v) ->
+                 gid
+                 = Graph.edge_id g
+                     l.Store.Shard.l_ids.(u)
+                     l.Store.Shard.l_ids.(v))
+               l.Store.Shard.l_edge_ids
+               (Graph.edges l.Store.Shard.l_graph))
+        man.Store.Shard.m_shards)
+
+(* ------------------------------------------------------------------ *)
+(* Budget: lazy loads, LRU eviction, bounded residency *)
+
+let test_budget_eviction () =
+  let _g, snapshot, cert = cycle_snapshot 120 11 in
+  let radius = cert.Serve.Pack.radius in
+  let bytes = Store.Shard.build ~shards:4 ~halo:(max radius 1) snapshot in
+  let store = Store.Shard.open_bytes bytes in
+  let man = Store.Shard.manifest store in
+  let max_frame =
+    Array.fold_left
+      (fun acc i -> max acc i.Store.Shard.i_bytes)
+      0 man.Store.Shard.m_shards
+  in
+  (* Budget of exactly one largest shard: every cross-shard hop evicts. *)
+  let router =
+    Serve.Router.create ~resident_budget:max_frame ~radius store
+  in
+  check_int "nothing resident before first query" 0
+    (Serve.Router.resident_bytes router);
+  let mono = Serve.Engine.create ~shards:1 ~radius snapshot in
+  let peak = ref 0 in
+  for v = 0 to 119 do
+    let q = Serve.Engine.Output_label v in
+    check_string
+      (Printf.sprintf "label %d identical under eviction" v)
+      (Marshal.to_string (Serve.Engine.query mono q) [])
+      (Marshal.to_string (Serve.Router.query router q) []);
+    peak := max !peak (Serve.Router.resident_bytes router)
+  done;
+  check "peak residency within budget" true (!peak <= max_frame);
+  check "budget well below full container" true
+    (max_frame < String.length bytes);
+  check "loads counted" true (Serve.Router.loads router >= 4);
+  check "evictions happened" true (Serve.Router.evictions router > 0);
+  check_int "one shard resident at the end" 1
+    (Serve.Router.resident_shards router)
+
+(* ------------------------------------------------------------------ *)
+(* Corruption: flipping any byte of one shard quarantines only it *)
+
+let test_one_shard_corruption () =
+  let _g, snapshot, cert = cycle_snapshot 48 5 in
+  let radius = cert.Serve.Pack.radius in
+  let bytes = Store.Shard.build ~shards:3 ~halo:(max radius 1) snapshot in
+  let store = Store.Shard.open_bytes bytes in
+  let man = Store.Shard.manifest store in
+  let victim = man.Store.Shard.m_shards.(1) in
+  let mono = Serve.Engine.create ~shards:1 ~radius snapshot in
+  let expect v =
+    Marshal.to_string (Serve.Engine.query mono (Serve.Engine.Output_label v)) []
+  in
+  for at = victim.Store.Shard.i_offset
+      to victim.Store.Shard.i_offset + victim.Store.Shard.i_bytes - 1 do
+    let damaged = Bytes.of_string bytes in
+    Bytes.set damaged at
+      (Char.chr (Char.code (Bytes.get damaged at) lxor 0x01));
+    let store = Store.Shard.open_bytes (Bytes.unsafe_to_string damaged) in
+    let router = Serve.Router.create ~salvage:true ~radius store in
+    (* Other shards serve, byte-identically. *)
+    let v0 = 0 and v2 = 47 in
+    check_string
+      (Printf.sprintf "flip@%d: shard 0 unaffected" at)
+      (expect v0)
+      (Marshal.to_string
+         (Serve.Router.query router (Serve.Engine.Output_label v0))
+         []);
+    check_string
+      (Printf.sprintf "flip@%d: shard 2 unaffected" at)
+      (expect v2)
+      (Marshal.to_string
+         (Serve.Router.query router (Serve.Engine.Output_label v2))
+         []);
+    (* The victim's interior is lost — and only it. *)
+    let vmid = victim.Store.Shard.i_lo in
+    (match Serve.Router.query router (Serve.Engine.Output_label vmid) with
+    | _ -> Alcotest.failf "flip@%d: damaged shard still answered" at
+    | exception Serve.Router.Shard_lost { shard; _ } ->
+        check_int (Printf.sprintf "flip@%d: lost shard index" at) 1 shard);
+    check "router reports degraded" true (Serve.Router.degraded router);
+    check_int "exactly one shard lost" 1
+      (List.length (Serve.Router.lost_shards router));
+    (* Batch over all three ranges: per-query degradation. *)
+    let qs =
+      [| Serve.Engine.Output_label v0; Serve.Engine.Output_label vmid;
+         Serve.Engine.Output_label v2 |]
+    in
+    let rs = Serve.Router.batch_results ~domains:1 router qs in
+    check "batch: healthy range 0 answered" true (Result.is_ok rs.(0));
+    check "batch: lost range errored" true (Result.is_error rs.(1));
+    check "batch: healthy range 2 answered" true (Result.is_ok rs.(2))
+  done
+
+let test_manifest_corruption_fails_open () =
+  let _g, snapshot, cert = cycle_snapshot 30 2 in
+  let bytes =
+    Store.Shard.build ~shards:2 ~halo:(max cert.Serve.Pack.radius 1) snapshot
+  in
+  let store = Store.Shard.open_bytes bytes in
+  let header = (Store.Shard.manifest store).Store.Shard.m_header_bytes in
+  (* Any flip before the shard frames (magic, version, count, manifest
+     frame) must fail open_bytes — the manifest is the trust root. *)
+  let failures = ref 0 in
+  for at = 0 to header - 1 do
+    let damaged = Bytes.of_string bytes in
+    Bytes.set damaged at
+      (Char.chr (Char.code (Bytes.get damaged at) lxor 0x01));
+    match Store.Shard.open_bytes (Bytes.unsafe_to_string damaged) with
+    | _ -> ()
+    | exception Store.Codec.Corrupt _ -> incr failures
+  done;
+  check_int "every header flip rejected at open" header !failures
+
+(* ------------------------------------------------------------------ *)
+(* Io.read_range: windows, methods, and fault-plan coordinates *)
+
+let with_temp_file data f =
+  let path = Filename.temp_file "range" ".bin" in
+  Store.Io.write_file path data;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_read_range () =
+  let data = String.init 257 (fun i -> Char.chr (i * 7 mod 256)) in
+  with_temp_file data @@ fun path ->
+  check_int "file_size" 257 (Store.Io.file_size path);
+  List.iter
+    (fun how ->
+      let name =
+        match how with Store.Io.Pread -> "pread" | Store.Io.Mmap -> "mmap"
+      in
+      check_string (name ^ ": interior window") (String.sub data 100 57)
+        (Store.Io.read_range ~how path ~pos:100 ~len:57);
+      check_string (name ^ ": whole file") data
+        (Store.Io.read_range ~how path ~pos:0 ~len:257);
+      check_string (name ^ ": short read at EOF") (String.sub data 250 7)
+        (Store.Io.read_range ~how path ~pos:250 ~len:100);
+      check_string (name ^ ": window past EOF") ""
+        (Store.Io.read_range ~how path ~pos:400 ~len:8);
+      check_string (name ^ ": empty window") ""
+        (Store.Io.read_range ~how path ~pos:10 ~len:0))
+    [ Store.Io.Pread; Store.Io.Mmap ];
+  (match Store.Io.read_range path ~pos:(-1) ~len:4 with
+  | _ -> Alcotest.fail "negative pos accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_read_range_faults () =
+  let data = String.init 200 (fun i -> Char.chr (i mod 256)) in
+  with_temp_file data @@ fun path ->
+  Fun.protect ~finally:Store.Io.Faults.disarm @@ fun () ->
+  (* Truncation is in absolute file coordinates: a window wholly past
+     the cut reads empty, a window across it reads short. *)
+  Store.Io.Faults.arm
+    { Store.Io.Faults.none with read = Some (Store.Io.Faults.Truncate_at 120) };
+  check_int "window before the cut is whole" 50
+    (String.length (Store.Io.read_range path ~pos:50 ~len:50));
+  check_int "window across the cut reads short" 20
+    (String.length (Store.Io.read_range path ~pos:100 ~len:60));
+  check_int "window past the cut reads empty" 0
+    (String.length (Store.Io.read_range path ~pos:150 ~len:20));
+  check_int "whole-file read agrees with the range view" 120
+    (String.length (Store.Io.read_file path));
+  (* Flips land at [at_byte mod size] regardless of the window. *)
+  Store.Io.Faults.arm
+    { Store.Io.Faults.none with
+      read = Some (Store.Io.Faults.Flip_byte { at_byte = 130; mask = 0x10 })
+    };
+  let w = Store.Io.read_range path ~pos:100 ~len:60 in
+  check_int "flip hits the covering window" (Char.code data.[130] lxor 0x10)
+    (Char.code w.[30]);
+  check_string "window missing the byte is untouched"
+    (String.sub data 0 40)
+    (Store.Io.read_range path ~pos:0 ~len:40);
+  let whole = Store.Io.read_file path in
+  check_int "whole-file read flips the same byte"
+    (Char.code data.[130] lxor 0x10)
+    (Char.code whole.[130])
+
+let test_lazy_load_respects_faults () =
+  (* The existing Truncate_at / Flip_byte harness must exercise lazy
+     shard reads: damage injected below read_range surfaces as a lost
+     shard, not a wrong answer. *)
+  let _g, snapshot, cert = cycle_snapshot 60 19 in
+  let radius = cert.Serve.Pack.radius in
+  let bytes = Store.Shard.build ~shards:3 ~halo:(max radius 1) snapshot in
+  with_temp_file bytes @@ fun path ->
+  Fun.protect ~finally:Store.Io.Faults.disarm @@ fun () ->
+  let store = Store.Shard.open_file path in
+  let man = Store.Shard.manifest store in
+  let victim = man.Store.Shard.m_shards.(2) in
+  (* Arm after open: the manifest read is clean, the body read is not. *)
+  Store.Io.Faults.arm
+    { Store.Io.Faults.none with
+      read =
+        Some
+          (Store.Io.Faults.Flip_byte
+             { at_byte = victim.Store.Shard.i_offset + 20; mask = 0x40 })
+    };
+  let router = Serve.Router.create ~salvage:true ~radius store in
+  (match
+     Serve.Router.query router (Serve.Engine.Output_label victim.Store.Shard.i_lo)
+   with
+  | _ -> Alcotest.fail "flipped shard body still served"
+  | exception Serve.Router.Shard_lost { shard; _ } ->
+      check_int "lost the faulted shard" 2 shard);
+  (* Other shards load through the same armed plan untouched (the flip
+     is outside their windows). *)
+  let a = Serve.Router.query router (Serve.Engine.Output_label 0) in
+  let mono = Serve.Engine.create ~shards:1 ~radius snapshot in
+  check_string "clean shard unaffected by the armed plan"
+    (Marshal.to_string (Serve.Engine.query mono (Serve.Engine.Output_label 0)) [])
+    (Marshal.to_string a [])
+
+(* ------------------------------------------------------------------ *)
+(* Cache split: exact, balanced, never overshooting *)
+
+let test_cache_split () =
+  List.iter
+    (fun total ->
+      List.iter
+        (fun shards ->
+          let parts = Serve.Cache.split ~total ~shards in
+          let sum = Array.fold_left ( + ) 0 parts in
+          let mn = Array.fold_left min max_int parts in
+          let mx = Array.fold_left max 0 parts in
+          let where = Printf.sprintf "total=%d shards=%d" total shards in
+          check_int (where ^ ": parts") shards (Array.length parts);
+          check_int (where ^ ": exact sum — no round-up overshoot") total sum;
+          check (where ^ ": balanced within one") true (mx - mn <= 1);
+          check (where ^ ": no negative part") true (mn >= 0))
+        [ 1; 2; 3; 4; 7; 64 ])
+    [ 0; 1; 2; 5; 63; 64; 1024; 1025 ];
+  (match Serve.Cache.split ~total:(-1) ~shards:2 with
+  | _ -> Alcotest.fail "negative total accepted"
+  | exception Invalid_argument _ -> ());
+  match Serve.Cache.split ~total:4 ~shards:0 with
+  | _ -> Alcotest.fail "zero shards accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_cache_split_exact =
+  QCheck.Test.make ~count:200 ~name:"cache split sums exactly for all inputs"
+    QCheck.(pair (int_bound 10_000) (int_range 1 128))
+    (fun (total, shards) ->
+      let parts = Serve.Cache.split ~total ~shards in
+      Array.fold_left ( + ) 0 parts = total
+      && Array.fold_left max 0 parts - Array.fold_left min max_int parts <= 1)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "version dispatch + v1 compat" `Quick
+            test_version_dispatch;
+        ] );
+      qsuite "identity"
+        [
+          prop_query_identity;
+          prop_batch_identity;
+          prop_pack_sharded_identity;
+          prop_induced_sorted_identity;
+          prop_fused_writer_matches_induced;
+        ];
+      ( "budget",
+        [ Alcotest.test_case "lazy loads + LRU eviction" `Quick test_budget_eviction ]
+      );
+      ( "corruption",
+        [
+          Alcotest.test_case "one-shard flips quarantine one shard" `Slow
+            test_one_shard_corruption;
+          Alcotest.test_case "header flips fail open" `Quick
+            test_manifest_corruption_fails_open;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "read_range windows + methods" `Quick
+            test_read_range;
+          Alcotest.test_case "read_range fault coordinates" `Quick
+            test_read_range_faults;
+          Alcotest.test_case "lazy loads honor the fault harness" `Quick
+            test_lazy_load_respects_faults;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "split exact + balanced" `Quick test_cache_split;
+          QCheck_alcotest.to_alcotest ~long:false prop_cache_split_exact;
+        ] );
+    ]

@@ -1,0 +1,15 @@
+(* io-hygiene fixture: ad-hoc mmap / seek outside store/io.ml.  Expected
+   to fire R8 three times (and R4 for the missing .mli) — windowed byte
+   access must go through Store.Io.read_range so the fault-injection
+   plan sees every read. *)
+
+let window path pos len =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let _ = Unix.lseek fd pos Unix.SEEK_SET in
+  let a =
+    Unix.map_file fd Bigarray.char Bigarray.c_layout false [| pos + len |]
+  in
+  ignore a;
+  let ic = open_in_bin path in
+  seek_in ic pos;
+  Unix.close fd

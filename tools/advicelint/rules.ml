@@ -662,6 +662,22 @@ let r8_banned lid =
       Some f
   | _ -> None
 
+(* File-offset access: memory-mapping and seeking.  Store.Io.read_range
+   is the one sanctioned window reader — it owns bounds clamping, the
+   pread/mmap choice, and the fault-injection plan, so an ad-hoc
+   map_file or lseek elsewhere reads bytes the injury harness cannot
+   see. *)
+let r8_mapseek_banned lid =
+  match Longident.flatten lid with
+  | [ ("Unix" | "UnixLabels"); (("map_file" | "lseek") as f) ]
+  | [ ("Unix" | "UnixLabels"); "LargeFile"; ("lseek" as f) ]
+  | [ ("seek_in" | "seek_out") as f ]
+  | [ "Stdlib"; (("seek_in" | "seek_out") as f) ]
+  | [ ("In_channel" | "Out_channel"); ("seek" as f) ]
+  | [ "Stdlib"; ("In_channel" | "Out_channel"); ("seek" as f) ] ->
+      Some f
+  | _ -> None
+
 (* Socket-level byte IO: creating, wiring up, or reading/writing raw
    file descriptors.  Unix.openfile / fsync / close stay legal — they
    are file plumbing, not socket traffic. *)
@@ -696,18 +712,30 @@ let run_io_hygiene ctx str =
                       file"
                      f)
             | None -> (
-                if not in_net then
-                  match r8_socket_banned txt with
-                  | Some f ->
-                      ctx.emit ~rule:"io-hygiene" ~loc
-                        (Printf.sprintf
-                           "raw Unix.%s outside lib/net; socket byte IO \
-                            belongs to the event loop and client (Net.Conn / \
-                            Net.Server / Net.Client), where frame parsing, \
-                            backpressure and error frames live — ad-hoc \
-                            socket code bypasses all three"
-                           f)
-                  | None -> ()))
+                match r8_mapseek_banned txt with
+                | Some f ->
+                    ctx.emit ~rule:"io-hygiene" ~loc
+                      (Printf.sprintf
+                         "raw %s positions a file offset outside store/; \
+                          windowed byte access goes through \
+                          Store.Io.read_range, which owns bounds clamping, \
+                          the pread/mmap choice and the fault-injection \
+                          plan — bytes read around it are invisible to the \
+                          injury harness"
+                         f)
+                | None -> (
+                    if not in_net then
+                      match r8_socket_banned txt with
+                      | Some f ->
+                          ctx.emit ~rule:"io-hygiene" ~loc
+                            (Printf.sprintf
+                               "raw Unix.%s outside lib/net; socket byte IO \
+                                belongs to the event loop and client \
+                                (Net.Conn / Net.Server / Net.Client), where \
+                                frame parsing, backpressure and error frames \
+                                live — ad-hoc socket code bypasses all three"
+                               f)
+                      | None -> ())))
         | _ -> ())
 
 (* ------------------------------------------------------------------ *)
