@@ -35,10 +35,9 @@ let latency_hist =
   Obs.Metrics.histogram "net.latency_us"
     ~buckets:[| 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000; 100_000 |]
 
-let percentile sorted p =
-  let k = Array.length sorted in
-  if k = 0 then 0
-  else sorted.(min (k - 1) (int_of_float (float_of_int k *. p)))
+(* Nearest-rank, ceil(p*k)-1 — the floored form this used to inline
+   read one sample high at every non-integral rank (Obs.Stats). *)
+let percentile = Obs.Stats.percentile
 
 (* Run [count] queries through an in-process server with [window]
    requests pipelined, returning (seconds, mismatches, latency µs

@@ -36,10 +36,9 @@ let workload g seed count =
       | 1 -> Serve.Engine.Edge_member (v, (Graph.incident_edges g v).(0))
       | _ -> Serve.Engine.Advice_bits v)
 
-let percentile sorted p =
-  let k = Array.length sorted in
-  if k = 0 then 0
-  else sorted.(min (k - 1) (int_of_float (float_of_int k *. p)))
+(* Nearest-rank, ceil(p*k)-1 — the floored form this used to inline
+   read one sample high at every non-integral rank (Obs.Stats). *)
+let percentile = Obs.Stats.percentile
 
 (* The workload needs the graph to build valid queries.  Against a
    remote server we only know the snapshot if the caller gave us one;

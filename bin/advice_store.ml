@@ -257,14 +257,19 @@ let print_manifest path man =
         i.i_crc)
     man.m_shards
 
+(* Shared by every --shard consumer (plain and --health): a bad index
+   is a usage error (exit 2), never a decode attempt. *)
+let check_shard_index store k =
+  let man = Store.Shard.manifest store in
+  if k < 0 || k >= Array.length man.Store.Shard.m_shards then begin
+    Format.eprintf "inspect: shard %d out of range (container has %d)@." k
+      (Array.length man.Store.Shard.m_shards);
+    exit 2
+  end
+
 let print_shard store k =
   let open Store.Shard in
-  let man = manifest store in
-  if k < 0 || k >= Array.length man.m_shards then begin
-    Format.eprintf "inspect: shard %d out of range (container has %d)@." k
-      (Array.length man.m_shards);
-    exit 2
-  end;
+  check_shard_index store k;
   let loaded = load store k in
   let ids = loaded.l_ids in
   Format.printf "shard %d: nodes [%d,%d), %d local node(s) (%d halo), %d \
@@ -280,8 +285,15 @@ let print_shard store k =
         (Advice.Assignment.total_bits a))
     loaded.l_advice
 
-let print_shard_health store =
+(* [?only] narrows the probe to one (validated) shard: --health --shard K
+   used to ignore K entirely — neither validating nor narrowing. *)
+let print_shard_health ?only store =
   let man = Store.Shard.manifest store in
+  let shards =
+    match only with
+    | None -> man.Store.Shard.m_shards
+    | Some k -> [| man.Store.Shard.m_shards.(k) |]
+  in
   let healthy = ref 0 and lost = ref 0 in
   Array.iter
     (fun i ->
@@ -295,15 +307,23 @@ let print_shard_health store =
           incr lost;
           Format.printf "  shard %d nodes [%d,%d): lost — %s@." k
             i.Store.Shard.i_lo i.Store.Shard.i_hi msg)
-    man.Store.Shard.m_shards;
-  Format.printf "health: %d healthy, %d lost of %d shard(s)@." !healthy !lost
-    (Array.length man.Store.Shard.m_shards)
+    shards;
+  Format.printf "health: %d healthy, %d lost of %d shard(s)%s@." !healthy !lost
+    (Array.length shards)
+    (match only with
+    | None -> ""
+    | Some _ ->
+        Printf.sprintf " probed (container has %d)"
+          (Array.length man.Store.Shard.m_shards))
 
 let inspect_v2 path health shard =
   or_corrupt @@ fun () ->
   let store = Store.Shard.open_file path in
   match (health, shard) with
-  | true, _ -> print_shard_health store
+  | true, Some k ->
+      check_shard_index store k;
+      print_shard_health ~only:k store
+  | true, None -> print_shard_health store
   | false, Some k -> print_shard store k
   | false, None -> print_manifest path (Store.Shard.manifest store)
 
@@ -366,7 +386,8 @@ let inspect_cmd =
              sharded (version-2) container the report comes from the \
              manifest alone — no body bytes are decoded — and $(b,--shard) \
              decodes a single shard; $(b,--health) salvage-reads damaged \
-             snapshots (per shard on version 2) instead.")
+             snapshots (per shard on version 2, narrowed to one shard by \
+             $(b,--shard)) instead.")
     Term.(const run $ snapshot_arg $ health_term $ shard_term)
 
 (* ------------------------------------------------------------------ *)
@@ -583,11 +604,43 @@ let resident_mb_term =
               MiB of serialized bytes, loading lazily and evicting \
               least-recently-used (0 = unbounded).")
 
+let memo_term =
+  Arg.(
+    value & flag
+    & info [ "memo" ]
+        ~doc:"Attach a canonical-ball decode memo between the ball caches \
+              and the decoder: nodes with isomorphic balls (same canonical \
+              signature) share one decode, across shards and — on a \
+              sharded container — across shard loads and evictions.  \
+              Answers are byte-identical with or without it.")
+
+let memo_capacity_term =
+  Arg.(
+    value
+    & opt int 4096
+    & info [ "memo-capacity" ] ~docv:"ENTRIES"
+        ~doc:"Entry bound of the --memo table (default 4096; 0 makes the \
+              memo a no-op).  Inserts past the bound are dropped, keeping \
+              the first-seen representative of each ball class.")
+
 let serve_cmd =
   let run path batch listen host port write_budget domains cache shards pool
-      salvage resident_mb metrics =
+      salvage resident_mb use_memo memo_capacity metrics =
     or_corrupt @@ fun () ->
     with_metrics metrics @@ fun () ->
+    if memo_capacity < 0 then begin
+      Format.eprintf "serve: --memo-capacity must be non-negative (got %d)@."
+        memo_capacity;
+      exit 2
+    end;
+    let memo =
+      if use_memo then Some (Serve.Memo.create ~capacity:memo_capacity)
+      else None
+    in
+    (* Only printed when enabled, so memo-less runs keep their exact
+       output (the smoke goldens diff it). *)
+    if use_memo then
+      Format.printf "memo: canonical-ball table, capacity %d@." memo_capacity;
     let mode =
       match (listen, batch) with
       | true, Some _ ->
@@ -608,7 +661,7 @@ let serve_cmd =
       let router =
         Serve.Router.create ~cache_capacity:cache
           ~resident_budget:(resident_mb * 1024 * 1024)
-          ~salvage (Store.Shard.open_file path)
+          ~salvage ?memo (Store.Shard.open_file path)
       in
       Format.printf "sharded container: %d shard(s)%s%s@."
         (Serve.Router.shard_count router)
@@ -630,7 +683,9 @@ let serve_cmd =
       let engine =
         if salvage then begin
           let sv = Store.Snapshot.read_salvage (Store.Io.read_file path) in
-          let e = Serve.Engine.create_salvaged ~cache_capacity:cache ?shards sv in
+          let e =
+            Serve.Engine.create_salvaged ~cache_capacity:cache ?shards ?memo sv
+          in
           List.iter
             (fun line -> Format.printf "salvage: %s@." line)
             (Serve.Engine.quarantined_sections e);
@@ -642,7 +697,7 @@ let serve_cmd =
           e
         end
         else
-          Serve.Engine.create ~cache_capacity:cache ?shards
+          Serve.Engine.create ~cache_capacity:cache ?shards ?memo
             (Store.Snapshot.of_file path)
       in
       match mode with
@@ -663,7 +718,7 @@ let serve_cmd =
       const run $ snapshot_arg $ batch_term $ listen_term $ host_term
       $ port_term $ write_budget_term $ domains_term $ cache_term
       $ shards_term $ pool_term $ salvage_term $ resident_mb_term
-      $ metrics_term)
+      $ memo_term $ memo_capacity_term $ metrics_term)
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 

@@ -33,6 +33,74 @@ let signature (view : Localmodel.View.t) =
     view.Localmodel.View.input;
   Buffer.contents buf
 
+(* The serve-stack memo key ({!Serve.Memo}): everything the C4 ball
+   decoder reads, and nothing it does not.  [Serve.Engine.label_of_view]
+   is a pure function of the fragment's structure (in BFS-stamp order),
+   the identifier *ranks* (it relabels the fragment in id order before
+   decoding — only the order type matters), the advice strings, and the
+   center stamp.  [dist] is determined by (graph, center) and [input] is
+   never read by the decoder, so both stay out of the key — including
+   them would only shrink collision classes and cost hit rate.  Advice
+   strings are length-prefixed: a byte-delimited join would let damaged
+   (quarantined) advice containing the delimiter alias across nodes.
+
+   The encoding is binary LEB128, not decimal: the key is built on the
+   serve miss path, where it sits in front of a ball decode of the same
+   asymptotic size, so constant factors are the whole game.  Each
+   varint is self-delimiting and the node/edge counts come first, so
+   the byte stream parses uniquely and the encoding stays injective. *)
+let add_varint buf x =
+  let x = ref x in
+  while !x >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!x land 0x7f)));
+    x := !x lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !x)
+
+(* [Localmodel.Ids.rank] specialised to the miss path: views are
+   degree-bounded balls, so an in-place insertion sort with direct array
+   access beats the generic closure-compare sort, and the ranks go
+   straight into the buffer instead of through an intermediate array. *)
+let add_ranks buf (ids : int array) =
+  (* the annotation keeps this monomorphic: generalized to ['a array]
+     the sort would go through caml_compare and generic array access,
+     which is the whole cost this function exists to avoid *)
+  let n = Array.length ids in
+  let order = Array.init n (fun i -> i) in
+  for i = 1 to n - 1 do
+    let v = Array.unsafe_get order i in
+    let key = Array.unsafe_get ids v in
+    let j = ref (i - 1) in
+    while !j >= 0 && Array.unsafe_get ids (Array.unsafe_get order !j) > key do
+      Array.unsafe_set order (!j + 1) (Array.unsafe_get order !j);
+      decr j
+    done;
+    Array.unsafe_set order (!j + 1) v
+  done;
+  let r = Array.make n 0 in
+  Array.iteri (fun pos v -> Array.unsafe_set r v pos) order;
+  Array.iter (fun x -> add_varint buf x) r
+
+let ball_signature (view : Localmodel.View.t) =
+  let g = view.Localmodel.View.graph in
+  let n = Graph.n g in
+  let buf = Buffer.create (8 * n) in
+  add_varint buf n;
+  add_varint buf view.Localmodel.View.center;
+  add_varint buf (Graph.m g);
+  Graph.iter_edges
+    (fun _ (u, v) ->
+      add_varint buf u;
+      add_varint buf v)
+    g;
+  add_ranks buf view.Localmodel.View.ids;
+  Array.iter
+    (fun s ->
+      add_varint buf (String.length s);
+      Buffer.add_string buf s)
+    view.Localmodel.View.advice;
+  Buffer.contents buf
+
 type table = (string, int) Hashtbl.t
 
 let m_table_size = Obs.Metrics.gauge "eth.table_size"

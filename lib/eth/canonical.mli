@@ -16,6 +16,18 @@ val signature : Localmodel.View.t -> string
 (** Canonical serialization: structure, distances, advice, inputs, and
     identifier *ranks*. *)
 
+val ball_signature : Localmodel.View.t -> string
+(** Degree-bounded canonical ball key for the serve stack's decode memo
+    ({!Serve.Memo}): the fragment's structure in stamp order, the
+    identifier {e ranks} (only the order type — the decoder relabels by
+    id order, so numeric identifier values are invisible to it), the
+    advice strings (length-prefixed, so damaged advice cannot alias
+    across node boundaries), and the center stamp.  Distances are
+    determined by (graph, center) and inputs are never read by the C4
+    decoder, so unlike {!signature} both stay out of the key: two views
+    with equal [ball_signature]s decode to byte-identical labels under
+    the same parameters and radius. *)
+
 type table = (string, int) Hashtbl.t
 (** Lookup table from canonical signatures to outputs. *)
 

@@ -1,0 +1,19 @@
+(* Nearest-rank percentile over a sorted sample.  The bench/loadgen
+   reporters used [sorted.(min (k-1) (floor (k *. p)))], which is off by
+   one under nearest-rank: the rank of the p-th percentile among k
+   samples is ceil(p*k) (1-based), so the index is ceil(p*k) - 1.  The
+   floored form reads one slot too high everywhere the rank is not
+   already integral — e.g. p99 of 50 samples read index 49 (the max)
+   instead of 49.5 -> rank 50 -> index 49... but p50 of 10 read index 5
+   instead of 4, shifting every reported median up one sample. *)
+
+let index ~count p =
+  if count <= 0 then invalid_arg "Stats.index: empty sample";
+  if not (p >= 0.0 && p <= 1.0) then
+    Format.kasprintf invalid_arg "Stats.index: percentile %g outside [0,1]" p;
+  let rank = int_of_float (ceil (float_of_int count *. p)) in
+  min (count - 1) (max 0 (rank - 1))
+
+let percentile sorted p =
+  let k = Array.length sorted in
+  if k = 0 then 0 else sorted.(index ~count:k p)

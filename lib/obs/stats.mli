@@ -1,0 +1,15 @@
+(** Small numeric helpers for bench/latency reporting. *)
+
+val index : count:int -> float -> int
+(** [index ~count p] is the 0-based nearest-rank index of the [p]-th
+    percentile ([0.0 <= p <= 1.0]) in a sorted sample of [count]
+    elements: [ceil (p * count) - 1], clamped to [[0, count - 1]].
+    [p = 0.0] selects the minimum, [p = 1.0] the maximum, and no value
+    of [p] can read past the sample — the clamp exists for the
+    boundary, not to paper over rank arithmetic.  @raise
+    Invalid_argument when [count <= 0] or [p] is outside [[0, 1]]. *)
+
+val percentile : int array -> float -> int
+(** [percentile sorted p] reads the nearest-rank [p]-th percentile from
+    an ascending-sorted sample, or [0] when the sample is empty (the
+    bench convention for "no data"). *)

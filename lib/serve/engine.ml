@@ -34,6 +34,8 @@ type t = {
   ids : Localmodel.Ids.t;
   bounds : int array;  (* length = #shards + 1; bounds.(0) = 0 *)
   caches : Cache.t array;  (* one per shard, shard-locally keyed *)
+  memo : Memo.t option;  (* canonical-ball decode memo, possibly shared *)
+  memo_prefix : string;  (* radius/params/trust pinned into every key *)
   degraded : bool;  (* any section of the source snapshot was damaged *)
   trusted : bool;  (* the served advice section passed its checksum *)
   quarantined : string list;  (* human-readable damage report *)
@@ -126,8 +128,8 @@ let resolve_radius ?radius snapshot =
         "Engine.create: snapshot metadata has no serve.radius and no \
          ~radius override was given"
 
-let build ~cache_capacity ~shards ~radius ~ids ~degraded ~trusted ~quarantined
-    snapshot name advice =
+let build ~cache_capacity ~shards ~memo ~radius ~ids ~degraded ~trusted
+    ~quarantined snapshot name advice =
   let graph = snapshot.Store.Snapshot.graph in
   let n = Graph.n graph in
   let ids =
@@ -158,21 +160,34 @@ let build ~cache_capacity ~shards ~radius ~ids ~degraded ~trusted ~quarantined
     Array.init s (fun k ->
         Cache.create ~capacity:caps.(k) ~n:(bounds.(k + 1) - bounds.(k)))
   in
+  let params = params_of_meta snapshot in
+  (* Everything a decode depends on beyond the ball itself, pinned into
+     every memo key: one table can then be shared by engines serving at
+     the same radius/params/trust (the router's per-shard engines) while
+     engines that differ in any of them can never alias. *)
+  let memo_prefix =
+    Printf.sprintf "r%d;p%d,%d,%d;t%c;" radius
+      params.Balanced_orientation.short_threshold
+      params.Balanced_orientation.cover params.Balanced_orientation.spacing
+      (if trusted then '1' else '0')
+  in
   {
     graph;
     name;
     advice;
-    params = params_of_meta snapshot;
+    params;
     radius;
     ids;
     bounds;
     caches;
+    memo;
+    memo_prefix;
     degraded;
     trusted;
     quarantined;
   }
 
-let create ?(cache_capacity = 1024) ?shards ?radius ?ids ?name snapshot =
+let create ?(cache_capacity = 1024) ?shards ?memo ?radius ?ids ?name snapshot =
   let name, advice =
     match (name, snapshot.Store.Snapshot.advice) with
     | None, (n, a) :: _ -> (n, a)
@@ -183,8 +198,8 @@ let create ?(cache_capacity = 1024) ?shards ?radius ?ids ?name snapshot =
         | None -> fail "Engine.create: snapshot has no advice section %S" n)
   in
   let radius = resolve_radius ?radius snapshot in
-  build ~cache_capacity ~shards ~radius ~ids ~degraded:false ~trusted:true
-    ~quarantined:[] snapshot name advice
+  build ~cache_capacity ~shards ~memo ~radius ~ids ~degraded:false
+    ~trusted:true ~quarantined:[] snapshot name advice
 
 (* Degraded construction from a salvage report: prefer checksum-clean
    advice, fall back to a quarantined (parsed but CRC-failed) section. *)
@@ -200,7 +215,7 @@ let describe_damage (r : Store.Snapshot.section_report) =
   | Store.Snapshot.Quarantined msg -> Some (where ^ " quarantined: " ^ msg)
   | Store.Snapshot.Lost msg -> Some (where ^ " lost: " ^ msg)
 
-let create_salvaged ?(cache_capacity = 1024) ?shards ?radius ?ids ?name
+let create_salvaged ?(cache_capacity = 1024) ?shards ?memo ?radius ?ids ?name
     (sv : Store.Snapshot.salvage) =
   let snapshot = sv.Store.Snapshot.partial in
   let find sections n = List.find_opt (fun (k, _) -> String.equal k n) sections in
@@ -229,13 +244,14 @@ let create_salvaged ?(cache_capacity = 1024) ?shards ?radius ?ids ?name
   let degraded =
     (not trusted) || (match quarantined with [] -> false | _ :: _ -> true)
   in
-  build ~cache_capacity ~shards ~radius ~ids ~degraded ~trusted ~quarantined
-    snapshot name advice
+  build ~cache_capacity ~shards ~memo ~radius ~ids ~degraded ~trusted
+    ~quarantined snapshot name advice
 
 let graph t = t.graph
 let radius t = t.radius
 let shard_count t = Array.length t.caches
 let advice_name t = t.name
+let memoized t = Option.is_some t.memo
 let degraded t = t.degraded
 let serving_trusted t = t.trusted
 let quarantined_sections t = t.quarantined
@@ -291,8 +307,35 @@ let ball_label t =
   if t.trusted then fun view -> label_of_view ~params view
   else fun view -> tolerant_label ~params view
 
-let compute_label t v =
-  ball_label t (View.make ~advice:t.advice t.graph ~ids:t.ids ~radius:t.radius v)
+(* Decode [v]'s ball, consulting the canonical-ball memo between the
+   LRU layer (the caller) and the decoder.  A memo miss hands the
+   (key, label) pair to [stage] instead of writing the table: the
+   single-writer publication discipline.  The serialized single-query
+   path stages straight into the table ([publish]); the batch paths
+   stage into a worker-local list and publish after the pool join —
+   workers only ever *read* the table, so it stays frozen for the whole
+   parallel region. *)
+let compute_label t ~stage v =
+  let view =
+    View.make ~advice:t.advice t.graph ~ids:t.ids ~radius:t.radius v
+  in
+  match t.memo with
+  | None -> ball_label t view
+  | Some memo -> (
+      let key = t.memo_prefix ^ Ethlink.Canonical.ball_signature view in
+      match Memo.find memo key with
+      | Some label -> label
+      | None ->
+          let label = ball_label t view in
+          stage key label;
+          label)
+
+(* The immediate-publication stage for serialized callers. *)
+let publish t key label =
+  match t.memo with None -> () | Some memo -> Memo.insert memo key label
+
+let publish_staged t staged =
+  List.iter (fun (key, label) -> publish t key label) staged
 
 (* Owner shard of node [v]: the largest [s] with [bounds.(s) <= v].
    Shard counts are tiny (≤ 64), but binary search keeps the lookup
@@ -309,7 +352,7 @@ let shard_of t v =
    shard's owner for the duration of the call: either the single-query
    path (engine-level callers serialise those) or the one pool worker
    the batch pinned to the shard. *)
-let shard_label t s v =
+let shard_label t ~stage s v =
   let cache = t.caches.(s) in
   let key = v - t.bounds.(s) in
   match Cache.find cache key with
@@ -318,11 +361,11 @@ let shard_label t s v =
       str
   | None ->
       Obs.Metrics.incr m_misses;
-      let str = compute_label t v in
+      let str = compute_label t ~stage v in
       Cache.insert cache key str;
       str
 
-let label_for t v = shard_label t (shard_of t v) v
+let label_for t v = shard_label t ~stage:(publish t) (shard_of t v) v
 
 let answer_with t label_of = function
   | Output_label v -> Label (label_of v)
@@ -338,6 +381,20 @@ let query t q =
   Obs.Metrics.incr m_queries;
   note_degraded t 1;
   answer_with t (label_for t) q
+
+(* [query] for callers that are themselves pool workers (the router's
+   batch waves): memo misses are consed onto [staged] for the caller to
+   hand back to the publishing thread instead of being written from a
+   parallel region. *)
+let query_staged t q staged =
+  validate t q;
+  Obs.Metrics.incr m_queries;
+  note_degraded t 1;
+  let acc = ref staged in
+  let stage key label = acc := (key, label) :: !acc in
+  let label_of v = shard_label t ~stage (shard_of t v) v in
+  let answer = answer_with t label_of q in
+  (answer, !acc)
 
 let ball_node = function
   | Output_label v | Edge_member (v, _) -> Some v
@@ -424,17 +481,24 @@ module Batch (S : Shim.S) = struct
         let serve_shard s =
           let lo = cuts.(s) and hi = cuts.(s + 1) in
           let out = Array.make (hi - lo) "" in
+          (* Worker-local staging: the memo stays frozen (read-only) for
+             every worker; misses ride back with the labels and the
+             calling domain publishes them after the join below. *)
+          let staged = ref [] in
+          let stage key label = staged := (key, label) :: !staged in
           for i = lo to hi - 1 do
             S.Raw.set owners.(s) (S.Raw.get owners.(s) + 1);
-            out.(i - lo) <- shard_label t s nodes.(i)
+            out.(i - lo) <- shard_label t ~stage s nodes.(i)
           done;
-          out
+          (out, !staged)
         in
         let parts = Pool.run ~variant:pool ?domains serve_shard tasks in
         let labels = Array.make (Array.length nodes) "" in
         Array.iteri
           (fun j s ->
-            Array.blit parts.(j) 0 labels cuts.(s) (Array.length parts.(j)))
+            let out, staged = parts.(j) in
+            Array.blit out 0 labels cuts.(s) (Array.length out);
+            publish_staged t staged)
           tasks;
         let label_of v =
           (* binary search in the planned node array *)

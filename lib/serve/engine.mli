@@ -24,6 +24,20 @@
     overlapping balls land on the same shard's cache and domain.
     Single-node {!query} routes through the owner shard's cache.
 
+    {b Canonical-ball memoization.}  With [?memo], a {!Memo} table sits
+    {e between} the LRU caches and the decoder: a cache miss first keys
+    the extracted ball by
+    {!Ethlink.Canonical.ball_signature} (prefixed with the engine's
+    radius, decoder parameters and trust mode) and only decodes on a
+    memo miss — so nodes with isomorphic balls share one decode, across
+    shards, engines (the router passes one table to every per-shard
+    engine) and LRU evictions.  Answers are byte-identical to the
+    unmemoized engine: the signature captures the decoder's whole
+    input.  Publication is single-writer: the serialized {!query} path
+    inserts immediately, while {!batch} workers and {!query_staged}
+    callers only {e read} the frozen table and stage their misses for
+    the calling thread to publish after the join.
+
     The serve radius is the one certified at pack time
     ({!Pack.edge_compression} stores it in the snapshot metadata):
     answers at that radius equal the direct decoder
@@ -52,7 +66,7 @@ type t
     sharded ball caches. *)
 
 val create :
-  ?cache_capacity:int -> ?shards:int -> ?radius:int ->
+  ?cache_capacity:int -> ?shards:int -> ?memo:Memo.t -> ?radius:int ->
   ?ids:Localmodel.Ids.t -> ?name:string -> Store.Snapshot.t -> t
 (** [create snapshot] builds an engine over the snapshot's graph and the
     advice section called [name] (default: the snapshot's first advice
@@ -68,12 +82,15 @@ val create :
     the decoder orders fragments by (default: the identity [v + 1]) —
     {!Router} hands each per-shard engine its {e global} ids, which is
     what makes shard-local answers byte-identical to a whole-graph
-    engine's.  @raise Invalid_argument when the snapshot has no usable
-    advice section, no radius is available, [shards] is not positive,
-    or [ids] is not a valid assignment for the graph. *)
+    engine's.  [memo] attaches a canonical-ball decode memo (see the
+    module comment; the table may be shared with other engines — the
+    keys pin radius, parameters and trust).  @raise Invalid_argument
+    when the snapshot has no usable advice section, no radius is
+    available, [shards] is not positive, or [ids] is not a valid
+    assignment for the graph. *)
 
 val create_salvaged :
-  ?cache_capacity:int -> ?shards:int -> ?radius:int ->
+  ?cache_capacity:int -> ?shards:int -> ?memo:Memo.t -> ?radius:int ->
   ?ids:Localmodel.Ids.t -> ?name:string -> Store.Snapshot.salvage -> t
 (** [create_salvaged sv] builds a (possibly degraded) engine from a
     salvage result: the advice section called [name] (default: first
@@ -97,6 +114,9 @@ val shard_count : t -> int
 
 val advice_name : t -> string
 (** Name of the advice section being served. *)
+
+val memoized : t -> bool
+(** Whether a canonical-ball memo is attached. *)
 
 val degraded : t -> bool
 (** Whether the engine came from a damaged snapshot (any non-healthy
@@ -128,8 +148,23 @@ type answer =
 
 val query : t -> query -> answer
 (** Answer a single request, consulting and filling the ball cache.
+    With a memo attached, misses are published immediately — callers of
+    [query] serialize, so this path is the single writer.
     @raise Invalid_argument on an out-of-range node or edge id, or an
     [Edge_member] whose node is not an endpoint of its edge. *)
+
+val query_staged :
+  t -> query -> (string * string) list -> answer * (string * string) list
+(** {!query} for callers that are themselves pool workers (the router's
+    batch waves): the memo is only {e read}, and each miss is consed
+    onto the accumulator as a [(key, label)] pair for the caller to
+    hand to {!publish_staged} on the publishing thread after its join.
+    Without a memo the accumulator passes through untouched. *)
+
+val publish_staged : t -> (string * string) list -> unit
+(** Publish staged memo entries.  Must run on a single thread with no
+    concurrent {!query_staged}/{!val:batch} in flight (the memo's
+    single-writer discipline); a no-op without a memo. *)
 
 module Batch (_ : Shim.S) : sig
   val batch :

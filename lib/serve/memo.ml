@@ -1,0 +1,151 @@
+(* Canonical-ball decode memo: an open-addressed string table mapping
+   (radius/params/trust prefix ^ Ethlink.Canonical.ball_signature) to
+   decoded labels.  Sits between the per-shard LRU caches and the ball
+   decoder: an LRU eviction forgets a *node*, but every node whose ball
+   is isomorphic (same canonical signature) still hits here — the
+   structural win the ROADMAP's hash-consing item asks for.
+
+   Concurrency contract (the reason this is not a Hashtbl): reads
+   ([find]) touch no mutable metadata, so any number of pool workers may
+   probe a *frozen* table concurrently; writes ([insert]) are reserved
+   to a single publishing thread — the engine's single-query path, or
+   the batch caller after its pool join.  The arrays are plain (not
+   Atomic) on purpose: the publication discipline guarantees no write
+   is ever concurrent with a read, which the domain-race lint and the
+   Check.Sched engine scenarios audit at the call sites.
+
+   The table is bounded by entry count, sized to a load factor of at
+   most 1/2, and *drops* inserts at capacity instead of evicting:
+   canonical-ball hits come from a tiny population of signature classes
+   (see BENCH_local.json store.memo), so the first-seen class
+   representatives are exactly the ones worth keeping. *)
+
+let m_hits = Obs.Metrics.counter "serve.memo.hits"
+let m_misses = Obs.Metrics.counter "serve.memo.misses"
+let m_probes = Obs.Metrics.counter "serve.memo.probes"
+let m_bytes = Obs.Metrics.gauge "serve.memo.bytes"
+
+type t = {
+  capacity : int;  (* max stored entries; 0 = the memo is a no-op *)
+  mask : int;  (* slot-index mask; slot count is a power of two *)
+  keys : string array;  (* "" marks an empty slot *)
+  vals : string array;
+  mutable entries : int;
+  mutable bytes : int;  (* resident key + value bytes *)
+  mutable stores : int;  (* publishes of a new key *)
+  mutable drops : int;  (* inserts refused at capacity *)
+}
+
+type stats = {
+  s_capacity : int;
+  s_entries : int;
+  s_bytes : int;
+  s_stores : int;
+  s_drops : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then
+    Format.kasprintf invalid_arg "Memo.create: negative capacity %d" capacity;
+  let slots =
+    if capacity = 0 then 0
+    else begin
+      (* Smallest power of two holding [capacity] at load factor <= 1/2. *)
+      let s = ref 1 in
+      while !s < 2 * capacity do
+        s := !s * 2
+      done;
+      !s
+    end
+  in
+  {
+    capacity;
+    mask = slots - 1;
+    keys = Array.make slots "";
+    vals = Array.make slots "";
+    entries = 0;
+    bytes = 0;
+    stores = 0;
+    drops = 0;
+  }
+
+let capacity t = t.capacity
+let entries t = t.entries
+let bytes t = t.bytes
+let stats t =
+  {
+    s_capacity = t.capacity;
+    s_entries = t.entries;
+    s_bytes = t.bytes;
+    s_stores = t.stores;
+    s_drops = t.drops;
+  }
+
+(* FNV-1a over the key bytes, folded into OCaml's native int range
+   (the 64-bit offset basis truncated to fit the 63-bit int — only the
+   prime multiply matters for mixing).  The poly-compare rule (rightly)
+   bans Hashtbl.hash here; FNV is two arithmetic ops per byte and mixes
+   long, mostly-numeric signature strings well. *)
+let fnv_offset = 0x3bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let hash (s : string) =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  !h land max_int
+
+(* Slot holding [key], or the empty slot where it would go.  Linear
+   probing; with load <= 1/2 the expected probe chain is short, and
+   every extra probe is counted so the obs block exposes clustering. *)
+let slot_of t key =
+  let i = ref (hash key land t.mask) in
+  let continue = ref true in
+  while !continue do
+    let k = Array.unsafe_get t.keys !i in
+    if String.length k = 0 || String.equal k key then continue := false
+    else begin
+      Obs.Metrics.incr m_probes;
+      i := (!i + 1) land t.mask
+    end
+  done;
+  !i
+
+let find t key =
+  if t.capacity = 0 then None
+  else begin
+    let i = slot_of t key in
+    if String.length t.keys.(i) = 0 then begin
+      Obs.Metrics.incr m_misses;
+      None
+    end
+    else begin
+      Obs.Metrics.incr m_hits;
+      Some t.vals.(i)
+    end
+  end
+
+let insert t key value =
+  if String.length key = 0 then
+    invalid_arg "Memo.insert: the empty key is the empty-slot marker";
+  if t.capacity > 0 then begin
+    let i = slot_of t key in
+    if String.length t.keys.(i) = 0 then begin
+      (* A full table drops the newcomer: the resident first-seen class
+         representatives keep their hits, and the caller's answer is
+         already computed — correctness never depends on storing. *)
+      if t.entries >= t.capacity then t.drops <- t.drops + 1
+      else begin
+        t.keys.(i) <- key;
+        t.vals.(i) <- value;
+        t.entries <- t.entries + 1;
+        t.bytes <- t.bytes + String.length key + String.length value;
+        t.stores <- t.stores + 1;
+        Obs.Metrics.gauge_max m_bytes t.bytes
+      end
+    end
+    (* Re-publishing an existing key is a no-op: the byte-identity
+       contract means the staged value equals the resident one (two
+       workers staging the same canonical ball in one batch). *)
+  end

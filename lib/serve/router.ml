@@ -31,6 +31,8 @@ type t = {
   salvage : bool;
   name : string option;
   cache_capacity : int;
+  memo : Memo.t option;  (* one canonical-ball table, shared by every
+                            per-shard engine (keys pin radius/params) *)
   budget : int;  (* resident-byte budget; 0 = unbounded *)
   radius : int;
   slots : slot array;
@@ -50,7 +52,7 @@ let meta_int man key =
       | None -> fail "Router.create: metadata %s is not an integer: %S" key s)
 
 let create ?(cache_capacity = 1024) ?(resident_budget = 0) ?(salvage = false)
-    ?radius ?name store =
+    ?memo ?radius ?name store =
   let man = Shard.manifest store in
   let radius =
     match (radius, meta_int man "serve.radius") with
@@ -81,6 +83,7 @@ let create ?(cache_capacity = 1024) ?(resident_budget = 0) ?(salvage = false)
     salvage;
     name;
     cache_capacity;
+    memo;
     budget = resident_budget;
     radius;
     slots = Array.make (Array.length man.Shard.m_shards) Unloaded;
@@ -159,13 +162,29 @@ let evict_for t ~pinned needed =
     end
   done
 
+(* Release any budget bytes accounted to slot [k].  Centralizing the
+   subtraction keeps the invariant local and auditable:
+   [t.resident_bytes] is always exactly the sum of [Resident] slot
+   bytes — an eviction, a loss, or a reload after salvage can neither
+   leak bytes nor double-count a frame against the budget. *)
+let release_slot t k =
+  match t.slots.(k) with
+  | Resident r ->
+      t.resident_bytes <- t.resident_bytes - r.bytes;
+      t.slots.(k) <- Unloaded
+  | Unloaded | Lost _ -> t.slots.(k) <- Unloaded
+
 let mark_lost t k reason =
-  (match t.slots.(k) with
-  | Resident r -> t.resident_bytes <- t.resident_bytes - r.bytes
-  | _ -> ());
+  (* Re-marking an already-lost shard (a failed reload attempt) must
+     not double-count it: [t.lost]/[store.shard.lost] count lost
+     *shards*, not failed load attempts. *)
+  let already = match t.slots.(k) with Lost _ -> true | _ -> false in
+  release_slot t k;
   t.slots.(k) <- Lost reason;
-  t.lost <- t.lost + 1;
-  Obs.Metrics.incr m_lost
+  if not already then begin
+    t.lost <- t.lost + 1;
+    Obs.Metrics.incr m_lost
+  end
 
 (* Load shard [k]: fetch + decode its byte range, hand the local graph
    and advice slices to a fresh single-shard engine whose ids are the
@@ -185,8 +204,8 @@ let load_resident t ~pinned k =
   in
   let ids = Array.map (fun gid -> gid + 1) loaded.Shard.l_ids in
   let engine =
-    Engine.create ~cache_capacity:t.cache_capacity ~shards:1 ~radius:t.radius
-      ~ids ?name:t.name snapshot
+    Engine.create ~cache_capacity:t.cache_capacity ~shards:1 ?memo:t.memo
+      ~radius:t.radius ~ids ?name:t.name snapshot
   in
   let r =
     {
@@ -197,6 +216,10 @@ let load_resident t ~pinned k =
       stamp = 0;
     }
   in
+  (* The slot must be empty before its frame bytes are re-accounted:
+     a reload of a previously lost (or, defensively, still-resident)
+     shard would otherwise charge the budget twice. *)
+  release_slot t k;
   evict_for t ~pinned r.bytes;
   t.slots.(k) <- Resident r;
   t.resident_bytes <- t.resident_bytes + r.bytes;
@@ -211,26 +234,37 @@ let no_pin t = Array.make (Array.length t.slots) false
 (* Resident shard [k], loading (and evicting) as needed.  A shard whose
    bytes are damaged becomes [Lost]: with [~salvage] the caller gets
    {!Shard_lost} and every other node range keeps serving; without it
-   the codec's diagnostic propagates — the operator asked for fail-stop. *)
+   the codec's diagnostic propagates — the operator asked for fail-stop.
+
+   [Lost] is a cached diagnostic, not a tombstone: the next touch of a
+   lost range retries the load, so a transient I/O fault or repaired
+   container bytes heal the shard in place.  A successful reload
+   decrements the lost count and accounts its frame bytes exactly once
+   ([load_resident] releases the slot before charging the budget); a
+   failed retry refreshes the diagnostic without re-counting the loss. *)
+let attempt_load t ~pinned k =
+  match load_resident t ~pinned k with
+  | r -> r
+  | exception Store.Codec.Corrupt reason ->
+      mark_lost t k reason;
+      if t.salvage then raise (Shard_lost { shard = k; reason })
+      else raise (Store.Codec.Corrupt reason)
+  | exception Sys_error reason ->
+      mark_lost t k reason;
+      if t.salvage then raise (Shard_lost { shard = k; reason })
+      else raise (Sys_error reason)
+
 let ensure t ~pinned k =
   match t.slots.(k) with
   | Resident r ->
       touch t r;
       r
-  | Lost reason ->
-      if t.salvage then raise (Shard_lost { shard = k; reason })
-      else raise (Store.Codec.Corrupt reason)
-  | Unloaded -> (
-      match load_resident t ~pinned k with
-      | r -> r
-      | exception Store.Codec.Corrupt reason ->
-          mark_lost t k reason;
-          if t.salvage then raise (Shard_lost { shard = k; reason })
-          else raise (Store.Codec.Corrupt reason)
-      | exception Sys_error reason ->
-          mark_lost t k reason;
-          if t.salvage then raise (Shard_lost { shard = k; reason })
-          else raise (Sys_error reason))
+  | Unloaded -> attempt_load t ~pinned k
+  | Lost _ ->
+      let r = attempt_load t ~pinned k in
+      (* Healed: the slot left the lost set on the successful reload. *)
+      t.lost <- t.lost - 1;
+      r
 
 (* Global → local query translation (binary searches in the resident
    shard's sorted id tables).  Interior nodes always translate; an edge
@@ -352,14 +386,30 @@ let batch_results ?domains ?(pool = Pool.default_variant) t qs =
             Array.iter (fun i -> results.(i) <- Error msg) idxs.(k))
       (List.rev !wave);
     let tasks = Array.of_list (List.rev !tasks) in
+    (* Workers only *read* the shared memo (Engine.query_staged): each
+       task accumulates its misses and hands them back with its
+       answers, and this (the single calling) thread publishes them
+       after the join — the wave boundary is the memo's write point. *)
     let parts =
       Pool.run ~variant:pool ?domains
-        (fun (_, r, local) -> Array.map (Engine.query r.engine) local)
+        (fun (_, r, local) ->
+          let staged = ref [] in
+          let answers =
+            Array.map
+              (fun q ->
+                let a, st = Engine.query_staged r.engine q !staged in
+                staged := st;
+                a)
+              local
+          in
+          (answers, !staged))
         tasks
     in
     Array.iteri
-      (fun j (k, _, _) ->
-        Array.iteri (fun p i -> results.(i) <- Ok parts.(j).(p)) idxs.(k))
+      (fun j (k, r, _) ->
+        let answers, staged = parts.(j) in
+        Engine.publish_staged r.engine staged;
+        Array.iteri (fun p i -> results.(i) <- Ok answers.(p)) idxs.(k))
       tasks
   done;
   results

@@ -37,6 +37,20 @@
     {!batch_results}), and every other node range keeps serving —
     corruption degrades exactly one shard's range.  Without it, the
     first damaged shard propagates its [Codec.Corrupt] — fail-stop.
+    [Lost] is a cached diagnostic, not a tombstone: the next query for
+    a lost range retries the load, so transient I/O faults and repaired
+    container bytes heal in place.  Accounting stays exact across the
+    cycle — a reloaded shard's frame bytes are charged to the resident
+    budget exactly once, a failed retry refreshes the diagnostic
+    without re-counting the loss, and a heal removes the shard from
+    {!lost_shards} (and {!degraded} clears when none remain).
+
+    {b Memoization.}  [~memo] threads one {!Memo} canonical-ball table
+    through every per-shard engine: isomorphic balls decode once {e
+    across shards}, surviving eviction and reload.  Batch waves keep
+    the table frozen for their pool workers and publish staged misses
+    between waves on the calling thread (the engines' single-writer
+    discipline; see {!Engine.query_staged}).
 
     Obs: [store.shard.loads], [store.shard.evictions],
     [store.shard.lost] counters and the [store.shard.resident_bytes]
@@ -54,6 +68,7 @@ val create :
   ?cache_capacity:int ->
   ?resident_budget:int ->
   ?salvage:bool ->
+  ?memo:Memo.t ->
   ?radius:int ->
   ?name:string ->
   Store.Shard.t ->
@@ -63,7 +78,9 @@ val create :
     shard's engine (default 1024; eviction drops the cache with the
     shard).  [resident_budget] bounds resident shards in serialized
     bytes (default 0 = unbounded).  [salvage] selects degraded serving
-    over fail-stop.  [radius] overrides the container's [serve.radius]
+    over fail-stop.  [memo] attaches a canonical-ball decode memo
+    shared by every per-shard engine (and surviving shard eviction).
+    [radius] overrides the container's [serve.radius]
     metadata; [name] selects an advice section.  @raise Invalid_argument
     when no radius is available, the container's halo is too shallow for
     the radius ([halo >= max radius 1] is the byte-identity
@@ -106,10 +123,12 @@ val evictions : t -> int
 (** Shards evicted under the budget since creation. *)
 
 val lost_shards : t -> (int * string) list
-(** Shards marked [Lost], with their diagnostics, in shard order. *)
+(** Shards currently marked [Lost], with their diagnostics, in shard
+    order.  A shard that healed on a successful reload is absent. *)
 
 val degraded : t -> bool
-(** Whether any shard has been lost. *)
+(** Whether any shard is currently lost.  Clears when every lost shard
+    heals on reload. *)
 
 val query : t -> Engine.query -> Engine.answer
 (** Answer one query through the owner shard, loading it on first touch

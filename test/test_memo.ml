@@ -1,0 +1,273 @@
+(* Serve.Memo: the canonical-ball decode memo's transparency contract —
+   answers byte-identical (Marshal) to the unmemoized engine across
+   graph families, shard counts, domain counts, pool variants, trusted
+   and salvaged serving, and through the sharded router — plus the
+   table's own semantics: capacity-0 no-op, bounded residency with
+   drop-at-capacity, and exact byte accounting. *)
+
+open Netgraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Table semantics *)
+
+let test_table_basics () =
+  let m = Serve.Memo.create ~capacity:3 in
+  check "miss on empty table" true (Serve.Memo.find m "a" = None);
+  Serve.Memo.insert m "a" "1";
+  (match Serve.Memo.find m "a" with
+  | Some v -> check_string "hit returns the stored value" "1" v
+  | None -> Alcotest.fail "inserted key missed");
+  Serve.Memo.insert m "a" "1";
+  check_int "re-inserting an existing key is a no-op" 1 (Serve.Memo.entries m);
+  Serve.Memo.insert m "bb" "22";
+  Serve.Memo.insert m "ccc" "333";
+  check_int "filled to capacity" 3 (Serve.Memo.entries m);
+  check_int "bytes are key + value lengths" (2 + 4 + 6) (Serve.Memo.bytes m);
+  Serve.Memo.insert m "dddd" "4444";
+  let s = Serve.Memo.stats m in
+  check_int "insert past capacity is dropped" 3 s.Serve.Memo.s_entries;
+  check_int "drop counted" 1 s.Serve.Memo.s_drops;
+  check_int "stores counted" 3 s.Serve.Memo.s_stores;
+  check "dropped key stays a miss" true (Serve.Memo.find m "dddd" = None);
+  check "resident keys keep hitting" true (Serve.Memo.find m "bb" = Some "22");
+  (match Serve.Memo.create ~capacity:(-1) with
+  | _ -> Alcotest.fail "negative capacity accepted"
+  | exception Invalid_argument _ -> ());
+  match Serve.Memo.insert m "" "x" with
+  | _ -> Alcotest.fail "empty key accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_capacity_zero_is_noop () =
+  let m = Serve.Memo.create ~capacity:0 in
+  Serve.Memo.insert m "k" "v";
+  check "capacity 0 never hits" true (Serve.Memo.find m "k" = None);
+  let s = Serve.Memo.stats m in
+  check_int "capacity 0 stores nothing" 0 s.Serve.Memo.s_stores;
+  check_int "capacity 0 holds nothing" 0 s.Serve.Memo.s_entries;
+  check_int "capacity 0 accounts nothing" 0 s.Serve.Memo.s_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Engine identity: memo on = memo off, byte for byte (test_pool's
+   family/engine idioms, with the memo dimension added) *)
+
+let cycle_snapshot n seed =
+  let rng = Prng.create seed in
+  let g = Builders.cycle n in
+  let x = Bitset.create (Graph.m g) in
+  Graph.iter_edges (fun e _ -> if Prng.bool rng then Bitset.add x e) g;
+  Serve.Pack.edge_compression g x
+
+let salvaged_engine ?memo ~shards g advice =
+  let sv =
+    {
+      Store.Snapshot.partial =
+        { Store.Snapshot.graph = g; advice = []; meta = [] };
+      recovered = [ ("c4", advice) ];
+      report = [];
+    }
+  in
+  Serve.Engine.create_salvaged ?memo ~shards ~radius:2 sv
+
+let random_advice rng g =
+  Array.init (Graph.n g) (fun _ ->
+      String.init (Prng.int rng 9) (fun _ -> if Prng.bool rng then '1' else '0'))
+
+let random_queries rng g count =
+  Array.init count (fun _ ->
+      let v = Prng.int rng (Graph.n g) in
+      match Prng.int rng 3 with
+      | 0 -> Serve.Engine.Output_label v
+      | 1 ->
+          let es = Graph.incident_edges g v in
+          if Array.length es = 0 then Serve.Engine.Advice_bits v
+          else Serve.Engine.Edge_member (v, es.(Prng.int rng (Array.length es)))
+      | _ -> Serve.Engine.Advice_bits v)
+
+type family = Cycle | Grid | Regular
+
+let family_name = function
+  | Cycle -> "cycle"
+  | Grid -> "grid"
+  | Regular -> "regular"
+
+let build_graph family rng =
+  match family with
+  | Cycle -> Builders.cycle (3 + Prng.int rng 60)
+  | Grid -> Builders.grid (2 + Prng.int rng 5) (2 + Prng.int rng 5)
+  | Regular -> Builders.random_regular rng (2 * (4 + Prng.int rng 12)) 3
+
+(* [salvage] forces the untrusted (quarantined-advice) path even for
+   cycles; grids and random-regular graphs only exist on it (the
+   one-bit encoder packs cycles alone), so the flag is absorbed. *)
+let engine_of ?memo family ~salvage ~shards rng =
+  match (family, salvage) with
+  | Cycle, false ->
+      let snapshot, _cert =
+        cycle_snapshot (20 + (2 * Prng.int rng 40)) (Prng.int rng 1000)
+      in
+      Serve.Engine.create ?memo ~shards snapshot
+  | (Cycle | Grid | Regular), _ ->
+      let g = build_graph family rng in
+      salvaged_engine ?memo ~shards g (random_advice rng g)
+
+let case_gen =
+  QCheck.Gen.(
+    tup6 (int_bound 100_000)
+      (oneofl [ Cycle; Grid; Regular ])
+      bool
+      (oneofl [ 1; 3 ])
+      (int_range 1 2)
+      bool)
+
+let case_print (seed, family, salvage, shards, domains, lockless) =
+  Printf.sprintf "seed=%d family=%s salvage=%b shards=%d domains=%d pool=%s"
+    seed (family_name family) salvage shards domains
+    (if lockless then "lockless" else "mutex")
+
+let memo_transparent =
+  QCheck.Test.make ~count:40
+    ~name:"memoized serving = unmemoized serving (bytes)"
+    (QCheck.make ~print:case_print case_gen)
+    (fun (seed, family, salvage, shards, domains, lockless) ->
+      let pool =
+        if lockless then Serve.Pool.Lockless else Serve.Pool.Locked
+      in
+      (* Identical construction (same rng consumption) modulo the memo. *)
+      let rng = Prng.create seed in
+      let rng2 = Prng.copy rng in
+      let memo = Serve.Memo.create ~capacity:256 in
+      let memoized = engine_of ~memo family ~salvage ~shards rng in
+      let plain = engine_of family ~salvage ~shards rng2 in
+      let qs =
+        random_queries (Prng.create (seed + 1)) (Serve.Engine.graph memoized)
+          150
+      in
+      (* The parallel batch exercises the staged read-only path (workers
+         probe the frozen table, the caller publishes); the single-query
+         sweep afterwards serves against the now-warm table, exercising
+         the hit path for the same queries. *)
+      let batched = Serve.Engine.batch ~domains ~pool memoized qs in
+      let expected = Array.map (Serve.Engine.query plain) qs in
+      let warm = Array.map (Serve.Engine.query memoized) qs in
+      Marshal.to_string batched [] = Marshal.to_string expected []
+      && Marshal.to_string warm [] = Marshal.to_string expected [])
+
+(* Capacity 0 end to end: attached but inert — identical answers and
+   nothing ever stored. *)
+let test_engine_capacity_zero () =
+  let snapshot, _ = cycle_snapshot 60 3 in
+  let memo = Serve.Memo.create ~capacity:0 in
+  let memoized = Serve.Engine.create ~memo ~shards:2 snapshot in
+  let plain = Serve.Engine.create ~shards:2 snapshot in
+  check "memoized engine reports the attachment" true
+    (Serve.Engine.memoized memoized);
+  let qs = random_queries (Prng.create 17) (Serve.Engine.graph plain) 80 in
+  check_string "capacity-0 answers identical"
+    (Marshal.to_string (Array.map (Serve.Engine.query plain) qs) [])
+    (Marshal.to_string (Array.map (Serve.Engine.query memoized) qs) []);
+  let s = Serve.Memo.stats memo in
+  check_int "capacity-0 table stayed empty" 0 s.Serve.Memo.s_stores
+
+(* Adversarial near-zero-collision family: every node carries distinct
+   advice bits, so (radius-2) ball signatures are pairwise distinct and
+   the class population dwarfs the table.  The memo must stay
+   transparent while dropping at capacity. *)
+let test_adversarial_low_collision () =
+  let g = Builders.cycle 200 in
+  (* 16 advice bits = the node id in binary: all distinct. *)
+  let advice =
+    Array.init (Graph.n g) (fun v ->
+        String.init 16 (fun i -> if (v lsr i) land 1 = 1 then '1' else '0'))
+  in
+  let memo = Serve.Memo.create ~capacity:32 in
+  let memoized = salvaged_engine ~memo ~shards:3 g advice in
+  let plain = salvaged_engine ~shards:3 g advice in
+  let qs = Array.init 200 (fun v -> Serve.Engine.Output_label v) in
+  check_string "adversarial answers identical"
+    (Marshal.to_string (Array.map (Serve.Engine.query plain) qs) [])
+    (Marshal.to_string (Array.map (Serve.Engine.query memoized) qs) []);
+  let s = Serve.Memo.stats memo in
+  check_int "table filled to capacity" 32 s.Serve.Memo.s_entries;
+  check "overflow classes dropped, not evicted" true
+    (s.Serve.Memo.s_drops >= 200 - 32 - 1);
+  check "second pass still identical (drops are invisible)" true
+    (Marshal.to_string (Array.map (Serve.Engine.query plain) qs) []
+    = Marshal.to_string (Array.map (Serve.Engine.query memoized) qs) [])
+
+(* ------------------------------------------------------------------ *)
+(* Router identity: one memo shared across every per-shard engine,
+   surviving eviction, equals the memo-less monolithic engine. *)
+
+let test_router_memo_identity () =
+  let snapshot, cert = cycle_snapshot 120 11 in
+  let radius = cert.Serve.Pack.radius in
+  let bytes = Store.Shard.build ~shards:4 ~halo:(max radius 1) snapshot in
+  let store = Store.Shard.open_bytes bytes in
+  let man = Store.Shard.manifest store in
+  let max_frame =
+    Array.fold_left
+      (fun acc i -> max acc i.Store.Shard.i_bytes)
+      0 man.Store.Shard.m_shards
+  in
+  let memo = Serve.Memo.create ~capacity:1024 in
+  (* One-shard budget: every cross-shard hop evicts, so memo entries
+     published by an evicted shard's engine must serve its reload. *)
+  let router =
+    Serve.Router.create ~memo ~resident_budget:max_frame ~radius store
+  in
+  let mono = Serve.Engine.create ~shards:1 ~radius snapshot in
+  let qs = random_queries (Prng.create 23) (Serve.Engine.graph mono) 300 in
+  let expected = Array.map (Serve.Engine.query mono) qs in
+  let batched = Serve.Router.batch_results ~domains:2 router qs in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok a ->
+          check_string
+            (Printf.sprintf "router+memo answer %d identical" i)
+            (Marshal.to_string expected.(i) [])
+            (Marshal.to_string a [])
+      | Error msg -> Alcotest.failf "healthy container lost a shard: %s" msg)
+    batched;
+  check "memo collected entries across shards" true
+    ((Serve.Memo.stats memo).Serve.Memo.s_stores > 0);
+  (* Single-query sweep after the batch: the staged-then-published
+     entries and the serialized insert path agree. *)
+  Array.iteri
+    (fun i q ->
+      check_string
+        (Printf.sprintf "router+memo single %d identical" i)
+        (Marshal.to_string expected.(i) [])
+        (Marshal.to_string (Serve.Router.query router q) []))
+    qs
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "memo"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "insert/find/drop semantics" `Quick
+            test_table_basics;
+          Alcotest.test_case "capacity 0 is a no-op" `Quick
+            test_capacity_zero_is_noop;
+        ] );
+      ( "engine",
+        [
+          QCheck_alcotest.to_alcotest memo_transparent;
+          Alcotest.test_case "capacity 0 end to end" `Quick
+            test_engine_capacity_zero;
+          Alcotest.test_case "adversarial low-collision family" `Quick
+            test_adversarial_low_collision;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "shared memo across shards + eviction" `Quick
+            test_router_memo_identity;
+        ] );
+    ]

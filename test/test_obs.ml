@@ -189,6 +189,42 @@ let test_jsonout () =
     (to_string (Obj [ ("a", List [ Int 1; Int 2 ]); ("b", Null) ]))
 
 (* ------------------------------------------------------------------ *)
+(* Nearest-rank percentiles *)
+
+(* Hand-computed references: rank = ceil(p * k) (1-based), index =
+   rank - 1.  The regression here is the floored index the bench
+   reporters used to inline — p50 of [1..10] read sorted.(5) = 6. *)
+let test_percentiles () =
+  let check_int = Alcotest.(check int) in
+  let ten = Array.init 10 (fun i -> i + 1) in
+  check_int "p50 of 1..10 is the 5th sample" 5 (Obs.Stats.percentile ten 0.50);
+  check_int "p90 of 1..10" 9 (Obs.Stats.percentile ten 0.90);
+  check_int "p95 of 1..10" 10 (Obs.Stats.percentile ten 0.95);
+  check_int "p99 of 1..10" 10 (Obs.Stats.percentile ten 0.99);
+  check_int "p0 is the minimum" 1 (Obs.Stats.percentile ten 0.0);
+  check_int "p100 is the maximum" 10 (Obs.Stats.percentile ten 1.0);
+  let four = [| 10; 20; 30; 40 |] in
+  check_int "p25 of 4 lands exactly on rank 1" 10 (Obs.Stats.percentile four 0.25);
+  check_int "p26 of 4 rounds up to rank 2" 20 (Obs.Stats.percentile four 0.26);
+  check_int "p50 of 4" 20 (Obs.Stats.percentile four 0.50);
+  check_int "p75 of 4" 30 (Obs.Stats.percentile four 0.75);
+  check_int "p99 of 4 is the max, not past it" 40 (Obs.Stats.percentile four 0.99);
+  (* p99 with fewer than 100 samples: rank ceil(49.5) = 50, the last
+     valid index — never 50 elements' worth of off-by-one past it. *)
+  let fifty = Array.init 50 (fun i -> i + 1) in
+  check_int "p99 of 50 samples is index 49" 50 (Obs.Stats.percentile fifty 0.99);
+  check_int "p50 of 50 samples is index 24" 25 (Obs.Stats.percentile fifty 0.50);
+  check_int "singleton serves every percentile" 7
+    (Obs.Stats.percentile [| 7 |] 0.99);
+  check_int "empty sample reports 0" 0 (Obs.Stats.percentile [||] 0.5);
+  (match Obs.Stats.index ~count:0 0.5 with
+  | exception Invalid_argument _ -> ()
+  | i -> Alcotest.failf "index on empty count returned %d" i);
+  match Obs.Stats.index ~count:10 1.5 with
+  | exception Invalid_argument _ -> ()
+  | i -> Alcotest.failf "index on p=1.5 returned %d" i
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -209,4 +245,9 @@ let () =
       );
       ( "jsonout",
         [ Alcotest.test_case "emitter" `Quick test_jsonout ] );
+      ( "stats",
+        [
+          Alcotest.test_case "nearest-rank percentiles" `Quick
+            test_percentiles;
+        ] );
     ]

@@ -417,6 +417,95 @@ let test_one_shard_corruption () =
     check "batch: healthy range 2 answered" true (Result.is_ok rs.(2))
   done
 
+(* Corrupt -> salvage -> repair -> heal, against a real file (open_file
+   re-reads the byte range on every load, so overwriting the container
+   under the router models damage and repair in place).  [Lost] must be
+   a cached diagnostic, not a tombstone: the reload heals, answers stay
+   byte-identical, and the healed shard's frame bytes are charged to
+   the resident budget exactly once. *)
+let test_lost_shard_heals_on_repair () =
+  let _g, snapshot, cert = cycle_snapshot 96 9 in
+  let radius = cert.Serve.Pack.radius in
+  let good = Store.Shard.build ~shards:3 ~halo:(max radius 1) snapshot in
+  let man = Store.Shard.manifest (Store.Shard.open_bytes good) in
+  let victim = man.Store.Shard.m_shards.(1) in
+  let damaged =
+    let b = Bytes.of_string good in
+    let at = victim.Store.Shard.i_offset + (victim.Store.Shard.i_bytes / 2) in
+    Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0x01));
+    Bytes.unsafe_to_string b
+  in
+  let max_frame =
+    Array.fold_left
+      (fun acc i -> max acc i.Store.Shard.i_bytes)
+      0 man.Store.Shard.m_shards
+  in
+  let path = Filename.temp_file "heal" ".ladv" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Store.Io.write_file path good;
+  let router =
+    Serve.Router.create ~salvage:true ~resident_budget:max_frame ~radius
+      (Store.Shard.open_file path)
+  in
+  let mono = Serve.Engine.create ~shards:1 ~radius snapshot in
+  let expect v =
+    Marshal.to_string (Serve.Engine.query mono (Serve.Engine.Output_label v)) []
+  in
+  let peak = ref 0 in
+  let ask v =
+    let a =
+      Marshal.to_string
+        (Serve.Router.query router (Serve.Engine.Output_label v))
+        []
+    in
+    peak := max !peak (Serve.Router.resident_bytes router);
+    a
+  in
+  (* Healthy pass over every node, cycling loads under the one-shard
+     budget. *)
+  for v = 0 to 95 do
+    check_string (Printf.sprintf "healthy pass node %d" v) (expect v) (ask v)
+  done;
+  (* Damage the container under the router: the victim's interior is
+     lost, everything else keeps serving. *)
+  Store.Io.write_file path damaged;
+  let vmid = victim.Store.Shard.i_lo in
+  (match ask vmid with
+  | _ -> Alcotest.fail "damaged shard still answered"
+  | exception Serve.Router.Shard_lost { shard; _ } ->
+      check_int "lost shard index" 1 shard);
+  check "degraded while damaged" true (Serve.Router.degraded router);
+  check_int "one shard lost" 1 (List.length (Serve.Router.lost_shards router));
+  (* A retry against still-damaged bytes refreshes the diagnostic
+     without re-counting the loss. *)
+  (match ask vmid with
+  | _ -> Alcotest.fail "retry against damaged bytes answered"
+  | exception Serve.Router.Shard_lost { shard; _ } ->
+      check_int "retry reports the same shard" 1 shard);
+  check_int "failed retry does not double-count the loss" 1
+    (List.length (Serve.Router.lost_shards router));
+  check_string "shard 0 serves while 1 is lost" (expect 0) (ask 0);
+  check_string "shard 2 serves while 1 is lost" (expect 95) (ask 95);
+  (* Repair the file: the next query for the lost range heals it. *)
+  Store.Io.write_file path good;
+  check_string "healed answer byte-identical" (expect vmid) (ask vmid);
+  check "heal clears degraded" false (Serve.Router.degraded router);
+  check_int "heal empties the lost set" 0
+    (List.length (Serve.Router.lost_shards router));
+  (* Exact accounting: with a one-shard budget the healed shard is the
+     sole resident and is charged its frame once — a double-counted
+     reload would leave residency at twice the frame (over budget). *)
+  check_int "one shard resident after heal" 1
+    (Serve.Router.resident_shards router);
+  check_int "healed shard charged exactly once" victim.Store.Shard.i_bytes
+    (Serve.Router.resident_bytes router);
+  (* Full post-heal sweep: byte-identical, still budget-bounded. *)
+  for v = 0 to 95 do
+    check_string (Printf.sprintf "post-heal node %d" v) (expect v) (ask v)
+  done;
+  check "peak residency within budget across the whole cycle" true
+    (!peak <= max_frame)
+
 let test_manifest_corruption_fails_open () =
   let _g, snapshot, cert = cycle_snapshot 30 2 in
   let bytes =
@@ -598,6 +687,8 @@ let () =
         [
           Alcotest.test_case "one-shard flips quarantine one shard" `Slow
             test_one_shard_corruption;
+          Alcotest.test_case "lost shard heals on repair, charged once" `Quick
+            test_lost_shard_heals_on_repair;
           Alcotest.test_case "header flips fail open" `Quick
             test_manifest_corruption_fails_open;
         ] );
